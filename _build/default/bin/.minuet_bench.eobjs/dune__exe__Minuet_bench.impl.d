@@ -1,0 +1,1 @@
+bin/minuet_bench.ml: Arg Cmd Cmdliner Experiments List Option Term

@@ -1,0 +1,1 @@
+bin/minuet_bench.mli:

@@ -1,0 +1,1 @@
+bin/minuet_shell.ml: Array Format Hashtbl Int64 List Minuet Mvcc Printf Sim String Sys

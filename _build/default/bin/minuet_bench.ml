@@ -1,0 +1,84 @@
+(* Command-line driver for the paper's experiments: run any figure with
+   full parameter control, e.g.
+
+     minuet-bench fig12 --hosts 5,15,25,35 --records 50000 --duration 2
+     minuet-bench all --full
+*)
+
+open Cmdliner
+module P = Experiments.Exp_common
+
+let hosts_arg =
+  let doc = "Comma-separated cluster sizes to sweep (e.g. 5,15,25,35)." in
+  Arg.(value & opt (some (list int)) None & info [ "hosts" ] ~docv:"N,N,..." ~doc)
+
+let records_arg =
+  let doc = "Preloaded record count (the paper uses 100M; scaled default)." in
+  Arg.(value & opt (some int) None & info [ "records" ] ~docv:"N" ~doc)
+
+let duration_arg =
+  let doc = "Measured seconds of simulated time per data point." in
+  Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"SECONDS" ~doc)
+
+let warmup_arg =
+  let doc = "Warmup seconds excluded from measurement." in
+  Arg.(value & opt (some float) None & info [ "warmup" ] ~docv:"SECONDS" ~doc)
+
+let clients_arg =
+  let doc = "Closed-loop client threads per host." in
+  Arg.(value & opt (some int) None & info [ "clients-per-host" ] ~docv:"N" ~doc)
+
+let scan_arg =
+  let doc = "Keys per scan for the scan experiments (paper: 1M)." in
+  Arg.(value & opt (some int) None & info [ "scan-count" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic seed; identical seeds reproduce identical runs." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let full_arg =
+  let doc = "Start from the 'full' parameter preset (closer to the paper's operating point)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let params full hosts records duration warmup clients scan seed =
+  let base = if full then P.full else P.fast in
+  {
+    P.hosts = Option.value hosts ~default:base.P.hosts;
+    records = Option.value records ~default:base.P.records;
+    duration = Option.value duration ~default:base.P.duration;
+    warmup = Option.value warmup ~default:base.P.warmup;
+    clients_per_host = Option.value clients ~default:base.P.clients_per_host;
+    scan_count = Option.value scan ~default:base.P.scan_count;
+    seed = Option.value seed ~default:base.P.seed;
+  }
+
+let params_term =
+  Term.(
+    const params $ full_arg $ hosts_arg $ records_arg $ duration_arg $ warmup_arg $ clients_arg
+    $ scan_arg $ seed_arg)
+
+let figure_cmd
+    ((name, title, run) : string * string * (?params:P.params -> unit -> P.row list)) =
+  let doc = title in
+  let action params =
+    let (_ : P.row list) = run ~params () in
+    ()
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const action $ params_term)
+
+let all_cmd =
+  let doc = "Run every figure of the paper's evaluation in sequence." in
+  let action params =
+    List.iter
+      (fun ((_, _, run) : string * string * (?params:P.params -> unit -> P.row list)) ->
+        let (_ : P.row list) = run ~params () in
+        ())
+      Experiments.all
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const action $ params_term)
+
+let () =
+  let doc = "Reproduce the evaluation of 'Minuet: A Scalable Distributed Multiversion B-Tree'" in
+  let info = Cmd.info "minuet-bench" ~version:"1.0" ~doc in
+  let cmds = all_cmd :: List.map figure_cmd Experiments.all in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/bank_transfers.ml: List Minuet Option Printf Sim

@@ -1,0 +1,1 @@
+examples/hybrid_analytics.ml: List Minuet Printf Sim

@@ -1,0 +1,1 @@
+examples/what_if_analysis.ml: Btree List Minuet Mvcc Option Printf

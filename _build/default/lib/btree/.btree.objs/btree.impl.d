@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Bkey Bnode Layout Node_alloc Ops

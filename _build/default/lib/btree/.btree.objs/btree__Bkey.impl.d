@@ -1,0 +1,1 @@
+lib/btree/bkey.ml: Codec Format Printf String

@@ -1,0 +1,1 @@
+lib/btree/bkey.mli: Codec Format

@@ -1,0 +1,1 @@
+lib/btree/bnode.ml: Array Bkey Codec Dyntxn Format Int64 Printf String

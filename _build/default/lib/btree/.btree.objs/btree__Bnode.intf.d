@@ -1,0 +1,1 @@
+lib/btree/bnode.mli: Bkey Dyntxn Format

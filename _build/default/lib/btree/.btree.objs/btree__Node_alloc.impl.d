@@ -1,0 +1,1 @@
+lib/btree/node_alloc.ml: Address Array Cluster Codec Dyntxn Int64 Layout Queue Sim Sinfonia String

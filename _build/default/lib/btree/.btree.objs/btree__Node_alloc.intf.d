@@ -1,0 +1,1 @@
+lib/btree/node_alloc.mli: Dyntxn Layout Sinfonia

@@ -1,0 +1,1 @@
+lib/btree/ops.ml: Address Array Bkey Bnode Cluster Codec Dyntxn Format Hashtbl Heap Int64 Layout List Memnode Node_alloc Option Printf Sim Sinfonia String

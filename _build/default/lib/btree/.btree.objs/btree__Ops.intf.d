@@ -1,0 +1,1 @@
+lib/btree/ops.mli: Bkey Bnode Dyntxn Layout Node_alloc Sinfonia

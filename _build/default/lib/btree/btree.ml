@@ -1,0 +1,8 @@
+(** Umbrella module of the [btree] library: Minuet's distributed
+    multiversion B-tree (the paper's core contribution). *)
+
+module Bkey = Bkey
+module Bnode = Bnode
+module Layout = Layout
+module Node_alloc = Node_alloc
+module Ops = Ops

@@ -1,0 +1,623 @@
+open Sinfonia
+module Objref = Dyntxn.Objref
+module Txn = Dyntxn.Txn
+module Objcache = Dyntxn.Objcache
+
+type mode = Dirty_traversal | Validated_traversal
+
+type tree = {
+  cluster : Cluster.t;
+  layout : Layout.t;
+  tree_id : int;
+  mode : mode;
+  max_keys_leaf : int;
+  max_keys_internal : int;
+  max_op_retries : int;
+  home : int;
+  alloc : Node_alloc.t;
+  cache : Objcache.t;
+  (* Decoded-node memo keyed by (location, sequence number): node
+     versions are immutable, so a (ptr, seq) pair identifies the decoded
+     value forever. Purely a wall-clock optimization of the simulator —
+     no simulated cost depends on it. *)
+  decode_memo : (Objref.t * int64, Bnode.t) Hashtbl.t;
+}
+
+exception Too_contended of string
+
+let decode_memo_capacity = 16384
+
+(* Conservative per-entry wire estimates for deriving key capacities
+   from the node size (YCSB schema: 14-byte keys, 8-byte values). *)
+let leaf_entry_bytes = 40
+
+let internal_entry_bytes = 40
+
+let make_tree ?(mode = Dirty_traversal) ?max_keys_leaf ?max_keys_internal ?(max_op_retries = 64)
+    ?(home = 0) ~cluster ~layout ~tree_id ~alloc ~cache () =
+  let budget = layout.Layout.node_size - 128 in
+  let derived_leaf = max 4 (budget / leaf_entry_bytes) in
+  let derived_internal = max 4 (budget / internal_entry_bytes) in
+  {
+    cluster;
+    layout;
+    tree_id;
+    mode;
+    max_keys_leaf = Option.value max_keys_leaf ~default:derived_leaf;
+    max_keys_internal = Option.value max_keys_internal ~default:derived_internal;
+    max_op_retries;
+    home;
+    alloc;
+    cache;
+    decode_memo = Hashtbl.create 1024;
+  }
+
+let cluster t = t.cluster
+
+let tree_id t = t.tree_id
+
+let mode t = t.mode
+
+let home t = t.home
+
+let layout t = t.layout
+
+let proxy_cache t = t.cache
+
+type disc = { disc_at : int64; disc_covered : int64 array }
+
+type cow_plan = { old_descendants : int64 array; discretionary : disc list }
+
+type vctx = {
+  snap : int64;
+  root : Objref.t;
+  writable : bool;
+  is_ancestor : int64 -> int64 -> bool;
+  plan_cow : created:int64 -> descendants:int64 array -> cow_plan;
+  root_of : Txn.t -> int64 -> Objref.t;
+}
+
+let metrics tree = Cluster.metrics tree.cluster
+
+(* -------------------------------------------------------------------- *)
+(* Node I/O                                                              *)
+(* -------------------------------------------------------------------- *)
+
+let decode_node txn payload =
+  if String.length payload = 0 then Txn.abort txn
+  else
+    match Bnode.decode payload with
+    | node -> node
+    | exception Codec.Decode_error _ -> Txn.abort txn
+
+let decode_node_memo tree txn ptr seq payload =
+  (* Never memoize a read served from the transaction's own buffered
+     write: the payload is uncommitted and [seq] still names the old
+     version. *)
+  if Txn.in_write_set txn ptr then decode_node txn payload
+  else begin
+    let key = (ptr, seq) in
+    match Hashtbl.find_opt tree.decode_memo key with
+    | Some node -> node
+    | None ->
+        let node = decode_node txn payload in
+        if Hashtbl.length tree.decode_memo >= decode_memo_capacity then
+          Hashtbl.reset tree.decode_memo;
+        Hashtbl.add tree.decode_memo key node;
+        node
+  end
+
+(* Read an internal node during traversal. In dirty mode this is a plain
+   dirty read (cache-friendly, unvalidated). In the baseline mode it is
+   also served without joining the read set, but the node's replicated
+   sequence-number entry is registered for commit-time validation —
+   Aguilera et al.'s full-path validation at a single memnode. *)
+let read_internal tree txn (ptr : Objref.t) =
+  match tree.mode with
+  | Dirty_traversal ->
+      let seq, payload = Txn.dirty_read_with_seq txn ptr in
+      decode_node_memo tree txn ptr seq payload
+  | Validated_traversal ->
+      let seq, payload = Txn.dirty_read_with_seq txn ptr in
+      let node = decode_node_memo tree txn ptr seq payload in
+      (* Only internal nodes have replicated sequence-number entries; a
+         one-level tree's root is a leaf and is validated directly. *)
+      if not (Bnode.is_leaf node) then
+        Txn.validate_replicated txn
+          ~off:(Layout.seq_entry_off tree.layout ptr.Objref.addr)
+          ~seq;
+      node
+
+(* Leaves are always fetched from Sinfonia, never from the proxy cache
+   (Sec. 4.2). Up-to-date operations read them transactionally;
+   read-only snapshot operations use an unvalidated read guarded by the
+   traversal safety checks. *)
+let read_leaf tree txn vctx (ptr : Objref.t) =
+  let seq, payload =
+    if vctx.writable then Txn.read_with_seq txn ptr
+    else Txn.dirty_read_with_seq ~use_cache:false txn ptr
+  in
+  decode_node_memo tree txn ptr seq payload
+
+(* Writes of internal nodes in baseline mode must republish the node's
+   sequence number to the replicated table at every memnode, which is
+   what makes splits expensive there (Sec. 3). *)
+let write_node tree txn (ptr : Objref.t) (node : Bnode.t) =
+  let payload = Bnode.encode node in
+  match tree.mode with
+  | Validated_traversal when not (Bnode.is_leaf node) ->
+      Txn.write_linked txn ptr payload ~repl_off:(Layout.seq_entry_off tree.layout ptr.Objref.addr)
+  | Dirty_traversal | Validated_traversal -> Txn.write txn ptr payload
+
+(* -------------------------------------------------------------------- *)
+(* Traversal (Fig. 5, plus the version checks of Secs. 4.2 and 5.2)      *)
+(* -------------------------------------------------------------------- *)
+
+(* Safety checks executed at every visited node. Aborting (rather than
+   failing) is correct: the retry re-traverses with fresh data. *)
+let check_node tree txn vctx (node : Bnode.t) k =
+  (* Fence keys: [k] must be within the node's responsibility range. *)
+  if not (Bkey.in_range k ~low:node.Bnode.low ~high:node.Bnode.high) then begin
+    Sim.Metrics.incr (metrics tree) "btree.abort.fence";
+    Txn.abort txn
+  end;
+  (* The node's version must lie on the path to [vctx.snap]... *)
+  if not (vctx.is_ancestor node.Bnode.snap_created vctx.snap) then begin
+    Sim.Metrics.incr (metrics tree) "btree.abort.version";
+    Txn.abort txn
+  end;
+  (* ...and must not have been superseded by a copy on that path. *)
+  if Array.exists (fun d -> vctx.is_ancestor d vctx.snap) node.Bnode.descendants then begin
+    Sim.Metrics.incr (metrics tree) "btree.abort.copied";
+    Txn.abort txn
+  end
+
+type step = { s_ptr : Objref.t; s_node : Bnode.t; s_child : int }
+
+(* Traverse from the root to the leaf responsible for [k] at
+   [vctx.snap]. Returns the internal path (root first) and the leaf. *)
+let traverse tree txn vctx k =
+  (* The root is internal in any tree with two or more levels; a
+     one-level tree's root is the leaf itself. Its kind is unknown
+     before reading it, so read it dirty first and, for a writable
+     context, re-read a leaf root transactionally so it joins the read
+     set. *)
+  let root = read_internal tree txn vctx.root in
+  let root =
+    if Bnode.is_leaf root && vctx.writable then read_leaf tree txn vctx vctx.root else root
+  in
+  check_node tree txn vctx root k;
+  let rec descend path ptr (node : Bnode.t) =
+    if Bnode.is_leaf node then (List.rev path, ptr, node)
+    else begin
+      let idx, child_ptr = Bnode.child_for node k in
+      let child =
+        if node.Bnode.height > 1 then read_internal tree txn child_ptr
+        else read_leaf tree txn vctx child_ptr
+      in
+      if child.Bnode.height <> node.Bnode.height - 1 then begin
+        (* Fatal inconsistency (Fig. 5 line 15): stale pointers led us to
+           a node at the wrong level. *)
+        Sim.Metrics.incr (metrics tree) "btree.abort.height";
+        Txn.abort txn
+      end;
+      check_node tree txn vctx child k;
+      descend ({ s_ptr = ptr; s_node = node; s_child = idx } :: path) child_ptr child
+    end
+  in
+  descend [] vctx.root root
+
+(* -------------------------------------------------------------------- *)
+(* Copy-on-write and split propagation                                    *)
+(* -------------------------------------------------------------------- *)
+
+(* What a child level asks its parent to record. *)
+type child_update =
+  | Replace of Objref.t
+  | Split_into of { left : Objref.t; sep : Bkey.t; right : Objref.t }
+
+let max_keys tree (node : Bnode.t) =
+  if Bnode.is_leaf node then tree.max_keys_leaf else tree.max_keys_internal
+
+(* Apply [update] to the parent chain [path] (deepest parent first),
+   copying and splitting as needed. [relink] performs the discretionary
+   copy-on-write recursion; tied via a forward reference because the
+   relink itself re-enters the update machinery at another snapshot. *)
+let rec apply_up tree txn vctx path (update : child_update) =
+  match path with
+  | [] ->
+      (* Only reachable when the root needed replacement, which cannot
+         happen: the tip's root is always already at [vctx.snap] and is
+         split in place. *)
+      assert false
+  | { s_ptr; s_node; s_child } :: rest ->
+      let updated =
+        match update with
+        | Replace p -> Bnode.replace_child s_node s_child p
+        | Split_into { left; sep; right } ->
+            Bnode.insert_sep (Bnode.replace_child s_node s_child left) ~at:s_child ~sep ~right
+      in
+      place_node tree txn vctx ~path:rest ~ptr:s_ptr ~old:s_node ~updated
+
+(* Write [updated] (the new content of the node at [ptr], whose
+   previously committed content was [old]) at snapshot [vctx.snap]:
+   in place when the node already belongs to the snapshot, via
+   copy-on-write otherwise; splitting when over capacity; propagating
+   pointer changes to the parent chain [path]. *)
+and place_node tree txn vctx ~path ~ptr ~(old : Bnode.t) ~(updated : Bnode.t) =
+  let is_root = path = [] in
+  let at_snap = Int64.equal old.Bnode.snap_created vctx.snap in
+  let overflow = Bnode.needs_split updated ~max_keys:(max_keys tree updated) in
+  if at_snap then begin
+    if not overflow then write_node tree txn ptr updated
+    else if is_root then split_root tree txn ptr updated
+    else begin
+      let left, sep, right = Bnode.split updated in
+      let right_ptr = Node_alloc.alloc tree.alloc in
+      write_node tree txn ptr left;
+      write_node tree txn right_ptr right;
+      Sim.Metrics.incr (metrics tree) "btree.splits";
+      apply_up tree txn vctx path (Split_into { left = ptr; sep; right = right_ptr })
+    end
+  end
+  else begin
+    (* The node belongs to an earlier snapshot: copy-on-write. The root
+       can never take this branch (it is copied at snapshot creation),
+       so [path] is nonempty. *)
+    if is_root then (* stale root: snapshot changed under us *) Txn.abort txn;
+    cow_mark_old tree txn vctx ~ptr ~old;
+    let fresh = Bnode.with_snap updated vctx.snap in
+    (* Copies stay on the original's memnode: copy-on-write then
+       preserves the allocator's load balance (and the copy commits at
+       the same memnode as the old version's invalidation). *)
+    let home_node = Objref.node ptr in
+    if not overflow then begin
+      let new_ptr = Node_alloc.alloc_on tree.alloc ~node:home_node in
+      write_node tree txn new_ptr fresh;
+      Sim.Metrics.incr (metrics tree) "btree.cow";
+      apply_up tree txn vctx path (Replace new_ptr)
+    end
+    else begin
+      let left, sep, right = Bnode.split fresh in
+      let left_ptr = Node_alloc.alloc_on tree.alloc ~node:home_node in
+      let right_ptr = Node_alloc.alloc tree.alloc in
+      write_node tree txn left_ptr left;
+      write_node tree txn right_ptr right;
+      Sim.Metrics.incr (metrics tree) "btree.cow";
+      Sim.Metrics.incr (metrics tree) "btree.splits";
+      apply_up tree txn vctx path (Split_into { left = left_ptr; sep; right = right_ptr })
+    end
+  end
+
+(* Record on the old node that it has been copied to [vctx.snap]
+   (Sec. 4.2), applying the β-bounding plan and any discretionary
+   copy-on-write it requires (Sec. 5.2). Writing the old node promotes
+   it into the read set, so a concurrent copy of the same node aborts
+   one of the writers. *)
+and cow_mark_old tree txn vctx ~ptr ~(old : Bnode.t) =
+  let plan =
+    vctx.plan_cow ~created:old.Bnode.snap_created ~descendants:old.Bnode.descendants
+  in
+  write_node tree txn ptr (Bnode.with_descendants old plan.old_descendants);
+  List.iter
+    (fun { disc_at; disc_covered } ->
+      (* Make a content-identical copy of [old] owned by snapshot
+         [disc_at] and take over the covered descendants; then swing the
+         pointer on [disc_at]'s path onto it. Logically a no-op for
+         every snapshot; physically it keeps descendant sets bounded. *)
+      let copy = Bnode.with_descendants (Bnode.with_snap old disc_at) disc_covered in
+      let copy_ptr = Node_alloc.alloc_on tree.alloc ~node:(Objref.node ptr) in
+      write_node tree txn copy_ptr copy;
+      Sim.Metrics.incr (metrics tree) "btree.discretionary_cow";
+      relink tree txn vctx ~at:disc_at ~old_ptr:ptr ~old ~new_ptr:copy_ptr)
+    plan.discretionary
+
+(* Replace the pointer to [old_ptr] with [new_ptr] on snapshot [at]'s
+   path (discretionary copy-on-write). Runs inside the same dynamic
+   transaction, so the whole maneuver is atomic. *)
+and relink tree txn vctx ~at ~old_ptr ~(old : Bnode.t) ~new_ptr =
+  let root = vctx.root_of txn at in
+  let sub_vctx = { vctx with snap = at; root } in
+  (* Any key in the old node's range identifies the path to it. *)
+  let probe_key =
+    match old.Bnode.low with
+    | Bkey.Key k -> k
+    | Bkey.Neg_inf -> ""
+    | Bkey.Pos_inf -> assert false
+  in
+  let rec descend path ptr (node : Bnode.t) =
+    if node.Bnode.height <= old.Bnode.height then (* overshot: stale state *) Txn.abort txn
+    else begin
+      let idx, child_ptr = Bnode.child_for node probe_key in
+      if Objref.equal child_ptr old_ptr then
+        (* [path] already lists deepest parents first. *)
+        apply_up tree txn sub_vctx
+          ({ s_ptr = ptr; s_node = node; s_child = idx } :: path)
+          (Replace new_ptr)
+      else begin
+        let child = read_internal tree txn child_ptr in
+        if child.Bnode.height <> node.Bnode.height - 1 then Txn.abort txn;
+        check_node tree txn sub_vctx child probe_key;
+        descend ({ s_ptr = ptr; s_node = node; s_child = idx } :: path) child_ptr child
+      end
+    end
+  in
+  let root_node = read_internal tree txn root in
+  check_node tree txn sub_vctx root_node probe_key;
+  if Objref.equal root old_ptr then
+    (* The old node is the snapshot's root itself; roots are never
+       discretionarily copied (they are per-snapshot already). *)
+    Txn.abort txn
+  else descend [] root root_node
+
+(* In-place root split: the root's address is fixed per snapshot
+   (Sec. 4.1), so the overflowing content moves into two fresh children
+   and the root is rewritten one level taller. *)
+and split_root tree txn (root_ptr : Objref.t) (updated : Bnode.t) =
+  let left, sep, right = Bnode.split updated in
+  let left_ptr = Node_alloc.alloc tree.alloc in
+  let right_ptr = Node_alloc.alloc tree.alloc in
+  write_node tree txn left_ptr left;
+  write_node tree txn right_ptr right;
+  let new_root =
+    Bnode.make_internal
+      ~height:(updated.Bnode.height + 1)
+      ~low:updated.Bnode.low ~high:updated.Bnode.high ~snap:updated.Bnode.snap_created
+      ~keys:[| sep |]
+      ~children:[| left_ptr; right_ptr |]
+  in
+  write_node tree txn root_ptr new_root;
+  Sim.Metrics.incr (metrics tree) "btree.root_splits";
+  Sim.Metrics.incr (metrics tree) "btree.splits"
+
+(* -------------------------------------------------------------------- *)
+(* Retry wrapper                                                          *)
+(* -------------------------------------------------------------------- *)
+
+let with_retries tree op_name f =
+  let rec go attempt =
+    if attempt >= tree.max_op_retries then
+      raise (Too_contended (Printf.sprintf "%s: %d attempts" op_name attempt));
+    if attempt > 0 then begin
+      Sim.Metrics.incr (metrics tree) "btree.op_retries";
+      (* Jittered backoff decorrelates repeatedly conflicting
+         operations. *)
+      let cap = 20e-6 *. float_of_int (min attempt 6) in
+      Sim.delay (Sim.Rng.float (Cluster.rng tree.cluster) cap)
+    end;
+    let txn = Txn.begin_ ~cache:tree.cache ~home:tree.home tree.cluster in
+    match f txn with
+    | result -> (
+        match Txn.commit txn with
+        | Txn.Committed -> result
+        | Txn.Validation_failed | Txn.Retry_exhausted ->
+            Txn.evict_dirty txn;
+            go (attempt + 1))
+    | exception Txn.Aborted _ ->
+        Txn.evict_dirty txn;
+        go (attempt + 1)
+  in
+  go 0
+
+(* -------------------------------------------------------------------- *)
+(* Operations                                                             *)
+(* -------------------------------------------------------------------- *)
+
+let get_in_txn tree txn vctx k =
+  let _, _, leaf = traverse tree txn vctx k in
+  Bnode.leaf_find leaf k
+
+let put_in_txn tree txn vctx k v =
+  if not vctx.writable then invalid_arg "Ops.put: read-only snapshot";
+  let path, leaf_ptr, leaf = traverse tree txn vctx k in
+  let updated = Bnode.leaf_insert leaf k v in
+  place_node tree txn vctx ~path:(List.rev path) ~ptr:leaf_ptr ~old:leaf ~updated
+
+let remove_in_txn tree txn vctx k =
+  if not vctx.writable then invalid_arg "Ops.remove: read-only snapshot";
+  let path, leaf_ptr, leaf = traverse tree txn vctx k in
+  match Bnode.leaf_remove leaf k with
+  | None -> false
+  | Some updated ->
+      place_node tree txn vctx ~path:(List.rev path) ~ptr:leaf_ptr ~old:leaf ~updated;
+      true
+
+let get tree ~vctx_of k = with_retries tree "get" (fun txn -> get_in_txn tree txn (vctx_of txn) k)
+
+let put tree ~vctx_of k v =
+  with_retries tree "put" (fun txn -> put_in_txn tree txn (vctx_of txn) k v)
+
+let remove tree ~vctx_of k =
+  with_retries tree "remove" (fun txn -> remove_in_txn tree txn (vctx_of txn) k)
+
+let scan_in_txn tree txn vctx ~from ~count =
+  if count <= 0 then []
+  else begin
+    let rec collect acc remaining cursor =
+      let _, _, leaf = traverse tree txn vctx cursor in
+      let entries = Bnode.leaf_entries_from leaf cursor in
+      let rec take acc remaining = function
+        | [] -> (acc, remaining, None)
+        | e :: tl -> if remaining = 0 then (acc, 0, Some ()) else take (e :: acc) (remaining - 1) tl
+      in
+      let acc, remaining, stopped = take acc remaining entries in
+      if remaining = 0 || stopped <> None then List.rev acc
+      else
+        match leaf.Bnode.high with
+        | Bkey.Pos_inf -> List.rev acc
+        | Bkey.Key next -> collect acc remaining next
+        | Bkey.Neg_inf -> assert false
+    in
+    collect [] count from
+  end
+
+let scan tree ~vctx_of ~from ~count =
+  if count <= 0 then []
+  else with_retries tree "scan" (fun txn -> scan_in_txn tree txn (vctx_of txn) ~from ~count)
+
+(* -------------------------------------------------------------------- *)
+(* Multi-tree transactions                                                *)
+(* -------------------------------------------------------------------- *)
+
+let run_txn tree f = with_retries tree "txn" f
+
+let first_tree = function
+  | [] -> invalid_arg "Ops.multi: empty operation list"
+  | (tree, _) :: _ -> tree
+
+let multi_get pairs ~vctx_of =
+  let tree0 = first_tree pairs in
+  with_retries tree0 "multi_get" (fun txn ->
+      List.map (fun (tree, k) -> get_in_txn tree txn (vctx_of tree txn) k) pairs)
+
+let multi_put triples ~vctx_of =
+  let tree0 = match triples with [] -> invalid_arg "Ops.multi_put: empty" | (t, _, _) :: _ -> t in
+  with_retries tree0 "multi_put" (fun txn ->
+      List.iter (fun (tree, k, v) -> put_in_txn tree txn (vctx_of tree txn) k v) triples)
+
+(* -------------------------------------------------------------------- *)
+(* Linear snapshots (Sec. 4)                                              *)
+(* -------------------------------------------------------------------- *)
+
+module Linear = struct
+  let encode_sid sid =
+    let e = Codec.Enc.create ~initial_size:8 () in
+    Codec.Enc.i64 e sid;
+    Codec.Enc.to_string e
+
+  let decode_sid s = if String.length s = 0 then 0L else Codec.Dec.i64 (Codec.Dec.of_string s)
+
+  let encode_ref r =
+    let e = Codec.Enc.create ~initial_size:16 () in
+    Objref.encode e r;
+    Codec.Enc.to_string e
+
+  let decode_ref s = Objref.decode (Codec.Dec.of_string s)
+
+  let tip_id_off tree = Layout.tip_id_off tree.layout ~tree:tree.tree_id
+
+  let tip_root_off tree = Layout.tip_root_off tree.layout ~tree:tree.tree_id
+
+  let slot_len = Layout.slot_len_small
+
+  let linear_is_ancestor a b = Int64.compare a b <= 0
+
+  (* With linear snapshots a node is copied at most once: the copy
+     always supersedes the original for every later snapshot. *)
+  let linear_plan ~snap ~created:_ ~descendants =
+    if Array.length descendants > 0 then
+      invalid_arg "Ops.Linear: node copied twice under linear snapshots";
+    { old_descendants = [| snap |]; discretionary = [] }
+
+  let read_tip tree txn =
+    let sid = decode_sid (Txn.dirty_read_replicated txn ~off:(tip_id_off tree) ~len:slot_len) in
+    let root = decode_ref (Txn.dirty_read_replicated txn ~off:(tip_root_off tree) ~len:slot_len) in
+    (sid, root)
+
+  let tip tree txn =
+    let sid = decode_sid (Txn.read_replicated txn ~off:(tip_id_off tree) ~len:slot_len) in
+    let root = decode_ref (Txn.read_replicated txn ~off:(tip_root_off tree) ~len:slot_len) in
+    {
+      snap = sid;
+      root;
+      writable = true;
+      is_ancestor = linear_is_ancestor;
+      plan_cow = (fun ~created ~descendants -> linear_plan ~snap:sid ~created ~descendants);
+      root_of = (fun _ _ -> invalid_arg "Ops.Linear: no discretionary copies");
+    }
+
+  let at_snapshot tree ~sid ~root =
+    ignore tree;
+    {
+      snap = sid;
+      root;
+      writable = false;
+      is_ancestor = linear_is_ancestor;
+      plan_cow = (fun ~created:_ ~descendants:_ -> invalid_arg "Ops.Linear: read-only snapshot");
+      root_of = (fun _ _ -> invalid_arg "Ops.Linear: read-only snapshot");
+    }
+
+  let init_tree tree =
+    let txn = Txn.begin_ ~home:tree.home tree.cluster in
+    let root_ptr = Node_alloc.alloc tree.alloc in
+    write_node tree txn root_ptr (Bnode.empty_root ~snap:0L);
+    Txn.write_replicated txn ~off:(tip_id_off tree) ~len:slot_len (encode_sid 0L);
+    Txn.write_replicated txn ~off:(tip_root_off tree) ~len:slot_len (encode_ref root_ptr);
+    match Txn.commit txn with
+    | Txn.Committed -> ()
+    | Txn.Validation_failed | Txn.Retry_exhausted ->
+        failwith "Ops.Linear.init_tree: could not initialize tree"
+
+  (* Fig. 6. The snapshot becomes real when the caller commits the
+     transaction (the SCS uses a blocking commit, Sec. 4.1). *)
+  let create_snapshot tree txn =
+    let sid = decode_sid (Txn.read_replicated txn ~off:(tip_id_off tree) ~len:slot_len) in
+    let root_loc = decode_ref (Txn.read_replicated txn ~off:(tip_root_off tree) ~len:slot_len) in
+    let new_tip = Int64.add sid 1L in
+    (* Copy the root eagerly so the new tip's root address is fixed for
+       the snapshot's entire lifetime. *)
+    let root_node = decode_node txn (Txn.read txn root_loc) in
+    let new_root_ptr = Node_alloc.alloc tree.alloc in
+    write_node tree txn new_root_ptr (Bnode.with_snap root_node new_tip);
+    (* Mark the old root as copied so stale traversals abort, and so the
+       GC can eventually collect it. *)
+    write_node tree txn root_loc (Bnode.add_descendant root_node new_tip);
+    Txn.write_replicated txn ~off:(tip_id_off tree) ~len:slot_len (encode_sid new_tip);
+    Txn.write_replicated txn ~off:(tip_root_off tree) ~len:slot_len (encode_ref new_root_ptr);
+    Sim.Metrics.incr (metrics tree) "btree.snapshots_created";
+    (sid, root_loc)
+end
+
+let read_node_txn tree txn ptr =
+  ignore tree;
+  decode_node txn (Txn.read txn ptr)
+
+let write_node_txn = write_node
+
+let alloc_node tree = Node_alloc.alloc tree.alloc
+
+(* -------------------------------------------------------------------- *)
+(* Audit                                                                  *)
+(* -------------------------------------------------------------------- *)
+
+let audit tree ~sid ~root =
+  let read_ptr (ptr : Objref.t) =
+    let _, store = Cluster.route tree.cluster (Objref.node ptr) in
+    let slot =
+      Heap.read (Memnode.store_heap store) ~off:ptr.Objref.addr.Address.off ~len:ptr.Objref.len
+    in
+    let payload = Objref.payload_of_slot slot in
+    if String.length payload = 0 then failwith "audit: dangling pointer (empty slot)"
+    else Bnode.decode payload
+  in
+  let fail fmt = Format.kasprintf failwith fmt in
+  let entries = ref [] in
+  let rec walk ptr ~exp_low ~exp_high ~exp_height =
+    let node = read_ptr ptr in
+    (match Bnode.check node with Ok () -> () | Error e -> fail "audit: %s" e);
+    if not (Bkey.fence_equal node.Bnode.low exp_low) then fail "audit: low fence mismatch";
+    if not (Bkey.fence_equal node.Bnode.high exp_high) then fail "audit: high fence mismatch";
+    (match exp_height with
+    | Some h when node.Bnode.height <> h -> fail "audit: height mismatch"
+    | _ -> ());
+    if Int64.compare node.Bnode.snap_created sid > 0 then
+      fail "audit: node from snapshot %Ld reachable at %Ld" node.Bnode.snap_created sid;
+    match node.Bnode.body with
+    | Bnode.Leaf es -> Array.iter (fun e -> entries := e :: !entries) es
+    | Bnode.Internal { children; _ } ->
+        Array.iteri
+          (fun i child ->
+            let low, high = Bnode.child_fences node i in
+            walk child ~exp_low:low ~exp_high:high ~exp_height:(Some (node.Bnode.height - 1)))
+          children
+  in
+  walk root ~exp_low:Bkey.Neg_inf ~exp_high:Bkey.Pos_inf ~exp_height:None;
+  let sorted = List.rev !entries in
+  let rec check_sorted = function
+    | a :: (b :: _ as tl) ->
+        if Bkey.compare (fst a) (fst b) >= 0 then failwith "audit: entries not strictly sorted";
+        check_sorted tl
+    | _ -> ()
+  in
+  check_sorted sorted;
+  sorted

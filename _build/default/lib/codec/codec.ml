@@ -1,0 +1,180 @@
+exception Decode_error of string
+
+let decode_error fmt = Format.kasprintf (fun s -> raise (Decode_error s)) fmt
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create ?(initial_size = 256) () = Buffer.create initial_size
+
+  let to_string = Buffer.contents
+
+  let length = Buffer.length
+
+  let u8 t v =
+    if v < 0 || v > 0xff then invalid_arg "Codec.Enc.u8: out of range";
+    Buffer.add_char t (Char.chr v)
+
+  let u16 t v =
+    if v < 0 || v > 0xffff then invalid_arg "Codec.Enc.u16: out of range";
+    Buffer.add_uint16_le t v
+
+  let u32 t v =
+    if v < 0 || v > 0xffff_ffff then invalid_arg "Codec.Enc.u32: out of range";
+    Buffer.add_int32_le t (Int32.of_int v)
+
+  let i64 t v = Buffer.add_int64_le t v
+
+  let int_as_i64 t v = i64 t (Int64.of_int v)
+
+  let rec varint t v =
+    if v < 0 then invalid_arg "Codec.Enc.varint: negative"
+    else if v < 0x80 then Buffer.add_char t (Char.chr v)
+    else begin
+      Buffer.add_char t (Char.chr (0x80 lor (v land 0x7f)));
+      varint t (v lsr 7)
+    end
+
+  let bool t v = u8 t (if v then 1 else 0)
+
+  let float t v = i64 t (Int64.bits_of_float v)
+
+  let raw t s = Buffer.add_string t s
+
+  let bytes t s =
+    varint t (String.length s);
+    raw t s
+
+  let list t write items =
+    varint t (List.length items);
+    List.iter write items
+
+  let array t write items =
+    varint t (Array.length items);
+    Array.iter write items
+
+  let option t write = function
+    | None -> bool t false
+    | Some v ->
+        bool t true;
+        write v
+end
+
+module Dec = struct
+  type t = { src : string; mutable pos : int }
+
+  let of_string ?(pos = 0) src = { src; pos }
+
+  let pos t = t.pos
+
+  let remaining t = String.length t.src - t.pos
+
+  let at_end t = remaining t = 0
+
+  let need t n =
+    if remaining t < n then
+      decode_error "Codec.Dec: need %d bytes at offset %d, only %d left" n t.pos (remaining t)
+
+  let u8 t =
+    need t 1;
+    let v = Char.code t.src.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    need t 2;
+    let v = String.get_uint16_le t.src t.pos in
+    t.pos <- t.pos + 2;
+    v
+
+  let u32 t =
+    need t 4;
+    let v = Int32.to_int (String.get_int32_le t.src t.pos) land 0xffff_ffff in
+    t.pos <- t.pos + 4;
+    v
+
+  let i64 t =
+    need t 8;
+    let v = String.get_int64_le t.src t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let int_as_i64 t = Int64.to_int (i64 t)
+
+  let varint t =
+    let rec go shift acc =
+      if shift > 62 then decode_error "Codec.Dec.varint: too long";
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let bool t =
+    match u8 t with
+    | 0 -> false
+    | 1 -> true
+    | b -> decode_error "Codec.Dec.bool: invalid byte %d" b
+
+  let float t = Int64.float_of_bits (i64 t)
+
+  let raw t n =
+    if n < 0 then decode_error "Codec.Dec.raw: negative length";
+    need t n;
+    let s = String.sub t.src t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let bytes t =
+    let n = varint t in
+    raw t n
+
+  let list t read =
+    let n = varint t in
+    List.init n (fun _ -> read t)
+
+  let array t read =
+    let n = varint t in
+    Array.init n (fun _ -> read t)
+
+  let option t read = if bool t then Some (read t) else None
+end
+
+(* CRC-32, IEEE 802.3 reflected polynomial 0xEDB88320. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xffl) in
+      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
+    s;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let with_checksum payload =
+  let e = Enc.create ~initial_size:(String.length payload + 8) () in
+  Enc.raw e payload;
+  Enc.u32 e (Int32.to_int (crc32 payload) land 0xffff_ffff);
+  Enc.to_string e
+
+let check_checksum framed =
+  let n = String.length framed in
+  if n < 4 then decode_error "Codec.check_checksum: too short";
+  let payload = String.sub framed 0 (n - 4) in
+  let d = Dec.of_string ~pos:(n - 4) framed in
+  let stored = Dec.u32 d in
+  let computed = Int32.to_int (crc32 payload) land 0xffff_ffff in
+  if stored <> computed then
+    decode_error "Codec.check_checksum: mismatch (stored %#x, computed %#x)" stored computed;
+  payload

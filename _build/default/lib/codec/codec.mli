@@ -1,0 +1,77 @@
+(** Binary serialization used to marshal B-tree nodes and metadata into
+    Sinfonia's byte-addressable storage.
+
+    Encoders append to an internal buffer; decoders consume a string and
+    fail with {!Decode_error} on malformed input. All multi-byte integers
+    are little-endian. *)
+
+exception Decode_error of string
+
+(** Append-only encoder. *)
+module Enc : sig
+  type t
+
+  val create : ?initial_size:int -> unit -> t
+  val to_string : t -> string
+  val length : t -> int
+
+  val u8 : t -> int -> unit
+  (** Raises [Invalid_argument] unless in [\[0, 255\]]. *)
+
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  (** Raises [Invalid_argument] unless in [\[0, 2^32)]. *)
+
+  val i64 : t -> int64 -> unit
+  val int_as_i64 : t -> int -> unit
+  val varint : t -> int -> unit
+  (** LEB128 for non-negative ints. *)
+
+  val bool : t -> bool -> unit
+  val float : t -> float -> unit
+  val bytes : t -> string -> unit
+  (** Varint length prefix + raw bytes. *)
+
+  val raw : t -> string -> unit
+  (** Raw bytes, no length prefix. *)
+
+  val list : t -> ('a -> unit) -> 'a list -> unit
+  (** Varint count prefix, then each element with the given writer. *)
+
+  val array : t -> ('a -> unit) -> 'a array -> unit
+  val option : t -> ('a -> unit) -> 'a option -> unit
+end
+
+(** Sequential decoder over a string. *)
+module Dec : sig
+  type t
+
+  val of_string : ?pos:int -> string -> t
+  val pos : t -> int
+  val remaining : t -> int
+  val at_end : t -> bool
+
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val i64 : t -> int64
+  val int_as_i64 : t -> int
+  val varint : t -> int
+  val bool : t -> bool
+  val float : t -> float
+  val bytes : t -> string
+  val raw : t -> int -> string
+  val list : t -> (t -> 'a) -> 'a list
+  val array : t -> (t -> 'a) -> 'a array
+  val option : t -> (t -> 'a) -> 'a option
+end
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE 802.3 polynomial) of the whole string. *)
+
+val with_checksum : string -> string
+(** Append a CRC-32 trailer to a payload. *)
+
+val check_checksum : string -> string
+(** Verify and strip the CRC-32 trailer; raises {!Decode_error} on
+    mismatch or truncation. *)

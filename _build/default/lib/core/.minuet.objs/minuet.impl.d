@@ -1,0 +1,1 @@
+lib/core/minuet.ml: Btree Config Db Dyntxn Harness Mvcc Session Sim Sinfonia

@@ -1,0 +1,1 @@
+lib/core/db.ml: Array Btree Config Dyntxn Format List Mvcc Sim Sinfonia

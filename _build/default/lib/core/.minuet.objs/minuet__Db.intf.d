@@ -1,0 +1,1 @@
+lib/core/db.mli: Btree Config Dyntxn Format Mvcc Sim Sinfonia

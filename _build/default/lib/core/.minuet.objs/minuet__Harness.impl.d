@@ -1,0 +1,1 @@
+lib/core/harness.ml: Db Sim

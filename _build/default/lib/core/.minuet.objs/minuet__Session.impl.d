@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Btree Config Db Dyntxn List Mvcc

@@ -1,0 +1,1 @@
+lib/core/session.mli: Btree Db Dyntxn Mvcc

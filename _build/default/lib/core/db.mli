@@ -1,0 +1,52 @@
+(** A running Minuet deployment: a Sinfonia cluster with initialized
+    B-tree indexes, a snapshot creation service per index, and shared
+    allocator state. Create sessions with {!Session.attach} to operate
+    on it. *)
+
+type t
+
+val start : ?config:Config.t -> unit -> t
+(** Boot the cluster and initialize every index. Must run inside a
+    simulation ({!Harness.run} does both). *)
+
+val config : t -> Config.t
+
+val cluster : t -> Sinfonia.Cluster.t
+
+val shared_alloc : t -> Btree.Node_alloc.Shared.t
+
+val scs : t -> index:int -> Mvcc.Scs.t
+(** The snapshot creation service for one index (linear mode only). *)
+
+val metrics : t -> Sim.Metrics.t
+
+val n_trees : t -> int
+
+val pp_stats : Format.formatter -> t -> unit
+(** Human-readable runtime report: per-memnode CPU utilization and
+    storage high-water marks, plus all protocol metrics (commit/abort
+    counters, retries, copies, GC work). *)
+
+val enable_gc : ?interval:float -> keep:int -> t -> unit
+(** Start background garbage collection for every index (Sec. 4.4):
+    every [interval] simulated seconds (default 5) the watermark is
+    advanced so that the [keep] most recent snapshots stay queryable,
+    and superseded node versions are swept back to the allocator.
+    Linear-snapshot mode only. *)
+
+val crash_host : t -> int -> unit
+(** Crash a memnode; operations fail over to its backup replica. *)
+
+val recover_host : t -> int -> unit
+
+(**/**)
+
+val make_tree_handle :
+  config:Config.t ->
+  cluster:Sinfonia.Cluster.t ->
+  shared_alloc:Btree.Node_alloc.Shared.t ->
+  cache:Dyntxn.Objcache.t ->
+  home:int ->
+  tree_id:int ->
+  Btree.Ops.tree
+(** Internal (used by {!Session}). *)

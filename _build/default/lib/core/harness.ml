@@ -1,0 +1,8 @@
+let run ?seed ?until ?config f =
+  let result = ref None in
+  Sim.run ?seed ?until (fun () ->
+      let db = Db.start ?config () in
+      result := Some (f db));
+  match !result with
+  | Some v -> v
+  | None -> failwith "Minuet.Harness.run: main process did not complete"

@@ -1,0 +1,14 @@
+(** One-call entry point: run a simulation with a freshly started
+    database.
+
+    {[
+      Minuet.Harness.run (fun db ->
+          let s = Minuet.Session.attach db in
+          Minuet.Session.put s "key" "value";
+          Minuet.Session.get s "key")
+    ]} *)
+
+val run : ?seed:int -> ?until:float -> ?config:Config.t -> (Db.t -> 'a) -> 'a
+(** Start a simulation ({!Sim.run}), boot a database, and run [f].
+    Returns [f]'s result once the simulation drains (or hits [until]).
+    Raises [Failure] if [f] did not complete by then. *)

@@ -1,0 +1,28 @@
+(** Minuet: a scalable distributed multiversion B-tree (VLDB 2012).
+
+    This is the library's public face:
+    - {!Harness} boots a simulated cluster and runs your code;
+    - {!Db} is a running deployment, {!Session} a proxy-side handle
+      with transactional [get]/[put]/[remove]/[scan], multi-index
+      transactions, read-only snapshots for in-situ analytics, and
+      writable clones (branching versions);
+    - {!Config} selects the concurrency-control mode, node geometry and
+      cost model.
+
+    The substrate layers are re-exported for advanced use: [Sinfonia]
+    (minitransactions), [Dyntxn] (dynamic transactions with dirty
+    reads), [Btree] (the multiversion B-tree itself) and [Mvcc]
+    (snapshot creation service, GC, branching). *)
+
+module Config = Config
+module Db = Db
+module Session = Session
+module Harness = Harness
+
+(** {1 Substrate re-exports} *)
+
+module Sinfonia = Sinfonia
+module Dyntxn = Dyntxn
+module Btree = Btree
+module Mvcc = Mvcc
+module Sim = Sim

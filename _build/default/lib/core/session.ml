@@ -1,0 +1,104 @@
+module Ops = Btree.Ops
+module Txn = Dyntxn.Txn
+
+type t = {
+  db : Db.t;
+  home : int;
+  trees : Ops.tree array;
+  branchings : Mvcc.Branching.t array;
+}
+
+let attach ?(home = 0) db =
+  let config = Db.config db in
+  if home < 0 || home >= config.Config.hosts then invalid_arg "Session.attach: home out of range";
+  let cache = Dyntxn.Objcache.create ~capacity:config.Config.cache_capacity () in
+  let trees =
+    Array.init config.Config.n_trees (fun tree_id ->
+        Db.make_tree_handle ~config ~cluster:(Db.cluster db) ~shared_alloc:(Db.shared_alloc db)
+          ~cache ~home ~tree_id)
+  in
+  let branchings =
+    if config.Config.branching then
+      Array.map (fun tree -> Mvcc.Branching.attach ~tree ~beta:config.Config.beta) trees
+    else [||]
+  in
+  { db; home; trees; branchings }
+
+let db t = t.db
+
+let home t = t.home
+
+let tree t ~index = t.trees.(index)
+
+let check_linear t =
+  if (Db.config t.db).Config.branching then
+    invalid_arg "Session: linear-snapshot operation on a branching database"
+
+let vctx_of t index txn = Ops.Linear.tip t.trees.(index) txn
+
+let get ?(index = 0) t k =
+  check_linear t;
+  Ops.get t.trees.(index) ~vctx_of:(vctx_of t index) k
+
+let put ?(index = 0) t k v =
+  check_linear t;
+  Ops.put t.trees.(index) ~vctx_of:(vctx_of t index) k v
+
+let remove ?(index = 0) t k =
+  check_linear t;
+  Ops.remove t.trees.(index) ~vctx_of:(vctx_of t index) k
+
+let scan ?(index = 0) t ~from ~count =
+  check_linear t;
+  Ops.scan t.trees.(index) ~vctx_of:(vctx_of t index) ~from ~count
+
+let multi_get t pairs =
+  check_linear t;
+  Ops.multi_get
+    (List.map (fun (index, k) -> (t.trees.(index), k)) pairs)
+    ~vctx_of:(fun tree txn -> Ops.Linear.tip tree txn)
+
+let multi_put t triples =
+  check_linear t;
+  Ops.multi_put
+    (List.map (fun (index, k, v) -> (t.trees.(index), k, v)) triples)
+    ~vctx_of:(fun tree txn -> Ops.Linear.tip tree txn)
+
+type txn = { session : t; raw : Txn.t }
+
+let with_txn t f =
+  check_linear t;
+  Ops.run_txn t.trees.(0) (fun raw -> f { session = t; raw })
+
+let t_vctx txn index = Ops.Linear.tip txn.session.trees.(index) txn.raw
+
+let t_get ?(index = 0) txn k =
+  Ops.get_in_txn txn.session.trees.(index) txn.raw (t_vctx txn index) k
+
+let t_put ?(index = 0) txn k v =
+  Ops.put_in_txn txn.session.trees.(index) txn.raw (t_vctx txn index) k v
+
+let t_remove ?(index = 0) txn k =
+  Ops.remove_in_txn txn.session.trees.(index) txn.raw (t_vctx txn index) k
+
+let t_scan ?(index = 0) txn ~from ~count =
+  Ops.scan_in_txn txn.session.trees.(index) txn.raw (t_vctx txn index) ~from ~count
+
+type snapshot = { index : int; sid : int64; root : Dyntxn.Objref.t }
+
+let snapshot ?(index = 0) t =
+  check_linear t;
+  let sid, root = Mvcc.Scs.request (Db.scs t.db ~index) in
+  { index; sid; root }
+
+let snap_vctx t snap _txn = Ops.Linear.at_snapshot t.trees.(snap.index) ~sid:snap.sid ~root:snap.root
+
+let get_at t snap k = Ops.get t.trees.(snap.index) ~vctx_of:(snap_vctx t snap) k
+
+let scan_at t snap ~from ~count =
+  Ops.scan t.trees.(snap.index) ~vctx_of:(snap_vctx t snap) ~from ~count
+
+let branching ?(index = 0) t =
+  if not (Db.config t.db).Config.branching then
+    invalid_arg "Session.branching: database not started in branching mode";
+  t.branchings.(index)

@@ -1,0 +1,83 @@
+(** A proxy-side session: the handle applications use to run
+    transactional B-tree operations against a {!Db.t}.
+
+    Each session models one proxy (Sec. 2): it has its own incoherent
+    object cache and allocator chunks, and routes its Sinfonia traffic
+    through a home memnode (typically the proxy's own host). Sessions
+    are cheap; benchmarks attach one per simulated host. *)
+
+type t
+
+val attach : ?home:int -> Db.t -> t
+(** [home] defaults to 0; benchmarks attach one session per host with
+    [home = host]. *)
+
+val db : t -> Db.t
+
+val home : t -> int
+
+val tree : t -> index:int -> Btree.Ops.tree
+(** The underlying per-session tree handle (escape hatch for benches
+    and tests). *)
+
+(** {1 Up-to-date operations (strictly serializable)} *)
+
+val get : ?index:int -> t -> string -> string option
+
+val put : ?index:int -> t -> string -> string -> unit
+
+val remove : ?index:int -> t -> string -> bool
+
+val scan : ?index:int -> t -> from:string -> count:int -> (string * string) list
+(** Scan against the writable tip; aborts easily under concurrent
+    updates — prefer {!scan_at} a snapshot (Sec. 6.3). *)
+
+(** {1 General transactions}
+
+    Arbitrary multi-operation, multi-index, strictly serializable
+    transactions — the dynamic-transaction layer exposed directly.
+    Reads and writes inside the function see each other; the whole
+    body commits atomically (and is re-executed from scratch on
+    conflicts, so it must be idempotent apart from its [txn]
+    operations). *)
+
+type txn
+
+val with_txn : t -> (txn -> 'a) -> 'a
+(** Run the body in a retrying dynamic transaction. *)
+
+val t_get : ?index:int -> txn -> string -> string option
+
+val t_put : ?index:int -> txn -> string -> string -> unit
+
+val t_remove : ?index:int -> txn -> string -> bool
+
+val t_scan : ?index:int -> txn -> from:string -> count:int -> (string * string) list
+
+(** {1 Multi-index transactions (Sec. 6.2)} *)
+
+val multi_get : t -> (int * string) list -> string option list
+(** [(index, key)] pairs, read atomically across indexes. *)
+
+val multi_put : t -> (int * string * string) list -> unit
+
+(** {1 Snapshots (linear mode)} *)
+
+type snapshot = { index : int; sid : int64; root : Dyntxn.Objref.t }
+
+val snapshot : ?index:int -> t -> snapshot
+(** Obtain a read-only snapshot from the snapshot creation service
+    (created or borrowed per Fig. 7; possibly up to [k] seconds stale
+    when the service has a staleness bound). *)
+
+val get_at : t -> snapshot -> string -> string option
+
+val scan_at : t -> snapshot -> from:string -> count:int -> (string * string) list
+(** Strictly serializable when the snapshot came from an SCS with
+    [k = 0]; never blocks updates and never aborts due to them. *)
+
+(** {1 Writable clones (branching mode)} *)
+
+val branching : ?index:int -> t -> Mvcc.Branching.t
+(** Branch-aware operations for a database started with
+    [config.branching = true]. Raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,1 @@
+lib/dyntxn/dyntxn.ml: Objcache Objref Txn

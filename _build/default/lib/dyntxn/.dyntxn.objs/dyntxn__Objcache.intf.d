@@ -1,0 +1,1 @@
+lib/dyntxn/objcache.mli: Objref

@@ -1,0 +1,1 @@
+lib/dyntxn/objref.ml: Bytes Codec Format Int Int32 Sinfonia String

@@ -1,0 +1,1 @@
+lib/dyntxn/objref.mli: Codec Format Sinfonia

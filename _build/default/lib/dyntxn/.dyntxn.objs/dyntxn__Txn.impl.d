@@ -1,0 +1,1 @@
+lib/dyntxn/txn.ml: Address Array Bytes Cluster Coordinator Hashtbl List Mtx Objcache Objref Sim Sinfonia String

@@ -1,0 +1,1 @@
+lib/dyntxn/txn.mli: Objcache Objref Sinfonia

@@ -1,0 +1,87 @@
+type entry = { seq : int64; payload : string }
+
+(* LRU: hashtable keyed by address paired with an intrusive
+   doubly-linked recency list. *)
+type lru_node = {
+  key : Objref.t;
+  mutable value : entry;
+  mutable prev : lru_node option;
+  mutable next : lru_node option;
+}
+
+type t = {
+  table : (Objref.t, lru_node) Hashtbl.t;
+  capacity : int;
+  mutable head : lru_node option; (* most recently used *)
+  mutable tail : lru_node option; (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Objcache.create: capacity must be positive";
+  { table = Hashtbl.create 1024; capacity; head = None; tail = None; hits = 0; misses = 0 }
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some node ->
+      t.hits <- t.hits + 1;
+      unlink t node;
+      push_front t node;
+      Some node.value
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key
+
+let insert t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      node.value <- value;
+      unlink t node;
+      push_front t node
+  | None ->
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      let node = { key; value; prev = None; next = None } in
+      Hashtbl.add t.table key node;
+      push_front t node
+
+let invalidate t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table key
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let size t = Hashtbl.length t.table
+
+let hits t = t.hits
+
+let misses t = t.misses

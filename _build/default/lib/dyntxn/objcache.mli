@@ -1,0 +1,30 @@
+(** Per-proxy object cache.
+
+    The cache is deliberately {e incoherent}: it is never invalidated by
+    remote writes (Sec. 2.3). Stale entries are detected later by OCC
+    validation or by the fence-key / copied-to safety checks of dirty
+    traversals, which then evict them. LRU eviction bounds memory. *)
+
+type t
+
+type entry = { seq : int64; payload : string }
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is the maximum number of cached objects (default 65536). *)
+
+val find : t -> Objref.t -> entry option
+(** Refreshes LRU position on hit. *)
+
+val insert : t -> Objref.t -> entry -> unit
+(** Insert or overwrite; may evict the least-recently-used entry. *)
+
+val invalidate : t -> Objref.t -> unit
+
+val clear : t -> unit
+
+val size : t -> int
+
+val hits : t -> int
+
+val misses : t -> int
+(** {!find} misses (for reporting cache effectiveness). *)

@@ -1,0 +1,446 @@
+open Sinfonia
+
+exception Aborted of string
+
+type read_entry = {
+  ref_ : Objref.t;
+  seq : int64;
+  payload : string;
+  mutable validated : bool;
+      (* Covered by the most recent piggy-backed validation. Used only to
+         decide whether a read-only commit needs a validation round. *)
+}
+
+type repl_read = { rr_len : int; rr_seq : int64; rr_payload : string }
+
+type t = {
+  cluster : Cluster.t;
+  cache : Objcache.t option;
+  home : int;
+  reads : (Objref.t, read_entry) Hashtbl.t;
+  writes : (Objref.t, string * int option) Hashtbl.t; (* payload, echo offset *)
+  dirty_seen : (Objref.t, int64 * string) Hashtbl.t;
+  repl_reads : (int, repl_read) Hashtbl.t; (* keyed by offset *)
+  repl_writes : (int, int * string) Hashtbl.t; (* offset -> slot len, payload *)
+  repl_validates : (int, int64) Hashtbl.t; (* offset -> expected seq, no fetch *)
+  dirty_repl_seen : (int, int) Hashtbl.t; (* offset -> len, for cache eviction *)
+  mutable aborted : bool;
+  mutable fetches : int;
+  (* True when the read set as a whole was atomically validated by the
+     most recent fetch; lets read-only transactions commit locally. *)
+  mutable fully_validated : bool;
+}
+
+let begin_ ?cache ?(home = 0) cluster =
+  if home < 0 || home >= Cluster.n_memnodes cluster then
+    invalid_arg "Txn.begin_: home memnode out of range";
+  {
+    cluster;
+    cache;
+    home;
+    reads = Hashtbl.create 8;
+    writes = Hashtbl.create 8;
+    dirty_seen = Hashtbl.create 16;
+    repl_reads = Hashtbl.create 4;
+    repl_writes = Hashtbl.create 4;
+    repl_validates = Hashtbl.create 4;
+    dirty_repl_seen = Hashtbl.create 4;
+    aborted = false;
+    fetches = 0;
+    fully_validated = true;
+  }
+
+let cluster t = t.cluster
+
+let is_aborted t = t.aborted
+
+let abort t =
+  t.aborted <- true;
+  raise (Aborted "explicit abort")
+
+let fail t msg =
+  t.aborted <- true;
+  raise (Aborted msg)
+
+let check_live t = if t.aborted then raise (Aborted "transaction already aborted")
+
+let seq_bytes seq =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 seq;
+  Bytes.to_string b
+
+let seq_compare_at addr seq = Mtx.compare_at addr (seq_bytes seq)
+
+let repl_addr t off = Address.make ~node:t.home ~off
+
+let cache_key_of_repl t off len =
+  Objref.make ~addr:(repl_addr t off) ~len
+
+(* Compare items that re-validate the current read set, restricted to
+   what can be checked at memnode [node]: regular entries stored there
+   plus replicated entries (present on every memnode). Returns the
+   compares, the entries they cover, and whether they cover the whole
+   read set. *)
+let piggyback_compares t ~node =
+  let compares = ref [] in
+  let covered = ref [] in
+  let all_covered = ref true in
+  Hashtbl.iter
+    (fun _ entry ->
+      if Objref.node entry.ref_ = node then begin
+        compares := seq_compare_at entry.ref_.Objref.addr entry.seq :: !compares;
+        covered := `Read entry :: !covered
+      end
+      else all_covered := false)
+    t.reads;
+  Hashtbl.iter
+    (fun off rr ->
+      compares := seq_compare_at (Address.make ~node ~off) rr.rr_seq :: !compares)
+    t.repl_reads;
+  Hashtbl.iter
+    (fun off seq ->
+      if not (Hashtbl.mem t.repl_reads off) then
+        compares := seq_compare_at (Address.make ~node ~off) seq :: !compares)
+    t.repl_validates;
+  (!compares, !covered, !all_covered)
+
+(* One-object fetch minitransaction, optionally piggy-backing read-set
+   validation (Sec. 2.2). Raises [Aborted] when a piggy-backed
+   comparison fails: the read set is stale and the transaction cannot
+   commit. *)
+let fetch_slot t ~validate (addr : Address.t) ~len =
+  check_live t;
+  let node = addr.Address.node in
+  let compares, covered, all_covered =
+    if validate then piggyback_compares t ~node else ([], [], false)
+  in
+  let mtx = Mtx.make ~compares ~reads:[ Mtx.read_at addr len ] () in
+  t.fetches <- t.fetches + 1;
+  match Coordinator.exec t.cluster mtx with
+  | Mtx.Committed [ (_, slot) ] ->
+      if validate then begin
+        List.iter (fun (`Read entry) -> entry.validated <- true) covered;
+        t.fully_validated <- all_covered
+      end;
+      (Objref.seq_of_slot slot, Objref.payload_of_slot slot)
+  | Mtx.Committed _ -> assert false
+  | Mtx.Failed_compare _ ->
+      (* Some read-set entry changed under us. Evict what we can from
+         the cache and abort. *)
+      (match t.cache with
+      | None -> ()
+      | Some cache -> Hashtbl.iter (fun ref_ _ -> Objcache.invalidate cache ref_) t.reads);
+      fail t "piggy-backed validation failed"
+  | Mtx.Busy -> fail t "retry budget exhausted during fetch"
+  | Mtx.Unavailable -> fail t "memnode unavailable"
+
+let in_write_set t ref_ = Hashtbl.mem t.writes ref_
+
+let read_with_seq t (ref_ : Objref.t) =
+  check_live t;
+  match Hashtbl.find_opt t.writes ref_ with
+  | Some (payload, _) ->
+      let seq = match Hashtbl.find_opt t.reads ref_ with Some e -> e.seq | None -> 0L in
+      (seq, payload)
+  | None -> (
+      match Hashtbl.find_opt t.reads ref_ with
+      | Some entry -> (entry.seq, entry.payload)
+      | None ->
+          let seq, payload = fetch_slot t ~validate:true ref_.Objref.addr ~len:ref_.Objref.len in
+          Hashtbl.replace t.reads ref_ { ref_; seq; payload; validated = true };
+          (seq, payload))
+
+let read t ref_ = snd (read_with_seq t ref_)
+
+let dirty_read_with_seq ?(use_cache = true) t (ref_ : Objref.t) =
+  check_live t;
+  match Hashtbl.find_opt t.writes ref_ with
+  | Some (payload, _) ->
+      (* Reading our own buffered write; report the sequence number the
+         object was first observed at (0 for blind writes). *)
+      let seq =
+        match Hashtbl.find_opt t.reads ref_ with Some e -> e.seq | None -> 0L
+      in
+      (seq, payload)
+  | None -> (
+      match Hashtbl.find_opt t.reads ref_ with
+      | Some entry -> (entry.seq, entry.payload)
+      | None -> (
+          match Hashtbl.find_opt t.dirty_seen ref_ with
+          | Some (seq, payload) -> (seq, payload)
+          | None -> (
+              let cached =
+                if use_cache then
+                  match t.cache with None -> None | Some cache -> Objcache.find cache ref_
+                else None
+              in
+              match cached with
+              | Some { Objcache.seq; payload } ->
+                  Hashtbl.replace t.dirty_seen ref_ (seq, payload);
+                  (seq, payload)
+              | None ->
+                  let seq, payload =
+                    fetch_slot t ~validate:false ref_.Objref.addr ~len:ref_.Objref.len
+                  in
+                  Hashtbl.replace t.dirty_seen ref_ (seq, payload);
+                  (match t.cache with
+                  | None -> ()
+                  | Some cache ->
+                      if use_cache then Objcache.insert cache ref_ { Objcache.seq; payload });
+                  (seq, payload))))
+
+let dirty_read ?use_cache t ref_ = snd (dirty_read_with_seq ?use_cache t ref_)
+
+let write_gen t (ref_ : Objref.t) payload ~echo =
+  check_live t;
+  if String.length payload > Objref.payload_capacity ref_ then
+    invalid_arg "Txn.write: payload exceeds slot capacity";
+  (* An object that was dirty-read and is now written must join the read
+     set (with the sequence number it was dirty-read at) so that commit
+     validates it (Sec. 3). *)
+  if not (Hashtbl.mem t.reads ref_) then begin
+    match Hashtbl.find_opt t.dirty_seen ref_ with
+    | Some (seq, seen_payload) ->
+        Hashtbl.replace t.reads ref_ { ref_; seq; payload = seen_payload; validated = false };
+        t.fully_validated <- false
+    | None -> ()
+  end;
+  (* A plain rewrite keeps any echo offset recorded earlier. *)
+  let echo =
+    match echo with
+    | Some _ -> echo
+    | None -> (
+        match Hashtbl.find_opt t.writes ref_ with Some (_, e) -> e | None -> None)
+  in
+  Hashtbl.replace t.writes ref_ (payload, echo)
+
+let write t ref_ payload = write_gen t ref_ payload ~echo:None
+
+let write_linked t ref_ payload ~repl_off = write_gen t ref_ payload ~echo:(Some repl_off)
+
+let validate_replicated t ~off ~seq =
+  check_live t;
+  if not (Hashtbl.mem t.repl_validates off) then begin
+    Hashtbl.replace t.repl_validates off seq;
+    t.fully_validated <- false
+  end
+
+let read_replicated t ~off ~len =
+  check_live t;
+  match Hashtbl.find_opt t.repl_writes off with
+  | Some (_, payload) -> payload
+  | None -> (
+      match Hashtbl.find_opt t.repl_reads off with
+      | Some rr -> rr.rr_payload
+      | None -> (
+          let cached =
+            match t.cache with
+            | None -> None
+            | Some cache -> Objcache.find cache (cache_key_of_repl t off len)
+          in
+          match cached with
+          | Some { Objcache.seq; payload } ->
+              Hashtbl.replace t.repl_reads off { rr_len = len; rr_seq = seq; rr_payload = payload };
+              (* Served from the (incoherent) cache: the read set is no
+                 longer known-consistent until the next validating fetch
+                 or commit. *)
+              t.fully_validated <- false;
+              payload
+          | None ->
+              let seq, payload = fetch_slot t ~validate:true (repl_addr t off) ~len in
+              Hashtbl.replace t.repl_reads off { rr_len = len; rr_seq = seq; rr_payload = payload };
+              (match t.cache with
+              | None -> ()
+              | Some cache ->
+                  Objcache.insert cache (cache_key_of_repl t off len) { Objcache.seq; payload });
+              payload))
+
+let dirty_read_replicated ?(use_cache = true) t ~off ~len =
+  check_live t;
+  Hashtbl.replace t.dirty_repl_seen off len;
+  let cached =
+    if use_cache then
+      match t.cache with
+      | None -> None
+      | Some cache -> Objcache.find cache (cache_key_of_repl t off len)
+    else None
+  in
+  match cached with
+  | Some { Objcache.payload; _ } -> payload
+  | None ->
+      let seq, payload = fetch_slot t ~validate:false (repl_addr t off) ~len in
+      (match t.cache with
+      | None -> ()
+      | Some cache ->
+          if use_cache then
+            Objcache.insert cache (cache_key_of_repl t off len) { Objcache.seq; payload });
+      payload
+
+let write_replicated t ~off ~len payload =
+  check_live t;
+  if String.length payload > len - Objref.header_size then
+    invalid_arg "Txn.write_replicated: payload exceeds slot capacity";
+  Hashtbl.replace t.repl_writes off (len, payload)
+
+let evict_dirty t =
+  match t.cache with
+  | None -> ()
+  | Some cache ->
+      Hashtbl.iter (fun ref_ _ -> Objcache.invalidate cache ref_) t.dirty_seen;
+      (* Replicated reads may also have come from the cache. *)
+      Hashtbl.iter
+        (fun off rr -> Objcache.invalidate cache (cache_key_of_repl t off rr.rr_len))
+        t.repl_reads;
+      Hashtbl.iter
+        (fun off len -> Objcache.invalidate cache (cache_key_of_repl t off len))
+        t.dirty_repl_seen
+
+type commit_result = Committed | Validation_failed | Retry_exhausted
+
+let read_set_size t = Hashtbl.length t.reads + Hashtbl.length t.repl_reads
+
+let write_set_size t = Hashtbl.length t.writes + Hashtbl.length t.repl_writes
+
+let fetches t = t.fetches
+
+(* Post-commit: refresh the proxy cache for objects we just wrote, but
+   only those the cache already knew about (internal B-tree nodes);
+   leaves stay uncached, matching the paper's design. *)
+let refresh_cache t written =
+  match t.cache with
+  | None -> ()
+  | Some cache ->
+      List.iter
+        (fun (ref_, seq, payload, _echo) ->
+          let known =
+            Hashtbl.mem t.dirty_seen ref_
+            || (match Objcache.find cache ref_ with Some _ -> true | None -> false)
+          in
+          if known then Objcache.insert cache ref_ { Objcache.seq; payload })
+        written
+
+let commit ?(blocking = false) t =
+  check_live t;
+  t.aborted <- true;
+  (* mark consumed: a transaction commits at most once *)
+  let no_writes = Hashtbl.length t.writes = 0 && Hashtbl.length t.repl_writes = 0 in
+  if no_writes && t.fully_validated then begin
+    Sim.Metrics.incr (Cluster.metrics t.cluster) "txn.free_commits";
+    Committed
+  end
+  else begin
+    let n = Cluster.n_memnodes t.cluster in
+    (* Fresh sequence numbers for every written object. Uniqueness (not
+       contiguity) is what validation relies on; the cluster-wide counter
+       also keeps them monotonically increasing over time. *)
+    let written =
+      Hashtbl.fold
+        (fun ref_ (payload, echo) acc -> (ref_, Cluster.fresh_owner t.cluster, payload, echo) :: acc)
+        t.writes []
+    in
+    let write_items =
+      List.concat_map
+        (fun ((ref_ : Objref.t), seq, payload, echo) ->
+          let obj = Mtx.write_at ref_.Objref.addr (Objref.slot_of ~seq ~payload) in
+          match echo with
+          | None -> [ obj ]
+          | Some off ->
+              (* Republish the fresh sequence number to the replicated
+                 slot at [off] on every memnode (baseline seqnum table). *)
+              let slot = Objref.slot_of ~seq ~payload:"" in
+              obj :: List.init n (fun node -> Mtx.write_at (Address.make ~node ~off) slot))
+        written
+    in
+    let repl_written =
+      Hashtbl.fold
+        (fun off (len, payload) acc -> (off, len, Cluster.fresh_owner t.cluster, payload) :: acc)
+        t.repl_writes []
+    in
+    let repl_write_items =
+      List.concat_map
+        (fun (off, _len, seq, payload) ->
+          let slot = Objref.slot_of ~seq ~payload in
+          List.init n (fun node -> Mtx.write_at (Address.make ~node ~off) slot))
+        repl_written
+    in
+    (* Regular read-set validation: compare each object's sequence
+       number where it lives. *)
+    let read_entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.reads [] in
+    let read_compares =
+      List.map (fun e -> (seq_compare_at e.ref_.Objref.addr e.seq, `Obj e.ref_)) read_entries
+    in
+    (* Replicated reads validate at one replica. Prefer a memnode that
+       already participates so single-memnode commits stay one-phase. *)
+    let preferred_node =
+      match write_items with
+      | w :: _ -> w.Mtx.w_addr.Address.node
+      | [] -> (
+          match read_entries with e :: _ -> Objref.node e.ref_ | [] -> t.home)
+    in
+    let repl_compares =
+      Hashtbl.fold
+        (fun off rr acc ->
+          ( seq_compare_at (Address.make ~node:preferred_node ~off) rr.rr_seq,
+            `Repl (off, rr.rr_len) )
+          :: acc)
+        t.repl_reads []
+    in
+    let repl_validate_compares =
+      Hashtbl.fold
+        (fun off seq acc ->
+          if Hashtbl.mem t.repl_reads off then acc
+          else
+            (seq_compare_at (Address.make ~node:preferred_node ~off) seq, `Repl_seq off) :: acc)
+        t.repl_validates []
+    in
+    let compares = read_compares @ repl_compares @ repl_validate_compares in
+    let mtx =
+      Mtx.make ~compares:(List.map fst compares)
+        ~writes:(write_items @ repl_write_items)
+        ()
+    in
+    let mode = if blocking then Coordinator.Blocking else Coordinator.Normal in
+    match Coordinator.exec t.cluster ~mode mtx with
+    | Mtx.Committed _ ->
+        refresh_cache t written;
+        (* Keep the proxy's view of replicated objects it just updated
+           fresh (tip pointers, catalog entries). *)
+        (match t.cache with
+        | None -> ()
+        | Some cache ->
+            List.iter
+              (fun (off, len, seq, payload) ->
+                Objcache.insert cache (cache_key_of_repl t off len) { Objcache.seq; payload })
+              repl_written);
+        Sim.Metrics.incr (Cluster.metrics t.cluster) "txn.commits";
+        Committed
+    | Mtx.Failed_compare idxs ->
+        (* Evict whatever proved stale from the cache so the retry
+           re-fetches fresh copies. *)
+        let tagged = Array.of_list (List.map snd compares) in
+        (match t.cache with
+        | None -> ()
+        | Some cache ->
+            List.iter
+              (fun i ->
+                if i < Array.length tagged then
+                  match tagged.(i) with
+                  | `Obj ref_ -> Objcache.invalidate cache ref_
+                  | `Repl (off, len) -> Objcache.invalidate cache (cache_key_of_repl t off len)
+                  | `Repl_seq _ -> ())
+              idxs);
+        Sim.Metrics.incr (Cluster.metrics t.cluster) "txn.validation_failures";
+        Validation_failed
+    | Mtx.Busy ->
+        Sim.Metrics.incr (Cluster.metrics t.cluster) "txn.retry_exhausted";
+        Retry_exhausted
+    | Mtx.Unavailable ->
+        Sim.Metrics.incr (Cluster.metrics t.cluster) "txn.unavailable";
+        Retry_exhausted
+  end
+
+let commit_exn ?blocking t =
+  match commit ?blocking t with
+  | Committed -> ()
+  | Validation_failed -> raise (Aborted "validation failed")
+  | Retry_exhausted -> raise (Aborted "retry budget exhausted")

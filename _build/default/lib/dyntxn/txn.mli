@@ -1,0 +1,130 @@
+(** Dynamic transactions: optimistic concurrency control over objects
+    stored in Sinfonia, following Aguilera et al. (Sec. 2.2) extended
+    with dirty reads (Sec. 3).
+
+    A transaction tracks a read set (object, sequence number) and a
+    write set (object, new payload). Commit executes one minitransaction
+    that validates every read-set sequence number and applies the writes
+    with fresh sequence numbers. Dirty reads bypass the read set (no
+    validation) and are served from the proxy's incoherent cache when
+    possible.
+
+    {e Replicated objects} (the tip snapshot id, root location, and the
+    baseline sequence-number table) are stored at the same offset on
+    every memnode. Reads of replicated objects validate against any one
+    replica at commit (preferably one already participating, preserving
+    one-phase commits); writes update every replica atomically. *)
+
+exception Aborted of string
+(** Raised by {!abort} and by reads that detect a stale read set via
+    piggy-backed validation. B-tree operations catch it and retry. *)
+
+type t
+
+val begin_ : ?cache:Objcache.t -> ?home:int -> Sinfonia.Cluster.t -> t
+(** Start a transaction. [cache] is the proxy's object cache (dirty
+    reads without one always go to the network). [home] is the memnode
+    used to fetch replicated objects (default 0). *)
+
+val cluster : t -> Sinfonia.Cluster.t
+
+val is_aborted : t -> bool
+
+(** {1 Operations} *)
+
+val read : t -> Objref.t -> string
+(** Transactional read: returns the payload and records the sequence
+    number in the read set. Served from the write set or read set if
+    already present; otherwise fetched with a minitransaction that also
+    re-validates (piggy-backs) read-set entries living on the same
+    memnode — raising {!Aborted} if any is stale. *)
+
+val in_write_set : t -> Objref.t -> bool
+(** Whether reads of this object are currently served from the
+    transaction's own buffered (uncommitted) write. *)
+
+val read_with_seq : t -> Objref.t -> int64 * string
+(** Like {!read}, also exposing the sequence number the object was read
+    at (0 for objects only present in the write set). *)
+
+val dirty_read : ?use_cache:bool -> t -> Objref.t -> string
+(** Read without validation: from the write set, the read set, the
+    cache, or (on miss) the memnode — caching the result. The object is
+    remembered so that a later {!write} adds it to the read set, and so
+    that {!evict_dirty} can purge the traversal path on abort.
+    [~use_cache:false] bypasses the proxy cache entirely (no lookup, no
+    insert): the paper always fetches leaf nodes directly from Sinfonia
+    (Sec. 4.2). *)
+
+val dirty_read_with_seq : ?use_cache:bool -> t -> Objref.t -> int64 * string
+(** Like {!dirty_read} but also returns the sequence number the payload
+    was observed at (needed by the baseline concurrency-control mode to
+    validate internal nodes against the replicated sequence-number
+    table). *)
+
+val write : t -> Objref.t -> string -> unit
+(** Buffer a write. If the object was previously dirty-read (and is not
+    yet in the read set), its observed sequence number is added to the
+    read set first, per Sec. 3. Raises [Invalid_argument] if the payload
+    exceeds the slot capacity. *)
+
+val read_replicated : t -> off:int -> len:int -> string
+(** Read a replicated object (from the [home] replica) and record it
+    for commit-time validation. [len] is the full slot size. *)
+
+val dirty_read_replicated : ?use_cache:bool -> t -> off:int -> len:int -> string
+(** Read a replicated object without adding it to the read set.
+    [~use_cache:false] always fetches from the home memnode (and does
+    not populate the cache) — for decisions that must not act on stale
+    cached metadata. *)
+
+val write_replicated : t -> off:int -> len:int -> string -> unit
+(** Buffer a write to a replicated object; commit will update all
+    replicas atomically (engaging every memnode). *)
+
+val validate_replicated : t -> off:int -> seq:int64 -> unit
+(** Add a commit-time comparison asserting that the replicated object at
+    [off] still has sequence number [seq], without fetching it. Used by
+    the baseline mode of Aguilera et al.: internal-node sequence numbers
+    are replicated at every memnode ({!write_linked}), so a traversal can
+    validate cached internal nodes at whatever memnode the commit runs
+    on. Re-asserting the same offset keeps the earliest expectation. *)
+
+val write_linked : t -> Objref.t -> string -> repl_off:int -> unit
+(** Like {!write}, additionally republishing the object's fresh
+    commit-time sequence number to the replicated slot at [repl_off] on
+    every memnode (the baseline's replicated sequence-number table).
+    This makes the commit engage all memnodes. *)
+
+val abort : t -> 'a
+(** Mark the transaction aborted and raise {!Aborted}. *)
+
+val evict_dirty : t -> unit
+(** Invalidate every cache entry this transaction dirty-read. Called by
+    retry loops after an abort caused by stale cached data. *)
+
+(** {1 Commit} *)
+
+type commit_result =
+  | Committed
+  | Validation_failed  (** Some read-set entry was stale; stale cache entries evicted. *)
+  | Retry_exhausted  (** Lock contention exceeded the retry budget. *)
+
+val commit : ?blocking:bool -> t -> commit_result
+(** Execute the commit minitransaction. Read-only transactions whose
+    read set was populated by at most one fetch commit without any
+    further network round trip. [blocking] uses blocking
+    minitransactions (Sec. 4.1), appropriate for updates to heavily
+    contended replicated objects. *)
+
+val commit_exn : ?blocking:bool -> t -> unit
+(** Like {!commit} but raises {!Aborted} unless committed. *)
+
+(** {1 Introspection (tests, reporting)} *)
+
+val read_set_size : t -> int
+
+val write_set_size : t -> int
+
+val fetches : t -> int
+(** Number of minitransaction fetches this transaction performed. *)

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Ablations Exp_common Fig10 Fig11 Fig12 Fig13 Fig14 Fig15 Fig16 Fig17 Fig18

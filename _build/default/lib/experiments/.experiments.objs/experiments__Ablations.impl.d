@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Exp_common List Minuet Sim Sinfonia Ycsb

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Array Btree Cdb Float List Minuet Option Printf Sim Sinfonia String Ycsb

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Btree Exp_common List Sim Ycsb

@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Cdb Exp_common List Sim Ycsb

@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Array Cdb Exp_common Hashtbl List Minuet Sim Ycsb

@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Array Exp_common Float List Minuet Printf Sim Ycsb

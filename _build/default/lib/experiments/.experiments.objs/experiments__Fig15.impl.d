@@ -1,0 +1,1 @@
+lib/experiments/fig15.ml: Exp_common List Minuet Mvcc Option Sim Ycsb

@@ -1,0 +1,1 @@
+lib/experiments/fig16.ml: Exp_common Float List Option Sim Ycsb

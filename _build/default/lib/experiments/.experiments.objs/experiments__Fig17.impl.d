@@ -1,0 +1,1 @@
+lib/experiments/fig17.ml: Exp_common List Option Sim Ycsb

@@ -1,0 +1,1 @@
+lib/experiments/fig18.ml: Exp_common List Option Printf Sim Ycsb

@@ -1,0 +1,31 @@
+(** Umbrella module of the [experiments] library: one module per figure
+    of the paper's evaluation (Sec. 6), each reproducing the workload,
+    parameter sweep and reported metric. See DESIGN.md's per-experiment
+    index and EXPERIMENTS.md for paper-vs-measured results. *)
+
+module Exp_common = Exp_common
+module Fig10 = Fig10
+module Fig11 = Fig11
+module Fig12 = Fig12
+module Fig13 = Fig13
+module Fig14 = Fig14
+module Fig15 = Fig15
+module Fig16 = Fig16
+module Fig17 = Fig17
+module Fig18 = Fig18
+module Ablations = Ablations
+
+let all :
+    (string * string * (?params:Exp_common.params -> unit -> Exp_common.row list)) list =
+  [
+    ("fig10", Fig10.title, Fig10.run);
+    ("fig11", Fig11.title, Fig11.run);
+    ("fig12", Fig12.title, Fig12.run);
+    ("fig13", Fig13.title, Fig13.run);
+    ("fig14", Fig14.title, Fig14.run);
+    ("fig15", Fig15.title, Fig15.run);
+    ("fig16", Fig16.title, Fig16.run);
+    ("fig17", Fig17.title, Fig17.run);
+    ("fig18", Fig18.title, Fig18.run);
+    ("ablate", Ablations.title, Ablations.run);
+  ]

@@ -1,0 +1,1 @@
+lib/mvcc/mvcc.ml: Branching Catalog Gc Scs

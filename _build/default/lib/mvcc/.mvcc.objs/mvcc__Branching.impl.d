@@ -1,0 +1,1 @@
+lib/mvcc/branching.ml: Array Btree Catalog Dyntxn Format Hashtbl Int64 List Option Sim Sinfonia String

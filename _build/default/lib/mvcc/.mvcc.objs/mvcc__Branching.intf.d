@@ -1,0 +1,1 @@
+lib/mvcc/branching.mli: Btree Dyntxn

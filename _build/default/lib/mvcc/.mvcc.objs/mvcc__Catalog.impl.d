@@ -1,0 +1,1 @@
+lib/mvcc/catalog.ml: Btree Codec Dyntxn String

@@ -1,0 +1,1 @@
+lib/mvcc/catalog.mli: Btree Dyntxn

@@ -1,0 +1,1 @@
+lib/mvcc/gc.ml: Address Array Btree Bytes Cluster Codec Coordinator Dyntxn Hashtbl Heap Int64 List Memnode Mtx Sim Sinfonia String

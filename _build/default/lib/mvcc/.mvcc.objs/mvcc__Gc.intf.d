@@ -1,0 +1,1 @@
+lib/mvcc/gc.mli: Btree Dyntxn

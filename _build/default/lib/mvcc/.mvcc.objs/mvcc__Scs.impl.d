@@ -1,0 +1,1 @@
+lib/mvcc/scs.ml: Btree Dyntxn Option Sim

@@ -1,0 +1,1 @@
+lib/mvcc/scs.mli: Btree Dyntxn

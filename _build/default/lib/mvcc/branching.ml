@@ -1,0 +1,402 @@
+module Ops = Btree.Ops
+module Bnode = Btree.Bnode
+module Txn = Dyntxn.Txn
+module Objref = Dyntxn.Objref
+
+type t = { tree : Ops.tree; beta : int }
+
+exception Too_many_branches of int64
+
+let attach ~tree ~beta =
+  if beta < 2 then invalid_arg "Branching.attach: beta must be >= 2";
+  { tree; beta }
+
+let tree t = t.tree
+
+let beta t = t.beta
+
+let entry_exn ?(allow_deleted = false) t txn sid =
+  match Catalog.dirty_read t.tree txn ~sid with
+  | Some e when allow_deleted || not e.Catalog.deleted -> e
+  | Some _ -> Format.kasprintf invalid_arg "Branching: snapshot %Ld was deleted" sid
+  | None -> Format.kasprintf invalid_arg "Branching: unknown snapshot %Ld" sid
+
+(* Parent lookups use dirty (cached, unvalidated) catalog reads: a
+   snapshot's parent and root never change once created. *)
+let parent_of t txn sid =
+  let e = entry_exn t txn sid in
+  if Int64.equal e.Catalog.parent Catalog.no_parent then None else Some e.Catalog.parent
+
+let is_ancestor t txn a b =
+  let rec climb cur =
+    if Int64.equal cur a then true
+    else match parent_of t txn cur with None -> false | Some p -> climb p
+  in
+  climb b
+
+(* The child of [anc] on the path from [anc] to its strict descendant
+   [d]. *)
+let child_toward t txn ~anc d =
+  let rec climb cur =
+    match parent_of t txn cur with
+    | None -> invalid_arg "Branching.child_toward: not a descendant"
+    | Some p -> if Int64.equal p anc then cur else climb p
+  in
+  climb d
+
+(* ------------------------------------------------------------------ *)
+(* β-bounded descendant sets (Sec. 5.2)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Collapse a set of pairwise non-ancestral descendants of [anchor]
+   down to at most β entries, emitting discretionary-copy directives.
+   Elements sharing a child subtree of [anchor] are grouped; the largest
+   group is replaced by its anchoring child [c], and a discretionary
+   copy at [c] takes the group over (recursively collapsed itself). *)
+let rec collapse t txn anchor (s : int64 list) : int64 list * Ops.disc list =
+  if List.length s <= t.beta then (s, [])
+  else begin
+    let groups = Hashtbl.create 8 in
+    List.iter
+      (fun d ->
+        let c = if Int64.equal d anchor then anchor else child_toward t txn ~anc:anchor d in
+        let members = Option.value (Hashtbl.find_opt groups c) ~default:[] in
+        Hashtbl.replace groups c (d :: members))
+      s;
+    let c, g =
+      Hashtbl.fold
+        (fun c members ((_, best) as acc) ->
+          if List.length members > List.length best then (c, members) else acc)
+        groups (0L, [])
+    in
+    if List.length g < 2 then
+      (* Cannot collapse further (should not happen while the version
+         tree's branching factor is bounded by β). *)
+      (s, [])
+    else begin
+      let covered, inner_discs = collapse t txn c g in
+      let remaining = c :: List.filter (fun d -> not (List.mem d g)) s in
+      let outer, outer_discs = collapse t txn anchor remaining in
+      ( outer,
+        outer_discs
+        @ [ { Ops.disc_at = c; disc_covered = Array.of_list covered } ]
+        @ inner_discs )
+    end
+  end
+
+let plan_cow t txn ~snap ~created ~descendants =
+  ignore created;
+  let s = snap :: Array.to_list descendants in
+  let old_descendants, discretionary = collapse t txn created s in
+  { Ops.old_descendants = Array.of_list old_descendants; discretionary }
+
+(* ------------------------------------------------------------------ *)
+(* Version contexts                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let root_of_dirty t txn sid = (entry_exn t txn sid).Catalog.root
+
+let mainline_tip t txn ~from =
+  let rec follow sid =
+    match Catalog.dirty_read t.tree txn ~sid with
+    | None -> Format.kasprintf invalid_arg "Branching: unknown snapshot %Ld" sid
+    | Some e when e.Catalog.deleted ->
+        (* A cached ancestor pointed us at a branch that has since been
+           deleted: abort so the retry re-resolves with fresh entries. *)
+        Txn.abort txn
+    | Some e ->
+        if Catalog.is_writable e then sid
+        else if Int64.equal e.Catalog.first_branch 0L then
+          (* The first branch was deleted while siblings remain: there
+             is no default mainline anymore; the caller must name a tip
+             explicitly (Sec. 5.1 lets users override the default). *)
+          Format.kasprintf invalid_arg
+            "Branching: version %Ld has no mainline (first branch deleted); checkout a tip              explicitly"
+            sid
+        else follow e.Catalog.first_branch
+  in
+  follow from
+
+let tip_vctx t ?(from = 0L) txn =
+  let sid = mainline_tip t txn ~from in
+  (* Validated read: commits fail if this tip stops being writable (a
+     branch is created from it) concurrently. *)
+  let e =
+    match Catalog.read t.tree txn ~sid with
+    | Some e -> e
+    | None -> invalid_arg "Branching.tip_vctx: tip entry vanished"
+  in
+  if not (Catalog.is_writable e) then
+    (* The cached mainline was stale; abort and let the retry resolve a
+       fresh mainline. *)
+    Txn.abort txn;
+  {
+    Ops.snap = sid;
+    root = e.Catalog.root;
+    writable = true;
+    is_ancestor = (fun a b -> is_ancestor t txn a b);
+    plan_cow = (fun ~created ~descendants -> plan_cow t txn ~snap:sid ~created ~descendants);
+    root_of = (fun txn sid -> root_of_dirty t txn sid);
+  }
+
+let at_snapshot t ~sid txn =
+  let e = entry_exn t txn sid in
+  {
+    Ops.snap = sid;
+    root = e.Catalog.root;
+    writable = false;
+    is_ancestor = (fun a b -> is_ancestor t txn a b);
+    plan_cow = (fun ~created:_ ~descendants:_ -> invalid_arg "Branching: read-only snapshot");
+    root_of = (fun txn sid -> root_of_dirty t txn sid);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Tree and branch creation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let init_tree t =
+  let txn = Txn.begin_ (Ops.cluster t.tree) ~cache:(Ops.proxy_cache t.tree) ~home:(Ops.home t.tree) in
+  let root_ptr = Ops.alloc_node t.tree in
+  Ops.write_node_txn t.tree txn root_ptr (Bnode.empty_root ~snap:0L);
+  Catalog.write t.tree txn ~sid:0L
+    {
+      Catalog.root = root_ptr;
+      parent = Catalog.no_parent;
+      first_branch = 0L;
+      nbranches = 0;
+      deleted = false;
+    };
+  Catalog.write_counter t.tree txn 0L;
+  match Txn.commit txn with
+  | Txn.Committed -> ()
+  | Txn.Validation_failed | Txn.Retry_exhausted ->
+      failwith "Branching.init_tree: could not initialize tree"
+
+let create_branch t ~from =
+  let rec attempt tries =
+    if tries > 64 then failwith "Branching.create_branch: starved";
+    let txn = Txn.begin_ (Ops.cluster t.tree) ~cache:(Ops.proxy_cache t.tree) ~home:(Ops.home t.tree) in
+    match
+      let counter = Catalog.read_counter t.tree txn in
+      let entry =
+        match Catalog.read t.tree txn ~sid:from with
+        | Some e when not e.Catalog.deleted -> e
+        | Some _ ->
+            Format.kasprintf invalid_arg "Branching.create_branch: snapshot %Ld was deleted" from
+        | None -> Format.kasprintf invalid_arg "Branching.create_branch: unknown snapshot %Ld" from
+      in
+      if entry.Catalog.nbranches >= t.beta then raise (Too_many_branches from);
+      let new_sid = Int64.add counter 1L in
+      (* Copy the source root so the new version's root address is fixed
+         (as in Fig. 6). *)
+      let root_node = Ops.read_node_txn t.tree txn entry.Catalog.root in
+      let new_root = Ops.alloc_node t.tree in
+      Ops.write_node_txn t.tree txn new_root (Bnode.with_snap root_node new_sid);
+      Catalog.write t.tree txn ~sid:new_sid
+        {
+          Catalog.root = new_root;
+          parent = from;
+          first_branch = 0L;
+          nbranches = 0;
+          deleted = false;
+        };
+      Catalog.write t.tree txn ~sid:from
+        {
+          entry with
+          Catalog.first_branch =
+            (if Int64.equal entry.Catalog.first_branch 0L then new_sid
+             else entry.Catalog.first_branch);
+          nbranches = entry.Catalog.nbranches + 1;
+        };
+      Catalog.write_counter t.tree txn new_sid;
+      new_sid
+    with
+    | new_sid -> (
+        match Txn.commit ~blocking:true txn with
+        | Txn.Committed ->
+            Sim.Metrics.incr
+              (Sinfonia.Cluster.metrics (Ops.cluster t.tree))
+              "btree.branches_created";
+            new_sid
+        | Txn.Validation_failed | Txn.Retry_exhausted ->
+            Txn.evict_dirty txn;
+            attempt (tries + 1))
+    | exception Txn.Aborted _ ->
+        Txn.evict_dirty txn;
+        attempt (tries + 1)
+  in
+  attempt 0
+
+(* ------------------------------------------------------------------ *)
+(* Convenience operations                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Route to the right context: a writable [at] (or the mainline from
+   it) for updates; the version itself for reads of read-only
+   snapshots. *)
+let vctx_for_read t at txn =
+  match at with
+  | None -> tip_vctx t txn
+  | Some sid ->
+      let e = entry_exn t txn sid in
+      if Catalog.is_writable e then tip_vctx t ~from:sid txn else at_snapshot t ~sid txn
+
+let vctx_for_write t at txn = tip_vctx t ?from:at txn
+
+let get t ?at k = Ops.get t.tree ~vctx_of:(vctx_for_read t at) k
+
+let put t ?at k v = Ops.put t.tree ~vctx_of:(fun txn -> vctx_for_write t at txn) k v
+
+let remove t ?at k = Ops.remove t.tree ~vctx_of:(fun txn -> vctx_for_write t at txn) k
+
+let scan ?at t ~from ~count = Ops.scan t.tree ~vctx_of:(vctx_for_read t at) ~from ~count
+
+(* ------------------------------------------------------------------ *)
+(* Multi-version queries (Sec. 5.1: "transactional queries across
+   different versions of the data ... useful for integrity checks and
+   to compare the results of an analysis"; vertical/horizontal queries
+   after Landau et al. and the BT-tree, Sec. 7)                         *)
+(* ------------------------------------------------------------------ *)
+
+let get_many t ~at k =
+  (* Horizontal query: one key across several versions, atomically. *)
+  Ops.run_txn t.tree (fun txn ->
+      List.map (fun sid -> (sid, Ops.get_in_txn t.tree txn (at_snapshot t ~sid txn) k)) at)
+
+let history t ~from k =
+  (* Vertical query: the key's value at [from] and every ancestor, from
+     the root version down to [from], read in one transaction. *)
+  Ops.run_txn t.tree (fun txn ->
+      let rec ancestry acc sid =
+        let acc = sid :: acc in
+        match parent_of t txn sid with None -> acc | Some p -> ancestry acc p
+      in
+      List.map
+        (fun sid -> (sid, Ops.get_in_txn t.tree txn (at_snapshot t ~sid txn) k))
+        (ancestry [] from))
+
+type change = Added of string | Removed of string | Changed of string * string
+
+let diff ?(max_keys = max_int) t ~base ~other =
+  (* Horizontal comparison of two full versions in one transaction. *)
+  Ops.run_txn t.tree (fun txn ->
+      let scan sid = Ops.scan_in_txn t.tree txn (at_snapshot t ~sid txn) ~from:"" ~count:max_keys in
+      let a = scan base and b = scan other in
+      let rec merge acc a b =
+        match (a, b) with
+        | [], [] -> List.rev acc
+        | (k, v) :: ta, [] -> merge ((k, Removed v) :: acc) ta []
+        | [], (k, v) :: tb -> merge ((k, Added v) :: acc) [] tb
+        | ((ka, va) :: ta as la), ((kb, vb) :: tb as lb) ->
+            let c = Btree.Bkey.compare ka kb in
+            if c < 0 then merge ((ka, Removed va) :: acc) ta lb
+            else if c > 0 then merge ((kb, Added vb) :: acc) la tb
+            else if String.equal va vb then merge acc ta tb
+            else merge ((ka, Changed (va, vb)) :: acc) ta tb
+      in
+      merge [] a b)
+
+(* ------------------------------------------------------------------ *)
+(* Branch deletion (Sec. 5.2: temporary what-if branches are deleted
+   and their storage reclaimed)                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Not_deletable of string
+
+let delete_branch t sid =
+  if Int64.equal sid 0L then raise (Not_deletable "the initial version cannot be deleted");
+  let rec attempt tries =
+    if tries > 64 then failwith "Branching.delete_branch: starved";
+    let txn = Txn.begin_ (Ops.cluster t.tree) ~cache:(Ops.proxy_cache t.tree) ~home:(Ops.home t.tree) in
+    match
+      let entry =
+        match Catalog.read t.tree txn ~sid with
+        | Some e when not e.Catalog.deleted -> e
+        | Some _ -> raise (Not_deletable "already deleted")
+        | None -> raise (Not_deletable "unknown snapshot")
+      in
+      if not (Catalog.is_writable entry) then
+        raise (Not_deletable "only leaf versions (writable tips) can be deleted");
+      Catalog.write t.tree txn ~sid { entry with Catalog.deleted = true };
+      (* The parent sheds a branch; shedding the last one makes it a
+         writable tip again. *)
+      (match
+         if Int64.equal entry.Catalog.parent Catalog.no_parent then None
+         else Catalog.read t.tree txn ~sid:entry.Catalog.parent
+       with
+      | None -> ()
+      | Some parent_entry ->
+          let first_branch =
+            if Int64.equal parent_entry.Catalog.first_branch sid then 0L
+            else parent_entry.Catalog.first_branch
+          in
+          Catalog.write t.tree txn ~sid:entry.Catalog.parent
+            {
+              parent_entry with
+              Catalog.first_branch;
+              nbranches = max 0 (parent_entry.Catalog.nbranches - 1);
+            })
+    with
+    | () -> (
+        match Txn.commit ~blocking:true txn with
+        | Txn.Committed ->
+            Sim.Metrics.incr (Sinfonia.Cluster.metrics (Ops.cluster t.tree))
+              "btree.branches_deleted"
+        | Txn.Validation_failed | Txn.Retry_exhausted ->
+            Txn.evict_dirty txn;
+            attempt (tries + 1))
+    | exception Txn.Aborted _ ->
+        Txn.evict_dirty txn;
+        attempt (tries + 1)
+  in
+  attempt 0
+
+let is_deleted t ~sid =
+  let txn = Txn.begin_ (Ops.cluster t.tree) ~cache:(Ops.proxy_cache t.tree) ~home:(Ops.home t.tree) in
+  let r =
+    match Catalog.dirty_read t.tree txn ~sid with
+    | Some e -> e.Catalog.deleted
+    | None -> false
+  in
+  (match Txn.commit txn with _ -> ());
+  r
+
+let live_roots t =
+  (* Roots of every non-deleted version, read outside any transaction
+     (used by the mark phase of the branching GC). *)
+  let txn = Txn.begin_ (Ops.cluster t.tree) ~cache:(Ops.proxy_cache t.tree) ~home:(Ops.home t.tree) in
+  let counter =
+    match Catalog.read_counter t.tree txn with c -> c | exception _ -> 0L
+  in
+  let roots = ref [] in
+  let rec collect sid =
+    if Int64.compare sid counter <= 0 then begin
+      (match Catalog.dirty_read t.tree txn ~sid with
+      | Some e when not e.Catalog.deleted -> roots := e.Catalog.root :: !roots
+      | Some _ | None -> ());
+      collect (Int64.add sid 1L)
+    end
+  in
+  collect 0L;
+  (match Txn.commit txn with _ -> ());
+  !roots
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let with_ro_txn t f =
+  let txn = Txn.begin_ (Ops.cluster t.tree) ~cache:(Ops.proxy_cache t.tree) ~home:(Ops.home t.tree) in
+  let v = f txn in
+  (match Txn.commit txn with _ -> ());
+  v
+
+let root_of t ~sid = with_ro_txn t (fun txn -> root_of_dirty t txn sid)
+
+let snapshot_exists t ~sid =
+  with_ro_txn t (fun txn -> Catalog.dirty_read t.tree txn ~sid <> None)
+
+let writable t ~sid =
+  with_ro_txn t (fun txn -> Catalog.is_writable (entry_exn t txn sid))
+
+let parent t ~sid = with_ro_txn t (fun txn -> parent_of t txn sid)

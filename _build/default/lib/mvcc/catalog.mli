@@ -1,0 +1,49 @@
+(** Snapshot catalog for branching versions (Sec. 5.1).
+
+    One entry per snapshot id: the snapshot's root location, its parent
+    in the version tree, the id of the first branch created from it (0
+    when none — the snapshot is then a writable tip), and the number of
+    branches (bounded by β).
+
+    The paper stores the catalog in a dedicated B-tree whose {e leaves
+    are replicated at every memnode} and cached at proxies. Because
+    snapshot ids are dense integers, this implementation indexes entries
+    directly by id within a replicated region — which preserves exactly
+    the properties the paper relies on (any-replica validation,
+    all-replica atomic updates, proxy caching) without an extra index
+    structure; see DESIGN.md. *)
+
+type entry = {
+  root : Dyntxn.Objref.t;
+  parent : int64;  (** -1 for the initial snapshot. *)
+  first_branch : int64;  (** 0 = none: the snapshot is writable. *)
+  nbranches : int;
+  deleted : bool;  (** Branch deleted; awaiting garbage collection. *)
+}
+
+val no_parent : int64
+
+val is_writable : entry -> bool
+(** No branches were created from it (and it is not deleted): the
+    snapshot is a tip and accepts writes. *)
+
+(** {1 Access within a transaction}
+
+    Reads come from the proxy cache when warm. [read] registers the
+    entry for commit-time validation (used for the tip an up-to-date
+    operation acts on); [dirty_read] does not (ancestry and root
+    locations of read-only snapshots are immutable, Sec. 5.1). *)
+
+val read : Btree.Ops.tree -> Dyntxn.Txn.t -> sid:int64 -> entry option
+
+val dirty_read : ?use_cache:bool -> Btree.Ops.tree -> Dyntxn.Txn.t -> sid:int64 -> entry option
+
+val write : Btree.Ops.tree -> Dyntxn.Txn.t -> sid:int64 -> entry -> unit
+(** Buffer an entry update; commits atomically at every memnode. *)
+
+(** {1 Global snapshot-id counter} *)
+
+val read_counter : Btree.Ops.tree -> Dyntxn.Txn.t -> int64
+(** Validated read of the global snapshot-id counter. *)
+
+val write_counter : Btree.Ops.tree -> Dyntxn.Txn.t -> int64 -> unit

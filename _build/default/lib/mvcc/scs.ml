@@ -1,0 +1,107 @@
+module Ops = Btree.Ops
+module Txn = Dyntxn.Txn
+
+type t = {
+  tree : Ops.tree;
+  borrowing : bool;
+  min_interval : float;
+  rpc_one_way : float;
+  mutex : Sim.Mutex.t;
+  (* Fig. 7 shared state. [last] is the (sid, root) pair of the most
+     recently created read-only snapshot. *)
+  mutable num_snapshots : int;
+  mutable last : (int64 * Dyntxn.Objref.t) option;
+  mutable last_created_at : float;
+  mutable created : int;
+  mutable borrowed : int;
+  mutable stale_reused : int;
+}
+
+let create ?(borrowing = true) ?(min_interval = 0.0) ?(rpc_one_way = 25e-6) ~tree () =
+  {
+    tree;
+    borrowing;
+    min_interval;
+    rpc_one_way;
+    mutex = Sim.Mutex.create ();
+    num_snapshots = 0;
+    last = None;
+    last_created_at = neg_infinity;
+    created = 0;
+    borrowed = 0;
+    stale_reused = 0;
+  }
+
+let snapshots_created t = t.created
+
+let borrows t = t.borrowed
+
+let stale_reuses t = t.stale_reused
+
+(* Execute Fig. 6 to completion with a blocking commit, retrying on
+   validation failures (e.g. a racing up-to-date operation bumped a
+   cached tip). *)
+let create_snapshot_now t =
+  let rec attempt tries =
+    if tries > 64 then failwith "Scs: snapshot creation starved";
+    let txn = Txn.begin_ (Ops.cluster t.tree) ~home:(Ops.home t.tree) in
+    let sid, loc = Ops.Linear.create_snapshot t.tree txn in
+    match Txn.commit ~blocking:true txn with
+    | Txn.Committed -> (sid, loc)
+    | Txn.Validation_failed | Txn.Retry_exhausted ->
+        Txn.evict_dirty txn;
+        attempt (tries + 1)
+  in
+  let result = attempt 0 in
+  t.created <- t.created + 1;
+  t.last <- Some result;
+  t.last_created_at <- Sim.now ();
+  result
+
+let request t =
+  (* Proxy → service hop. *)
+  Sim.delay t.rpc_one_way;
+  let result =
+    (* Staleness bound (Sec. 6.3): reuse the latest snapshot if it is
+       younger than k. Checked again under the lock to serialize
+       creations. *)
+    let fresh_enough () =
+      t.min_interval > 0.0
+      && t.last <> None
+      && Sim.now () -. t.last_created_at < t.min_interval
+    in
+    if fresh_enough () then begin
+      t.stale_reused <- t.stale_reused + 1;
+      Option.get t.last
+    end
+    else begin
+      let tmp1 = t.num_snapshots in
+      Sim.Mutex.lock t.mutex;
+      let result =
+        if fresh_enough () then begin
+          t.stale_reused <- t.stale_reused + 1;
+          Option.get t.last
+        end
+        else begin
+          let tmp2 = t.num_snapshots in
+          (* Fig. 7 line 4: if two or more snapshots completed while we
+             were waiting, the most recent one was created entirely
+             within our request window — borrow it. *)
+          if t.borrowing && tmp2 >= tmp1 + 2 then begin
+            t.borrowed <- t.borrowed + 1;
+            Option.get t.last
+          end
+          else begin
+            let result = create_snapshot_now t in
+            t.num_snapshots <- t.num_snapshots + 1;
+            result
+          end
+        end
+      in
+      Sim.Mutex.unlock t.mutex;
+      result
+    end
+  in
+  (* Service → proxy reply. *)
+  Sim.delay t.rpc_one_way;
+  result

@@ -1,0 +1,42 @@
+(** Snapshot creation service (SCS) with borrowed snapshots (Fig. 7).
+
+    All snapshot requests are routed through one service so that the
+    replicated tip objects see one writer at a time. Inside the service,
+    a request that waited while another request completed can
+    {e borrow} the latter's snapshot without compromising strict
+    serializability: the borrowed snapshot was created inside the
+    borrower's request window.
+
+    The service also implements the staleness bound of Sec. 6.3: with
+    [min_interval = k > 0], at most one snapshot is created every [k]
+    seconds and other requests reuse the most recent one. That mode is
+    only serializable (the snapshot may be up to [k] seconds stale);
+    [k = 0] keeps strict serializability. *)
+
+type t
+
+val create :
+  ?borrowing:bool ->
+  ?min_interval:float ->
+  ?rpc_one_way:float ->
+  tree:Btree.Ops.tree ->
+  unit ->
+  t
+(** [borrowing] (default true) enables Fig. 7 borrowing; disabling it
+    makes every request create its own snapshot (the paper's comparison
+    baseline in Fig. 15). [min_interval] is the staleness bound [k]
+    (default 0). [rpc_one_way] models the proxy→service hop (default
+    25 µs). The [tree] handle is the service's own proxy handle. *)
+
+val request : t -> int64 * Dyntxn.Objref.t
+(** Obtain a snapshot to run a query against: the id and root location
+    of a read-only snapshot that reflects all transactions that
+    completed before this call started. Must run inside a simulation. *)
+
+val snapshots_created : t -> int
+(** Number of snapshots actually created (vs. borrowed/reused). *)
+
+val borrows : t -> int
+
+val stale_reuses : t -> int
+(** Requests served by the staleness bound (k > 0). *)

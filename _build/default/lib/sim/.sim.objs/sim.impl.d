@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Event_queue Metrics Net Resource Rng Scheduler Stats

@@ -1,0 +1,1 @@
+lib/sim/rng.ml: Array Char Int64 String

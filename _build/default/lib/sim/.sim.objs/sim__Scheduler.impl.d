@@ -1,0 +1,1 @@
+lib/sim/scheduler.ml: Effect Event_queue Logs Option Printexc Queue Rng

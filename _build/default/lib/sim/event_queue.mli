@@ -1,0 +1,23 @@
+(** Priority queue of timestamped events for the discrete-event scheduler.
+
+    Events with equal timestamps pop in insertion order (FIFO), which the
+    simulator relies on for determinism. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insert an event at the given simulated time. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, FIFO among ties. *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the earliest event without removing it. *)
+
+val clear : 'a t -> unit

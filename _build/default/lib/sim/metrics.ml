@@ -1,0 +1,46 @@
+type t = {
+  counters : (string, Stats.Counter.t) Hashtbl.t;
+  hists : (string, Stats.Hist.t) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; hists = Hashtbl.create 16 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      let c = Stats.Counter.create () in
+      Hashtbl.add t.counters name c;
+      c
+
+let hist t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h = Stats.Hist.create () in
+      Hashtbl.add t.hists name h;
+      h
+
+let incr t name = Stats.Counter.incr (counter t name)
+
+let add t name k = Stats.Counter.add (counter t name) k
+
+let observe t name v = Stats.Hist.add (hist t name) v
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> Stats.Counter.value c
+  | None -> 0
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t =
+  sorted_bindings t.counters |> List.map (fun (k, c) -> (k, Stats.Counter.value c))
+
+let hists t = sorted_bindings t.hists
+
+let pp fmt t =
+  List.iter (fun (k, v) -> Format.fprintf fmt "%-40s %d@." k v) (counters t);
+  List.iter (fun (k, h) -> Format.fprintf fmt "%-40s %a@." k Stats.Hist.pp_summary h) (hists t)

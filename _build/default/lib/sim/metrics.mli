@@ -1,0 +1,32 @@
+(** Named metric registry, used to instrument the substrate (message
+    counts, aborts, retries, copies) without threading counters through
+    every call site. A registry is created per simulated cluster, so
+    distinct runs never share state. *)
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> Stats.Counter.t
+(** Counter registered under [name]; created on first use. *)
+
+val hist : t -> string -> Stats.Hist.t
+(** Histogram registered under [name]; created on first use. *)
+
+val incr : t -> string -> unit
+(** [incr t name] bumps the counter called [name]. *)
+
+val add : t -> string -> int -> unit
+
+val observe : t -> string -> float -> unit
+(** [observe t name v] records [v] into the histogram called [name]. *)
+
+val counter_value : t -> string -> int
+(** Current value, 0 if the counter was never touched. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val hists : t -> (string * Stats.Hist.t) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+type t = {
+  one_way : float;
+  per_byte : float;
+  jitter : float;
+  rng : Rng.t;
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+let create ?(one_way = 25e-6) ?(per_byte = 1e-9) ?(jitter = 5e-6) ~rng () =
+  { one_way; per_byte; jitter; rng; messages = 0; bytes = 0 }
+
+let sample_one_way t ~bytes =
+  t.messages <- t.messages + 1;
+  t.bytes <- t.bytes + bytes;
+  let jitter = if t.jitter > 0.0 then Rng.exponential t.rng ~mean:t.jitter else 0.0 in
+  t.one_way +. (t.per_byte *. float_of_int bytes) +. jitter
+
+let transfer t ~bytes = Scheduler.delay (sample_one_way t ~bytes)
+
+let messages_sent t = t.messages
+
+let bytes_sent t = t.bytes

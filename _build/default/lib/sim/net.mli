@@ -1,0 +1,29 @@
+(** Network model: message delays for a data-center LAN.
+
+    A message delay is [one_way + per_byte * size + Exp(jitter)]. The
+    model is deliberately simple — the experiments in the paper depend on
+    round-trip counts and server-side service times far more than on
+    wire-level detail. *)
+
+type t
+
+val create :
+  ?one_way:float ->
+  ?per_byte:float ->
+  ?jitter:float ->
+  rng:Rng.t ->
+  unit ->
+  t
+(** Defaults: [one_way] = 25 µs, [per_byte] = 1 ns (≈ 8 Gb/s effective),
+    [jitter] mean = 5 µs. *)
+
+val sample_one_way : t -> bytes:int -> float
+(** Sample a one-way delay for a message of [bytes] bytes. *)
+
+val transfer : t -> bytes:int -> unit
+(** Suspend the calling process for one sampled one-way delay. *)
+
+val messages_sent : t -> int
+(** Total number of [transfer]/[sample_one_way] calls, for reporting. *)
+
+val bytes_sent : t -> int

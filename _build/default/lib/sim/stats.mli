@@ -1,0 +1,68 @@
+(** Measurement utilities: counters, log-bucketed latency histograms,
+    and fixed-width time series. *)
+
+(** Monotonic event counter. *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+(** Log-bucketed histogram for positive samples (latencies in seconds).
+    Relative bucket error is about 2%; values outside
+    [\[1e-9, 1e6\]] are clamped. *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0. when empty. *)
+
+  val min : t -> float
+  val max : t -> float
+  val quantile : t -> float -> float
+  (** [quantile t q] for q in [\[0,1\]]; 0. when empty. Returns the
+      upper edge of the bucket containing the q-th sample. *)
+
+  val percentile : t -> float -> float
+  (** [percentile t 95.] = [quantile t 0.95]. *)
+
+  val merge_into : dst:t -> t -> unit
+  val reset : t -> unit
+
+  val pp_summary : Format.formatter -> t -> unit
+  (** "n=… mean=…ms p50=… p95=… p99=… max=…" *)
+end
+
+(** Welford running mean / standard deviation. *)
+module Moments : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  (** Sample standard deviation; 0. for fewer than two samples. *)
+end
+
+(** Counts bucketed by fixed-width windows of simulated time, e.g.
+    per-second throughput time series. *)
+module Series : sig
+  type t
+
+  val create : width:float -> t
+  (** [width] is the bucket width in seconds; must be positive. *)
+
+  val add : t -> time:float -> int -> unit
+  val bucket_count : t -> int
+  val buckets : t -> (float * int) array
+  (** [(bucket_start_time, count)] for every bucket from time 0 to the
+      last nonempty one, including empty buckets in between. *)
+end

@@ -1,0 +1,1 @@
+lib/sinfonia/sinfonia.ml: Address Cluster Config Coordinator Heap Lock_table Memnode Mtx

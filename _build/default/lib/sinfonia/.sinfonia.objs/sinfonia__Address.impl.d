@@ -1,0 +1,1 @@
+lib/sinfonia/address.ml: Codec Format Hashtbl Int

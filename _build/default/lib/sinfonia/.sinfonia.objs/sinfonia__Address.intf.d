@@ -1,0 +1,1 @@
+lib/sinfonia/address.mli: Codec Format

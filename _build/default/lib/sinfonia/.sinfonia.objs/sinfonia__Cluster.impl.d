@@ -1,0 +1,1 @@
+lib/sinfonia/cluster.ml: Array Config Int64 List Memnode Mtx Sim String

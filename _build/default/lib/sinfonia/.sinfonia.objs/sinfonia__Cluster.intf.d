@@ -1,0 +1,1 @@
+lib/sinfonia/cluster.mli: Config Memnode Mtx Sim

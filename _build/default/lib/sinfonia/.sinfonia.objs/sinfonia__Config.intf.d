@@ -1,0 +1,1 @@
+lib/sinfonia/config.mli: Format

@@ -1,0 +1,1 @@
+lib/sinfonia/coordinator.ml: Array Cluster Config Float Int List Memnode Mtx Sim String

@@ -1,0 +1,1 @@
+lib/sinfonia/coordinator.mli: Cluster Mtx

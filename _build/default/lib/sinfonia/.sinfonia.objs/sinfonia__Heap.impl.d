@@ -1,0 +1,1 @@
+lib/sinfonia/heap.ml: Bytes Hashtbl String

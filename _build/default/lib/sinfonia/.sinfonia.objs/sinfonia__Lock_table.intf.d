@@ -1,0 +1,1 @@
+lib/sinfonia/lock_table.mli:

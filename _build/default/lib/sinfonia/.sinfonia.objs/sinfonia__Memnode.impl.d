@@ -1,0 +1,1 @@
+lib/sinfonia/memnode.ml: Address Config Float Hashtbl Heap List Lock_table Mtx Printf Sim String

@@ -1,0 +1,1 @@
+lib/sinfonia/memnode.mli: Config Heap Lock_table Mtx Sim

@@ -1,0 +1,1 @@
+lib/sinfonia/mtx.ml: Address Format Int List String

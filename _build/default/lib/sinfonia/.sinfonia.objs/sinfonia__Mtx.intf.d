@@ -1,0 +1,1 @@
+lib/sinfonia/mtx.mli: Address Format

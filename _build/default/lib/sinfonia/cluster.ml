@@ -1,0 +1,125 @@
+type t = {
+  config : Config.t;
+  memnodes : Memnode.t array;
+  net : Sim.Net.t;
+  metrics : Sim.Metrics.t;
+  rng : Sim.Rng.t;
+  mutable next_owner : int64;
+}
+
+exception Unavailable of int
+
+let create ?(config = Config.default) ?(seed = 0xC1057E4) ~n () =
+  if n <= 0 then invalid_arg "Cluster.create: need at least one memnode";
+  let rng = Sim.Rng.create seed in
+  let net =
+    Sim.Net.create ~one_way:config.net_one_way ~per_byte:config.net_per_byte
+      ~jitter:config.net_jitter ~rng:(Sim.Rng.split rng) ()
+  in
+  let memnodes =
+    Array.init n (fun id ->
+        Memnode.create ~id ~cores:config.memnode_cores ~heap_capacity:config.heap_capacity)
+  in
+  if config.replication && n > 1 then
+    Array.iteri
+      (fun i _ ->
+        let backup = (i + 1) mod n in
+        ignore
+          (Memnode.add_replica memnodes.(backup) ~of_node:i ~heap_capacity:config.heap_capacity))
+      memnodes;
+  { config; memnodes; net; metrics = Sim.Metrics.create (); rng; next_owner = 1L }
+
+let config t = t.config
+
+let n_memnodes t = Array.length t.memnodes
+
+let memnode t i = t.memnodes.(i)
+
+let net t = t.net
+
+let metrics t = t.metrics
+
+let rng t = t.rng
+
+let fresh_owner t =
+  let owner = t.next_owner in
+  t.next_owner <- Int64.add t.next_owner 1L;
+  owner
+
+let owner_watermark t = t.next_owner
+
+let backup_of t i =
+  if t.config.replication && Array.length t.memnodes > 1 then
+    Some ((i + 1) mod Array.length t.memnodes)
+  else None
+
+let route t i =
+  let mn = t.memnodes.(i) in
+  if not (Memnode.crashed mn) then (mn, Memnode.primary mn)
+  else
+    match backup_of t i with
+    | None -> raise (Unavailable i)
+    | Some b ->
+        let bn = t.memnodes.(b) in
+        if Memnode.crashed bn then raise (Unavailable i)
+        else (
+          match Memnode.replica bn ~of_node:i with
+          | Some store -> (bn, store)
+          | None -> raise (Unavailable i))
+
+let mirror t i writes =
+  if writes <> [] then
+    match backup_of t i with
+    | None -> ()
+    | Some b ->
+        if Memnode.crashed t.memnodes.(i) then
+          (* Already serving from the replica; it is the only copy. *)
+          ()
+        else begin
+          let bn = t.memnodes.(b) in
+          if not (Memnode.crashed bn) then begin
+            match Memnode.replica bn ~of_node:i with
+            | None -> ()
+            | Some store ->
+                let bytes =
+                  List.fold_left (fun acc w -> acc + String.length w.Mtx.w_data) 64 writes
+                in
+                Sim.Net.transfer t.net ~bytes;
+                let cost =
+                  t.config.backup_factor
+                  *. (t.config.svc_msg
+                     +. (t.config.svc_per_kb *. (float_of_int bytes /. 1024.0)))
+                in
+                Memnode.serve bn ~cost;
+                Memnode.apply_writes store writes;
+                Sim.Net.transfer t.net ~bytes:32;
+                Sim.Metrics.incr t.metrics "replication.mirrors"
+          end
+        end
+
+let start_recovery ?(lease = 0.25) ?(interval = 1.0) t =
+  Array.iter
+    (fun mn ->
+      Sim.spawn ~name:"sinfonia-recovery" (fun () ->
+          let rec loop () =
+            Sim.delay interval;
+            let recovered = Memnode.recover_orphaned_locks mn ~lease in
+            if recovered > 0 then Sim.Metrics.add t.metrics "recovery.orphans_released" recovered;
+            loop ()
+          in
+          loop ()))
+    t.memnodes
+
+let crash t i =
+  Memnode.crash t.memnodes.(i);
+  Sim.Metrics.incr t.metrics "memnode.crashes"
+
+let recover t i =
+  match backup_of t i with
+  | None -> invalid_arg "Cluster.recover: replication disabled"
+  | Some b -> (
+      match Memnode.replica t.memnodes.(b) ~of_node:i with
+      | None -> invalid_arg "Cluster.recover: no replica"
+      | Some store ->
+          Memnode.recover t.memnodes.(i) ~from_replica:store;
+          Sim.Metrics.incr t.metrics "memnode.recoveries")

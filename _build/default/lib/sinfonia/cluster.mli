@@ -1,0 +1,63 @@
+(** A simulated Sinfonia deployment: a set of memnodes, the network
+    between them, and shared bookkeeping (metrics, owner-id generator,
+    replication wiring). *)
+
+type t
+
+val create : ?config:Config.t -> ?seed:int -> n:int -> unit -> t
+(** [create ~n ()] builds [n] memnodes. With replication enabled and
+    [n > 1], memnode [i] is backed up on memnode [(i+1) mod n]. *)
+
+val config : t -> Config.t
+
+val n_memnodes : t -> int
+
+val memnode : t -> int -> Memnode.t
+
+val net : t -> Sim.Net.t
+
+val metrics : t -> Sim.Metrics.t
+
+val rng : t -> Sim.Rng.t
+
+val fresh_owner : t -> int64
+(** Unique lock-owner / transaction id. *)
+
+val owner_watermark : t -> int64
+(** The next id {!fresh_owner} would hand out. Sequence numbers are
+    drawn from the same counter, so any object written from now on has a
+    sequence number >= this value (used by the branching GC). *)
+
+val backup_of : t -> int -> int option
+(** The node hosting [i]'s replica, if replication is on and [n > 1]. *)
+
+exception Unavailable of int
+(** Raised when routing to a memnode whose primary and backup are both
+    down. *)
+
+val route : t -> int -> Memnode.t * Memnode.store
+(** [route t i] is the node and store that currently serve memnode [i]'s
+    address space: the primary when alive, otherwise its replica on the
+    backup node. Raises {!Unavailable} if neither is reachable. *)
+
+val mirror : t -> int -> Mtx.write_item list -> unit
+(** Synchronously apply [writes] (addressed to memnode [i]) to [i]'s
+    replica, paying network and backup CPU costs. No-op when replication
+    is off, the write list is empty, or node [i] is being served from its
+    replica already. *)
+
+val start_recovery : ?lease:float -> ?interval:float -> t -> unit
+(** Spawn Sinfonia's recovery daemon: every [interval] (default 1 s)
+    each memnode releases locks held longer than [lease] (default
+    250 ms of simulated time) — their coordinators are presumed crashed,
+    and their minitransactions resolve as aborted. Healthy
+    minitransactions hold locks for microseconds, far below the
+    lease. *)
+
+val crash : t -> int -> unit
+(** Crash memnode [i]. Subsequent operations are served by its backup
+    replica (if any). *)
+
+val recover : t -> int -> unit
+(** Bring memnode [i] back, restoring state from its replica. Raises
+    [Invalid_argument] if there is no replica to restore from. *)

@@ -1,0 +1,188 @@
+type mode = Normal | Blocking
+
+let round_trips mtx = if List.length (Mtx.memnodes mtx) <= 1 then 1 else 2
+
+let request_overhead = 64
+
+let response_overhead = 32
+
+let read_bytes_of_result reads =
+  List.fold_left (fun acc (_, data) -> acc + String.length data) response_overhead reads
+
+(* One request/response exchange with the node currently serving memnode
+   [node_id]'s address space: pay the request transfer, run [f] (which
+   spends the memnode CPU while holding any locks it takes), pay the
+   response transfer. *)
+let round_trip cluster node_id ~bytes_out ~resp_bytes f =
+  let net = Cluster.net cluster in
+  Sim.Net.transfer net ~bytes:bytes_out;
+  let mn, store = Cluster.route cluster node_id in
+  let result = f mn store in
+  Sim.Net.transfer net ~bytes:(resp_bytes result);
+  result
+
+let backoff_delay cluster attempt =
+  let cfg = Cluster.config cluster in
+  let base = cfg.Config.retry_backoff *. (2.0 ** float_of_int (min attempt 8)) in
+  let capped = Float.min base cfg.Config.retry_backoff_max in
+  Sim.delay (Sim.Rng.float (Cluster.rng cluster) capped)
+
+let merge_reads parts_results =
+  List.concat parts_results
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* Reads are tagged with their index into [mtx.reads]; translate back to
+   (address, data) pairs in declaration order. *)
+let outcome_of_reads (mtx : Mtx.t) indexed =
+  let arr = Array.of_list mtx.reads in
+  Mtx.Committed (List.map (fun (i, data) -> ((arr.(i)).Mtx.r_addr, data)) indexed)
+
+let exec_single cluster ~mode (mtx : Mtx.t) node =
+  let cfg = Cluster.config cluster in
+  let metrics = Cluster.metrics cluster in
+  let part = Memnode.part_of_mtx mtx ~node in
+  let cost = Memnode.part_cost cfg part in
+  let bytes_out = Memnode.part_bytes part + request_overhead in
+  let rec attempt n =
+    if n > cfg.Config.max_retries then begin
+      Sim.Metrics.incr metrics "mtx.retry_budget_exhausted";
+      Mtx.Busy
+    end
+    else begin
+      let owner = Cluster.fresh_owner cluster in
+      let run mn store =
+        match mode with
+        | Normal -> Memnode.execute_single_timed mn store ~owner part ~cost
+        | Blocking ->
+            Memnode.execute_single_blocking_timed mn store ~owner part ~cost
+              ~timeout:cfg.Config.blocking_timeout
+      in
+      let resp_bytes = function
+        | Memnode.Prepared reads -> read_bytes_of_result reads
+        | Memnode.Busy_locks | Memnode.Compare_failed _ -> response_overhead
+      in
+      match round_trip cluster node ~bytes_out ~resp_bytes run with
+      | Memnode.Prepared reads ->
+          if part.p_writes <> [] then Cluster.mirror cluster node part.p_writes;
+          Sim.Metrics.incr metrics "mtx.committed_1pc";
+          outcome_of_reads mtx (merge_reads [ reads ])
+      | Memnode.Busy_locks ->
+          Sim.Metrics.incr metrics "mtx.busy_retries";
+          backoff_delay cluster n;
+          attempt (n + 1)
+      | Memnode.Compare_failed idxs ->
+          Sim.Metrics.incr metrics "mtx.compare_failed";
+          Mtx.Failed_compare idxs
+    end
+  in
+  attempt 0
+
+(* Run [f node] for every node in parallel and wait for all results. *)
+let parallel_map cluster nodes f =
+  ignore cluster;
+  let ivars = List.map (fun node -> (node, Sim.Ivar.create ())) nodes in
+  List.iter
+    (fun (node, ivar) ->
+      Sim.spawn (fun () ->
+          let result = try Ok (f node) with e -> Error e in
+          Sim.Ivar.fill ivar result))
+    ivars;
+  List.map
+    (fun (node, ivar) ->
+      match Sim.Ivar.read ivar with Ok v -> (node, v) | Error e -> raise e)
+    ivars
+
+let exec_multi cluster ~mode (mtx : Mtx.t) nodes =
+  let cfg = Cluster.config cluster in
+  let metrics = Cluster.metrics cluster in
+  let parts = List.map (fun node -> (node, Memnode.part_of_mtx mtx ~node)) nodes in
+  let rec attempt n =
+    if n > cfg.Config.max_retries then begin
+      Sim.Metrics.incr metrics "mtx.retry_budget_exhausted";
+      Mtx.Busy
+    end
+    else begin
+      let owner = Cluster.fresh_owner cluster in
+      (* Phase one: prepare at every participant in parallel. *)
+      let prepare node =
+        let part = List.assoc node parts in
+        let cost = Memnode.part_cost cfg part in
+        let bytes_out = Memnode.part_bytes part + request_overhead in
+        let resp_bytes = function
+          | Memnode.Prepared reads -> read_bytes_of_result reads
+          | Memnode.Busy_locks | Memnode.Compare_failed _ -> response_overhead
+        in
+        round_trip cluster node ~bytes_out ~resp_bytes (fun mn store ->
+            match mode with
+            | Normal -> Memnode.prepare_timed mn store ~owner part ~cost
+            | Blocking ->
+                Memnode.prepare_blocking_timed mn store ~owner part ~cost
+                  ~timeout:cfg.Config.blocking_timeout)
+      in
+      let results = parallel_map cluster nodes prepare in
+      let prepared_nodes =
+        List.filter_map
+          (fun (node, r) -> match r with Memnode.Prepared _ -> Some node | _ -> None)
+          results
+      in
+      let abort_prepared () =
+        ignore
+          (parallel_map cluster prepared_nodes (fun node ->
+               round_trip cluster node ~bytes_out:request_overhead
+                 ~resp_bytes:(fun () -> response_overhead)
+                 (fun mn store -> Memnode.abort_timed mn store ~owner ~cost:cfg.Config.svc_msg)))
+      in
+      let failed_compares =
+        List.concat_map
+          (fun (_, r) -> match r with Memnode.Compare_failed idxs -> idxs | _ -> [])
+          results
+      in
+      if failed_compares <> [] then begin
+        abort_prepared ();
+        Sim.Metrics.incr metrics "mtx.compare_failed";
+        Mtx.Failed_compare (List.sort_uniq Int.compare failed_compares)
+      end
+      else if List.exists (fun (_, r) -> r = Memnode.Busy_locks) results then begin
+        abort_prepared ();
+        Sim.Metrics.incr metrics "mtx.busy_retries";
+        backoff_delay cluster n;
+        attempt (n + 1)
+      end
+      else begin
+        (* Phase two: commit everywhere in parallel, then mirror. *)
+        ignore
+          (parallel_map cluster nodes (fun node ->
+               let part = List.assoc node parts in
+               round_trip cluster node
+                 ~bytes_out:(Memnode.part_bytes part + request_overhead)
+                 ~resp_bytes:(fun () -> response_overhead)
+                 (fun mn store ->
+                   Memnode.commit_timed mn store ~owner part ~cost:(Memnode.part_cost cfg part);
+                   if part.p_writes <> [] then Cluster.mirror cluster node part.p_writes)));
+        Sim.Metrics.incr metrics "mtx.committed_2pc";
+        let reads =
+          List.concat_map
+            (fun (_, r) -> match r with Memnode.Prepared reads -> reads | _ -> [])
+            results
+        in
+        outcome_of_reads mtx (merge_reads [ reads ])
+      end
+    end
+  in
+  attempt 0
+
+let exec cluster ?(mode = Normal) mtx =
+  if Mtx.is_empty mtx then Mtx.Committed []
+  else
+    match
+      match Mtx.memnodes mtx with
+      | [] -> Mtx.Committed []
+      | [ node ] -> exec_single cluster ~mode mtx node
+      | nodes -> exec_multi cluster ~mode mtx nodes
+    with
+    | outcome -> outcome
+    | exception Cluster.Unavailable _ ->
+        (* A participant (and its backup) is down; surface it as an
+           outcome instead of tearing the caller down. *)
+        Sim.Metrics.incr (Cluster.metrics cluster) "mtx.unavailable";
+        Mtx.Unavailable

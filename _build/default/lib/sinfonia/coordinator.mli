@@ -1,0 +1,22 @@
+(** Minitransaction execution protocol (the proxy-side Sinfonia
+    library).
+
+    Single-memnode minitransactions commit in one phase (one round
+    trip); multi-memnode minitransactions use two-phase commit. A busy
+    lock aborts the attempt and the coordinator retries transparently
+    with randomized exponential backoff (Sec. 2.1). Blocking
+    minitransactions instead wait at the memnode for locks, up to the
+    configured threshold (Sec. 4.1). *)
+
+type mode =
+  | Normal  (** Abort-and-retry on busy locks. *)
+  | Blocking  (** Wait at memnodes for locks, bounded by the config threshold. *)
+
+val exec : Cluster.t -> ?mode:mode -> Mtx.t -> Mtx.outcome
+(** Execute a minitransaction to completion. [Busy] is only returned
+    if the retry budget ([Config.max_retries]) is exhausted — callers
+    treat it as an abort. Must run inside a simulation. *)
+
+val round_trips : Mtx.t -> int
+(** Round trips a successful execution takes (1 for single-memnode, 2
+    for distributed), exposed for tests and cost reasoning. *)

@@ -1,0 +1,41 @@
+(** A memnode's linear byte-addressable storage.
+
+    Storage is paged and sparse: only written 64 KiB pages consume
+    memory, up to a configurable capacity that mirrors the memnode's
+    DRAM budget. Reads of never-written bytes return zeros (as freshly
+    mapped memory would). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 1 GiB of simulated address space. *)
+
+val capacity : t -> int
+
+val high_water : t -> int
+(** Highest offset ever written + 1 (0 if untouched). *)
+
+val resident : t -> int
+(** Bytes of actually-materialized storage (whole pages). *)
+
+exception Out_of_space
+
+val write : t -> off:int -> string -> unit
+(** Raises {!Out_of_space} when the write would exceed capacity, and
+    [Invalid_argument] on negative offsets or when called with an empty
+    string. *)
+
+val read : t -> off:int -> len:int -> string
+(** Reading past the high-water mark yields zero bytes (within
+    capacity); reading past capacity raises [Invalid_argument]. *)
+
+val equal_at : t -> off:int -> string -> bool
+(** [equal_at t ~off expected] compares stored bytes with [expected]
+    without copying. *)
+
+val snapshot : t -> string
+(** Copy of the heap contents up to the high-water mark (for
+    replication and tests). *)
+
+val restore : t -> string -> unit
+(** Overwrite contents from a {!snapshot} string. *)

@@ -1,0 +1,201 @@
+type store = { heap : Heap.t; mutable locks : Lock_table.t }
+
+let store_heap s = s.heap
+
+let store_locks s = s.locks
+
+type t = {
+  id : int;
+  cpu : Sim.Resource.t;
+  mutable primary_store : store;
+  replicas : (int, store) Hashtbl.t;
+  mutable crashed : bool;
+  heap_capacity : int;
+}
+
+let make_store capacity = { heap = Heap.create ~capacity (); locks = Lock_table.create () }
+
+let create ~id ~cores ~heap_capacity =
+  {
+    id;
+    cpu = Sim.Resource.create ~name:(Printf.sprintf "memnode-%d" id) ~servers:cores ();
+    primary_store = make_store heap_capacity;
+    replicas = Hashtbl.create 4;
+    crashed = false;
+    heap_capacity;
+  }
+
+let id t = t.id
+
+let cpu t = t.cpu
+
+let primary t = t.primary_store
+
+let crashed t = t.crashed
+
+let crash t =
+  t.crashed <- true;
+  (* Volatile lock state dies with the node. *)
+  t.primary_store.locks <- Lock_table.create ()
+
+let recover t ~from_replica =
+  Heap.restore t.primary_store.heap (Heap.snapshot from_replica.heap);
+  t.primary_store.locks <- Lock_table.create ();
+  t.crashed <- false
+
+let add_replica t ~of_node ~heap_capacity =
+  match Hashtbl.find_opt t.replicas of_node with
+  | Some s -> s
+  | None ->
+      let s = make_store heap_capacity in
+      Hashtbl.add t.replicas of_node s;
+      s
+
+let replica t ~of_node = Hashtbl.find_opt t.replicas of_node
+
+let recover_orphaned_locks t ~lease =
+  let cutoff = Sim.now () -. lease in
+  let stores = t.primary_store :: Hashtbl.fold (fun _ s acc -> s :: acc) t.replicas [] in
+  List.fold_left
+    (fun count store ->
+      let orphans = Lock_table.owners_older_than store.locks cutoff in
+      List.iter (fun owner -> Lock_table.release store.locks ~owner) orphans;
+      count + List.length orphans)
+    0 stores
+
+let serve t ~cost = if cost > 0.0 then Sim.Resource.use t.cpu ~service_time:cost
+
+(* -------------------------------------------------------------------- *)
+(* Participant logic                                                     *)
+(* -------------------------------------------------------------------- *)
+
+type part = {
+  p_compares : (int * Mtx.compare_item) list;
+  p_reads : (int * Mtx.read_item) list;
+  p_writes : Mtx.write_item list;
+}
+
+let part_of_mtx (mtx : Mtx.t) ~node =
+  let on_node addr = addr.Address.node = node in
+  {
+    p_compares =
+      List.mapi (fun i c -> (i, c)) mtx.compares
+      |> List.filter (fun (_, c) -> on_node c.Mtx.c_addr);
+    p_reads =
+      List.mapi (fun i r -> (i, r)) mtx.reads
+      |> List.filter (fun (_, r) -> on_node r.Mtx.r_addr);
+    p_writes = List.filter (fun w -> on_node w.Mtx.w_addr) mtx.writes;
+  }
+
+let part_item_count p = List.length p.p_compares + List.length p.p_reads + List.length p.p_writes
+
+let part_bytes p =
+  List.fold_left (fun acc (_, c) -> acc + String.length c.Mtx.c_expected) 0 p.p_compares
+  + List.fold_left (fun acc (_, r) -> acc + r.Mtx.r_len) 0 p.p_reads
+  + List.fold_left (fun acc w -> acc + String.length w.Mtx.w_data) 0 p.p_writes
+  + (Address.encoded_size * part_item_count p)
+
+let part_cost (cfg : Config.t) p =
+  cfg.svc_msg
+  +. (cfg.svc_item *. float_of_int (part_item_count p))
+  +. (cfg.svc_per_kb *. (float_of_int (part_bytes p) /. 1024.0))
+
+let ranges_of_part p =
+  let range_of_addr (addr : Address.t) len mode = { Lock_table.start = addr.off; len; mode } in
+  List.map
+    (fun (_, c) ->
+      range_of_addr c.Mtx.c_addr (String.length c.Mtx.c_expected) Lock_table.Shared)
+    p.p_compares
+  @ List.map (fun (_, r) -> range_of_addr r.Mtx.r_addr r.Mtx.r_len Lock_table.Shared) p.p_reads
+  @ List.map
+      (fun w -> range_of_addr w.Mtx.w_addr (String.length w.Mtx.w_data) Lock_table.Exclusive)
+      p.p_writes
+
+type prepare_result =
+  | Prepared of (int * string) list
+  | Busy_locks
+  | Compare_failed of int list
+
+let evaluate_and_read store ~owner p =
+  let failed =
+    List.filter_map
+      (fun (idx, c) ->
+        if Heap.equal_at store.heap ~off:c.Mtx.c_addr.Address.off c.Mtx.c_expected then None
+        else Some idx)
+      p.p_compares
+  in
+  if failed <> [] then begin
+    Lock_table.release store.locks ~owner;
+    Compare_failed failed
+  end
+  else
+    let reads =
+      List.map
+        (fun (idx, r) -> (idx, Heap.read store.heap ~off:r.Mtx.r_addr.Address.off ~len:r.Mtx.r_len))
+        p.p_reads
+    in
+    Prepared reads
+
+let prepare store ~owner p =
+  if Lock_table.try_acquire store.locks ~owner (ranges_of_part p) then
+    evaluate_and_read store ~owner p
+  else Busy_locks
+
+let prepare_blocking store ~owner p ~timeout =
+  if Lock_table.acquire_blocking store.locks ~owner (ranges_of_part p) ~timeout then
+    evaluate_and_read store ~owner p
+  else Busy_locks
+
+let apply_writes store writes =
+  List.iter (fun w -> Heap.write store.heap ~off:w.Mtx.w_addr.Address.off w.Mtx.w_data) writes
+
+let commit store ~owner p =
+  apply_writes store p.p_writes;
+  Lock_table.release store.locks ~owner
+
+let abort store ~owner = Lock_table.release store.locks ~owner
+
+let finish_single store ~owner p = function
+  | Prepared _ as r ->
+      commit store ~owner p;
+      r
+  | (Busy_locks | Compare_failed _) as r -> r
+
+let execute_single store ~owner p = finish_single store ~owner p (prepare store ~owner p)
+
+let execute_single_blocking store ~owner p ~timeout =
+  finish_single store ~owner p (prepare_blocking store ~owner p ~timeout)
+
+(* Timed variants: a small reception cost decides lock acquisition; the
+   bulk of the service time is spent holding the locks. *)
+let reception_cost cost = Float.min cost 2e-6
+
+let prepare_timed t store ~owner p ~cost =
+  serve t ~cost:(reception_cost cost);
+  if Lock_table.try_acquire store.locks ~owner (ranges_of_part p) then begin
+    serve t ~cost:(cost -. reception_cost cost);
+    evaluate_and_read store ~owner p
+  end
+  else Busy_locks
+
+let prepare_blocking_timed t store ~owner p ~cost ~timeout =
+  serve t ~cost:(reception_cost cost);
+  if Lock_table.acquire_blocking store.locks ~owner (ranges_of_part p) ~timeout then begin
+    serve t ~cost:(cost -. reception_cost cost);
+    evaluate_and_read store ~owner p
+  end
+  else Busy_locks
+
+let commit_timed t store ~owner p ~cost =
+  serve t ~cost;
+  commit store ~owner p
+
+let abort_timed t store ~owner ~cost =
+  serve t ~cost;
+  abort store ~owner
+
+let execute_single_timed t store ~owner p ~cost =
+  finish_single store ~owner p (prepare_timed t store ~owner p ~cost)
+
+let execute_single_blocking_timed t store ~owner p ~cost ~timeout =
+  finish_single store ~owner p (prepare_blocking_timed t store ~owner p ~cost ~timeout)

@@ -1,0 +1,124 @@
+(** A memnode: storage node participating in minitransactions.
+
+    A memnode owns a primary store (heap + lock table) and may host
+    replica stores for other memnodes (primary-backup replication). The
+    participant-side minitransaction logic lives here; message timing and
+    the commit protocol live in {!Coordinator}. *)
+
+(** One store: a heap plus its lock table. *)
+type store
+
+val store_heap : store -> Heap.t
+
+val store_locks : store -> Lock_table.t
+
+type t
+
+val create : id:int -> cores:int -> heap_capacity:int -> t
+
+val id : t -> int
+
+val cpu : t -> Sim.Resource.t
+
+val primary : t -> store
+
+val crashed : t -> bool
+
+val crash : t -> unit
+(** Mark the node crashed. Its primary store stops serving; lock state
+    is wiped (as a real crash would). *)
+
+val recover : t -> from_replica:store -> unit
+(** Restore the primary store's contents from a replica image and mark
+    the node alive. *)
+
+val add_replica : t -> of_node:int -> heap_capacity:int -> store
+(** Host a replica store for memnode [of_node] on this node. *)
+
+val replica : t -> of_node:int -> store option
+
+val recover_orphaned_locks : t -> lease:float -> int
+(** Release every lock held longer than [lease] simulated seconds: the
+    owning coordinator is presumed crashed mid-protocol, and its
+    minitransaction is resolved as aborted (Sinfonia's recovery
+    decision for unprepared transactions). Returns the number of owners
+    recovered. *)
+
+val serve : t -> cost:float -> unit
+(** Occupy one CPU core of this memnode for [cost] simulated seconds
+    (FCFS). *)
+
+(** {1 Participant-side minitransaction logic}
+
+    These functions are pure state transitions on a [store]; the caller
+    is responsible for paying network and CPU costs first. *)
+
+(** The slice of a minitransaction addressed to one memnode. Compare and
+    read items carry their index in the original minitransaction. *)
+type part = {
+  p_compares : (int * Mtx.compare_item) list;
+  p_reads : (int * Mtx.read_item) list;
+  p_writes : Mtx.write_item list;
+}
+
+val part_of_mtx : Mtx.t -> node:int -> part
+(** Project the items of [mtx] that live on [node]. *)
+
+val part_cost : Config.t -> part -> float
+(** CPU service time to process this part in one message. *)
+
+val part_bytes : part -> int
+(** Approximate request size in bytes, for the network model. *)
+
+type prepare_result =
+  | Prepared of (int * string) list
+      (** Locks held; compares passed; read results tagged with their
+          global indices. *)
+  | Busy_locks
+  | Compare_failed of int list  (** Locks released. *)
+
+val prepare : store -> owner:int64 -> part -> prepare_result
+(** Phase one: acquire locks all-or-nothing, evaluate compares, perform
+    reads. On success, locks remain held until {!commit} or {!abort}. *)
+
+val prepare_blocking : store -> owner:int64 -> part -> timeout:float -> prepare_result
+(** Like {!prepare} but waits (bounded) for busy locks instead of
+    failing. Returns [Busy_locks] only on timeout. *)
+
+val commit : store -> owner:int64 -> part -> unit
+(** Phase two: apply the part's writes and release the owner's locks. *)
+
+val abort : store -> owner:int64 -> unit
+(** Release the owner's locks without writing. *)
+
+val execute_single : store -> owner:int64 -> part -> prepare_result
+(** One-phase execution for single-memnode minitransactions: prepare,
+    and on success immediately commit. No locks survive the call. *)
+
+val execute_single_blocking :
+  store -> owner:int64 -> part -> timeout:float -> prepare_result
+
+(** {1 Timed participant operations}
+
+    Same state transitions as above, but the memnode's CPU service time
+    is spent {e while the locks are held}, which is what makes lock
+    contention real: a concurrent minitransaction arriving during the
+    service window sees busy locks (or waits, for blocking
+    minitransactions). Used by {!Coordinator}. *)
+
+val prepare_timed : t -> store -> owner:int64 -> part -> cost:float -> prepare_result
+
+val prepare_blocking_timed :
+  t -> store -> owner:int64 -> part -> cost:float -> timeout:float -> prepare_result
+
+val commit_timed : t -> store -> owner:int64 -> part -> cost:float -> unit
+
+val abort_timed : t -> store -> owner:int64 -> cost:float -> unit
+
+val execute_single_timed : t -> store -> owner:int64 -> part -> cost:float -> prepare_result
+
+val execute_single_blocking_timed :
+  t -> store -> owner:int64 -> part -> cost:float -> timeout:float -> prepare_result
+
+val apply_writes : store -> Mtx.write_item list -> unit
+(** Raw write application (used by replication mirroring). *)

@@ -1,0 +1,61 @@
+type compare_item = { c_addr : Address.t; c_expected : string }
+
+type read_item = { r_addr : Address.t; r_len : int }
+
+type write_item = { w_addr : Address.t; w_data : string }
+
+type t = {
+  compares : compare_item list;
+  reads : read_item list;
+  writes : write_item list;
+}
+
+let empty = { compares = []; reads = []; writes = [] }
+
+let make ?(compares = []) ?(reads = []) ?(writes = []) () = { compares; reads; writes }
+
+let compare_at addr expected = { c_addr = addr; c_expected = expected }
+
+let read_at addr len =
+  if len <= 0 then invalid_arg "Mtx.read_at: length must be positive";
+  { r_addr = addr; r_len = len }
+
+let write_at addr data =
+  if String.length data = 0 then invalid_arg "Mtx.write_at: empty write";
+  { w_addr = addr; w_data = data }
+
+let is_empty t = t.compares = [] && t.reads = [] && t.writes = []
+
+let is_read_only t = t.writes = []
+
+let memnodes t =
+  let nodes =
+    List.map (fun c -> c.c_addr.Address.node) t.compares
+    @ List.map (fun r -> r.r_addr.Address.node) t.reads
+    @ List.map (fun w -> w.w_addr.Address.node) t.writes
+  in
+  List.sort_uniq Int.compare nodes
+
+let item_count t = List.length t.compares + List.length t.reads + List.length t.writes
+
+let byte_count t =
+  List.fold_left (fun acc c -> acc + String.length c.c_expected) 0 t.compares
+  + List.fold_left (fun acc r -> acc + r.r_len) 0 t.reads
+  + List.fold_left (fun acc w -> acc + String.length w.w_data) 0 t.writes
+
+type outcome =
+  | Committed of (Address.t * string) list
+  | Failed_compare of int list
+  | Busy
+  | Unavailable
+
+let pp_outcome fmt = function
+  | Committed reads -> Format.fprintf fmt "Committed(%d reads)" (List.length reads)
+  | Failed_compare idxs ->
+      Format.fprintf fmt "Failed_compare[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f ";")
+           Format.pp_print_int)
+        idxs
+  | Busy -> Format.pp_print_string fmt "Busy"
+  | Unavailable -> Format.pp_print_string fmt "Unavailable"

@@ -1,0 +1,56 @@
+(** Minitransaction specifications and results.
+
+    A minitransaction atomically: (1) compares bytes at a set of
+    locations against expected values, and if every comparison succeeds
+    (2) returns the bytes at a set of read locations and (3) applies a
+    set of writes. Locations are declared up front (Sec. 2.1). *)
+
+type compare_item = { c_addr : Address.t; c_expected : string }
+
+type read_item = { r_addr : Address.t; r_len : int }
+
+type write_item = { w_addr : Address.t; w_data : string }
+
+type t = {
+  compares : compare_item list;
+  reads : read_item list;
+  writes : write_item list;
+}
+
+val empty : t
+
+val make :
+  ?compares:compare_item list ->
+  ?reads:read_item list ->
+  ?writes:write_item list ->
+  unit ->
+  t
+
+val compare_at : Address.t -> string -> compare_item
+
+val read_at : Address.t -> int -> read_item
+
+val write_at : Address.t -> string -> write_item
+
+val is_empty : t -> bool
+
+val is_read_only : t -> bool
+
+val memnodes : t -> int list
+(** Sorted list of distinct memnode ids touched. *)
+
+val item_count : t -> int
+
+val byte_count : t -> int
+(** Total payload bytes (compares + reads + writes), used for cost
+    modelling. *)
+
+type outcome =
+  | Committed of (Address.t * string) list
+      (** Read results, in the order of [reads]. *)
+  | Failed_compare of int list
+      (** Indices (into [compares]) of the comparisons that failed. *)
+  | Busy  (** A lock could not be acquired; caller should retry. *)
+  | Unavailable  (** A participant memnode is crashed and not failed over. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

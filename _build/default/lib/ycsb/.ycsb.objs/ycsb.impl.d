@@ -1,0 +1,1 @@
+lib/ycsb/ycsb.ml: Driver Keygen Workload

@@ -1,0 +1,1 @@
+lib/ycsb/driver.ml: Format Hashtbl List Printf Sim String Workload

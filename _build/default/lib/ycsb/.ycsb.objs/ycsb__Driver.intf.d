@@ -1,0 +1,1 @@
+lib/ycsb/driver.mli: Format Sim Workload

@@ -1,0 +1,1 @@
+lib/ycsb/keygen.ml: Int64 Printf Sim

@@ -1,0 +1,1 @@
+lib/ycsb/workload.ml: Keygen Seq Sim

@@ -1,0 +1,112 @@
+let key_of_int i = Printf.sprintf "u%013d" i
+
+let fnv64 i =
+  (* FNV-1a over the 8 little-endian bytes of [i]. *)
+  let offset_basis = 0xCBF29CE484222325L in
+  let prime = 0x100000001B3L in
+  let h = ref offset_basis in
+  for shift = 0 to 7 do
+    let byte = Int64.of_int ((i lsr (shift * 8)) land 0xff) in
+    h := Int64.mul (Int64.logxor !h byte) prime
+  done;
+  !h
+
+let hashed_key_of_int i =
+  (* Mask to 62 bits so Int64.to_int never wraps negative. *)
+  let h = Int64.to_int (Int64.logand (fnv64 i) 0x3FFF_FFFF_FFFF_FFFFL) in
+  key_of_int (h mod 10_000_000_000_000)
+
+(* Zipfian sampler after Gray et al., as used by YCSB. State depends on
+   [n]; zeta(n) is maintained incrementally when n grows. *)
+type zipf_state = {
+  theta : float;
+  mutable zn : int;
+  mutable zetan : float;
+  zeta2 : float;
+  mutable alpha : float;
+  mutable eta : float;
+}
+
+type kind =
+  | Uniform
+  | Zipfian of zipf_state
+  | Latest of zipf_state
+  | Sequence of int ref
+
+type t = { kind : kind; mutable n : int }
+
+let zeta_incr ~theta ~from ~until acc =
+  let z = ref acc in
+  for i = from + 1 to until do
+    z := !z +. (1.0 /. (float_of_int i ** theta))
+  done;
+  !z
+
+let make_zipf ~theta ~n =
+  let zetan = zeta_incr ~theta ~from:0 ~until:n 0.0 in
+  let zeta2 = zeta_incr ~theta ~from:0 ~until:2 0.0 in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. theta))) /. (1.0 -. (zeta2 /. zetan))
+  in
+  { theta; zn = n; zetan; zeta2; alpha; eta }
+
+let refresh_zipf z ~n =
+  if n <> z.zn then begin
+    if n > z.zn then z.zetan <- zeta_incr ~theta:z.theta ~from:z.zn ~until:n z.zetan
+    else z.zetan <- zeta_incr ~theta:z.theta ~from:0 ~until:n 0.0;
+    z.zn <- n;
+    z.eta <-
+      (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. z.theta))) /. (1.0 -. (z.zeta2 /. z.zetan))
+  end
+
+let zipf_next z rng =
+  let u = Sim.Rng.unit_float rng in
+  let uz = u *. z.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. (0.5 ** z.theta) then 1
+  else
+    let v = float_of_int z.zn *. (((z.eta *. u) -. z.eta +. 1.0) ** z.alpha) in
+    min (z.zn - 1) (int_of_float v)
+
+let uniform ~n =
+  if n <= 0 then invalid_arg "Keygen.uniform: n must be positive";
+  { kind = Uniform; n }
+
+let zipfian ?(theta = 0.99) ~n () =
+  if n <= 0 then invalid_arg "Keygen.zipfian: n must be positive";
+  if theta <= 0.0 || theta >= 1.0 then invalid_arg "Keygen.zipfian: theta must be in (0,1)";
+  { kind = Zipfian (make_zipf ~theta ~n); n }
+
+let latest ~n =
+  if n <= 0 then invalid_arg "Keygen.latest: n must be positive";
+  { kind = Latest (make_zipf ~theta:0.99 ~n); n }
+
+let sequence ~start = { kind = Sequence (ref start); n = max 0 start }
+
+let next t rng =
+  match t.kind with
+  | Uniform -> Sim.Rng.int rng t.n
+  | Zipfian z ->
+      refresh_zipf z ~n:t.n;
+      let raw = zipf_next z rng in
+      (* Scramble so popular items are spread over the key space. *)
+      Int64.to_int (Int64.rem (Int64.shift_right_logical (fnv64 raw) 1) (Int64.of_int t.n))
+  | Latest z ->
+      refresh_zipf z ~n:t.n;
+      (* Most recent ordinal is the most popular. *)
+      t.n - 1 - zipf_next z rng
+  | Sequence counter ->
+      let v = !counter in
+      incr counter;
+      if v >= t.n then t.n <- v + 1;
+      v
+
+let set_n t n =
+  match t.kind with
+  | Sequence _ -> ()
+  | Uniform | Zipfian _ | Latest _ ->
+      if n <= 0 then invalid_arg "Keygen.set_n: n must be positive";
+      t.n <- n
+
+let current_n t = t.n

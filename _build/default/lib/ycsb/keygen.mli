@@ -1,0 +1,43 @@
+(** Key generators in the style of the Yahoo! Cloud Serving Benchmark
+    (Cooper et al., SoCC'10), which the paper uses for every
+    experiment.
+
+    Keys are fixed-width strings (14 bytes, as in Sec. 6.1): a one-byte
+    prefix plus a zero-padded decimal. Generators are deterministic
+    functions of their {!Sim.Rng.t}. *)
+
+val key_of_int : int -> string
+(** The canonical 14-byte key for ordinal [i]. Preserves numeric order. *)
+
+val hashed_key_of_int : int -> string
+(** Key for ordinal [i] under FNV hashing, spreading inserts across the
+    key space (YCSB's default insert order). *)
+
+val fnv64 : int -> int64
+(** FNV-1a of the little-endian bytes of an int (YCSB's scramble). *)
+
+(** Distribution over item ordinals [\[0, n)]. *)
+type t
+
+val uniform : n:int -> t
+
+val zipfian : ?theta:float -> n:int -> unit -> t
+(** Scrambled zipfian with parameter [theta] (default 0.99, YCSB's
+    default): item popularity follows a zipf law but popular items are
+    scattered over the key space. *)
+
+val latest : n:int -> t
+(** Skewed toward the most recently inserted ordinals; combine with
+    {!set_n} as inserts grow the key space. *)
+
+val sequence : start:int -> t
+(** 0, 1, 2, ... (load phase). [n] grows automatically. *)
+
+val next : t -> Sim.Rng.t -> int
+(** Sample an ordinal. *)
+
+val set_n : t -> int -> unit
+(** Grow (or shrink) the item count, e.g. after inserts. No-op for
+    [sequence]. *)
+
+val current_n : t -> int

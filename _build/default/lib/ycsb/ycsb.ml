@@ -1,0 +1,7 @@
+(** Umbrella module of the [ycsb] library: a reimplementation of the
+    Yahoo! Cloud Serving Benchmark workload generator and closed-loop
+    driver used throughout the paper's evaluation (Sec. 6.1). *)
+
+module Keygen = Keygen
+module Workload = Workload
+module Driver = Driver

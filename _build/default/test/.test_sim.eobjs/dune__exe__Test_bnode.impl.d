@@ -1,0 +1,1 @@
+test/test_bnode.ml: Alcotest Array Bkey Bnode Btree Codec Dyntxn Gen Int64 List Map QCheck QCheck_alcotest Result Sinfonia String

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Bkey Btree Dyntxn Int Int64 Layout List Map Node_alloc Ops Option Printf Sim Sinfonia String

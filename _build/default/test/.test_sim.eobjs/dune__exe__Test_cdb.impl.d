@@ -1,0 +1,1 @@
+test/test_cdb.ml: Alcotest Cdb List Printf Sim

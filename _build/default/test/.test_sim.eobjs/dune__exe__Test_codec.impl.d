@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bytes Codec Int64 List QCheck QCheck_alcotest String

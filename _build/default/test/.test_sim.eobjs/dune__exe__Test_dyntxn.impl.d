@@ -1,0 +1,1 @@
+test/test_dyntxn.ml: Address Alcotest Array Cluster Dyntxn Heap Int64 Memnode Objcache Objref Printf Sim Sinfonia String Txn

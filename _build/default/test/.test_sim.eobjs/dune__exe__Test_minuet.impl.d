@@ -1,0 +1,1 @@
+test/test_minuet.ml: Alcotest Btree Dyntxn Int64 List Minuet Mvcc Option Printf Sim

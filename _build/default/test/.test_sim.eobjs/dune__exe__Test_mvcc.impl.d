@@ -1,0 +1,1 @@
+test/test_mvcc.ml: Alcotest Array Bnode Btree Dyntxn Hashtbl Int64 Layout List Map Mvcc Node_alloc Ops Printf Sim Sinfonia String

@@ -1,0 +1,1 @@
+test/test_sinfonia.ml: Address Alcotest Bytes Cluster Codec Config Coordinator Float Gen Heap Int64 List Lock_table Memnode Mtx Printf QCheck QCheck_alcotest Sim Sinfonia String

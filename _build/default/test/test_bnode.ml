@@ -1,0 +1,348 @@
+(* Tests for pure B-tree node operations and their codec. *)
+
+let check = Alcotest.check
+
+open Btree
+module Objref = Dyntxn.Objref
+
+let ref_ node off = Objref.make ~addr:(Sinfonia.Address.make ~node ~off) ~len:4096
+
+let leaf ?(low = Bkey.Neg_inf) ?(high = Bkey.Pos_inf) ?(snap = 0L) entries =
+  Bnode.make_leaf ~low ~high ~snap (Array.of_list entries)
+
+let internal ?(low = Bkey.Neg_inf) ?(high = Bkey.Pos_inf) ?(snap = 0L) ~height keys children =
+  Bnode.make_internal ~height ~low ~high ~snap ~keys:(Array.of_list keys)
+    ~children:(Array.of_list children)
+
+(* ------------------------------------------------------------------ *)
+(* Fences                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_fence_order () =
+  check Alcotest.bool "neg < key" true (Bkey.fence_compare Bkey.Neg_inf (Bkey.Key "a") < 0);
+  check Alcotest.bool "key < pos" true (Bkey.fence_compare (Bkey.Key "z") Bkey.Pos_inf < 0);
+  check Alcotest.bool "key order" true (Bkey.fence_compare (Bkey.Key "a") (Bkey.Key "b") < 0);
+  check Alcotest.bool "equal" true (Bkey.fence_equal (Bkey.Key "a") (Bkey.Key "a"));
+  check Alcotest.bool "neg = neg" true (Bkey.fence_equal Bkey.Neg_inf Bkey.Neg_inf)
+
+let test_in_range () =
+  check Alcotest.bool "inside" true (Bkey.in_range "m" ~low:(Bkey.Key "a") ~high:(Bkey.Key "z"));
+  check Alcotest.bool "low inclusive" true
+    (Bkey.in_range "a" ~low:(Bkey.Key "a") ~high:(Bkey.Key "z"));
+  check Alcotest.bool "high exclusive" false
+    (Bkey.in_range "z" ~low:(Bkey.Key "a") ~high:(Bkey.Key "z"));
+  check Alcotest.bool "below" false (Bkey.in_range "0" ~low:(Bkey.Key "a") ~high:(Bkey.Key "z"));
+  check Alcotest.bool "full range" true (Bkey.in_range "" ~low:Bkey.Neg_inf ~high:Bkey.Pos_inf)
+
+let test_fence_codec () =
+  let roundtrip f =
+    let e = Codec.Enc.create () in
+    Bkey.encode_fence e f;
+    Bkey.decode_fence (Codec.Dec.of_string (Codec.Enc.to_string e))
+  in
+  List.iter
+    (fun f -> check Alcotest.bool "fence roundtrip" true (Bkey.fence_equal f (roundtrip f)))
+    [ Bkey.Neg_inf; Bkey.Pos_inf; Bkey.Key ""; Bkey.Key "some key" ]
+
+(* ------------------------------------------------------------------ *)
+(* Leaf operations                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_leaf_insert_find () =
+  let n = leaf [] in
+  let n = Bnode.leaf_insert n "b" "2" in
+  let n = Bnode.leaf_insert n "a" "1" in
+  let n = Bnode.leaf_insert n "c" "3" in
+  check (Alcotest.option Alcotest.string) "a" (Some "1") (Bnode.leaf_find n "a");
+  check (Alcotest.option Alcotest.string) "b" (Some "2") (Bnode.leaf_find n "b");
+  check (Alcotest.option Alcotest.string) "c" (Some "3") (Bnode.leaf_find n "c");
+  check (Alcotest.option Alcotest.string) "missing" None (Bnode.leaf_find n "d");
+  check
+    (Alcotest.list Alcotest.string)
+    "sorted" [ "a"; "b"; "c" ]
+    (Array.to_list (Array.map fst (Bnode.leaf_entries n)))
+
+let test_leaf_insert_replace () =
+  let n = leaf [ ("a", "1") ] in
+  let n = Bnode.leaf_insert n "a" "updated" in
+  check Alcotest.int "no duplicate" 1 (Bnode.nkeys n);
+  check (Alcotest.option Alcotest.string) "replaced" (Some "updated") (Bnode.leaf_find n "a")
+
+let test_leaf_remove () =
+  let n = leaf [ ("a", "1"); ("b", "2"); ("c", "3") ] in
+  (match Bnode.leaf_remove n "b" with
+  | None -> Alcotest.fail "should remove"
+  | Some n' ->
+      check Alcotest.int "two left" 2 (Bnode.nkeys n');
+      check (Alcotest.option Alcotest.string) "gone" None (Bnode.leaf_find n' "b");
+      check (Alcotest.option Alcotest.string) "kept" (Some "1") (Bnode.leaf_find n' "a"));
+  check Alcotest.bool "absent" true (Bnode.leaf_remove n "x" = None)
+
+let test_leaf_entries_from () =
+  let n = leaf [ ("a", "1"); ("c", "3"); ("e", "5") ] in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "from existing"
+    [ ("c", "3"); ("e", "5") ]
+    (Bnode.leaf_entries_from n "c");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "from between"
+    [ ("c", "3"); ("e", "5") ]
+    (Bnode.leaf_entries_from n "b");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "past end" [] (Bnode.leaf_entries_from n "z")
+
+(* ------------------------------------------------------------------ *)
+(* Internal node operations                                             *)
+(* ------------------------------------------------------------------ *)
+
+let c0 = ref_ 0 4096
+
+let c1 = ref_ 1 4096
+
+let c2 = ref_ 2 4096
+
+let c3 = ref_ 0 8192
+
+let test_child_for () =
+  let n = internal ~height:1 [ "g"; "p" ] [ c0; c1; c2 ] in
+  let idx k = fst (Bnode.child_for n k) in
+  check Alcotest.int "below g" 0 (idx "a");
+  check Alcotest.int "at g" 1 (idx "g");
+  check Alcotest.int "between" 1 (idx "m");
+  check Alcotest.int "at p" 2 (idx "p");
+  check Alcotest.int "above" 2 (idx "z")
+
+let test_child_fences () =
+  let n = internal ~low:(Bkey.Key "a") ~high:(Bkey.Key "z") ~height:1 [ "g"; "p" ] [ c0; c1; c2 ] in
+  let f i = Bnode.child_fences n i in
+  check Alcotest.bool "first" true
+    (f 0 = (Bkey.Key "a", Bkey.Key "g") && f 1 = (Bkey.Key "g", Bkey.Key "p"));
+  check Alcotest.bool "last" true (f 2 = (Bkey.Key "p", Bkey.Key "z"))
+
+let test_replace_child () =
+  let n = internal ~height:1 [ "g" ] [ c0; c1 ] in
+  let n' = Bnode.replace_child n 1 c2 in
+  check Alcotest.bool "replaced" true (Objref.equal (Bnode.child_at n' 1) c2);
+  check Alcotest.bool "other untouched" true (Objref.equal (Bnode.child_at n' 0) c0)
+
+let test_insert_sep () =
+  (* Child at index 1 split with separator "m": new right child c3. *)
+  let n = internal ~height:1 [ "g"; "p" ] [ c0; c1; c2 ] in
+  let n' = Bnode.insert_sep n ~at:1 ~sep:"m" ~right:c3 in
+  check Alcotest.int "three seps" 3 (Bnode.nkeys n');
+  let idx k = fst (Bnode.child_for n' k) in
+  check Alcotest.int "h -> left half" 1 (idx "h");
+  check Alcotest.int "m -> new right" 2 (idx "m");
+  check Alcotest.int "n -> new right" 2 (idx "n");
+  check Alcotest.int "p -> old last" 3 (idx "p");
+  check Alcotest.bool "new child" true (Objref.equal (Bnode.child_at n' 2) c3)
+
+(* ------------------------------------------------------------------ *)
+(* Split                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_split_leaf () =
+  let n = leaf ~low:(Bkey.Key "a") ~high:(Bkey.Key "z") [ ("b", "1"); ("d", "2"); ("f", "3"); ("h", "4") ] in
+  let l, sep, r = Bnode.split n in
+  check Alcotest.string "separator" "f" sep;
+  check Alcotest.bool "left fences" true (l.Bnode.low = Bkey.Key "a" && l.Bnode.high = Bkey.Key "f");
+  check Alcotest.bool "right fences" true (r.Bnode.low = Bkey.Key "f" && r.Bnode.high = Bkey.Key "z");
+  check Alcotest.int "left size" 2 (Bnode.nkeys l);
+  check Alcotest.int "right size" 2 (Bnode.nkeys r);
+  check Alcotest.bool "left valid" true (Bnode.check l = Ok ());
+  check Alcotest.bool "right valid" true (Bnode.check r = Ok ())
+
+let test_split_internal () =
+  let kids = [ c0; c1; c2; c3; ref_ 1 8192 ] in
+  let n = internal ~height:2 [ "d"; "h"; "m"; "r" ] kids in
+  let l, sep, r = Bnode.split n in
+  check Alcotest.string "separator" "m" sep;
+  (* The separator moves up: neither side keeps it. *)
+  check Alcotest.int "left keys" 2 (Bnode.nkeys l);
+  check Alcotest.int "right keys" 1 (Bnode.nkeys r);
+  check Alcotest.bool "left valid" true (Bnode.check l = Ok ());
+  check Alcotest.bool "right valid" true (Bnode.check r = Ok ());
+  (* Every child is retained exactly once. *)
+  let children node =
+    match node.Bnode.body with
+    | Bnode.Internal { children; _ } -> Array.to_list children
+    | Bnode.Leaf _ -> []
+  in
+  check Alcotest.int "children preserved" 5 (List.length (children l @ children r))
+
+let test_split_too_small () =
+  match Bnode.split (leaf [ ("a", "1") ]) with
+  | (_ : Bnode.t * Bkey.t * Bnode.t) -> Alcotest.fail "split of singleton leaf"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Copy-on-write metadata                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_snap_metadata () =
+  let n = leaf ~snap:3L [ ("a", "1") ] in
+  check Alcotest.int64 "created" 3L n.Bnode.snap_created;
+  let copy = Bnode.with_snap n 5L in
+  check Alcotest.int64 "copy snap" 5L copy.Bnode.snap_created;
+  check Alcotest.int "copy descendants empty" 0 (Array.length copy.Bnode.descendants);
+  let marked = Bnode.add_descendant n 5L in
+  check Alcotest.bool "descendant recorded" true (Array.mem 5L marked.Bnode.descendants);
+  let replaced = Bnode.with_descendants marked [| 7L; 9L |] in
+  check Alcotest.int "replaced" 2 (Array.length replaced.Bnode.descendants)
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let node_equal (a : Bnode.t) (b : Bnode.t) =
+  a.Bnode.height = b.Bnode.height
+  && Bkey.fence_equal a.Bnode.low b.Bnode.low
+  && Bkey.fence_equal a.Bnode.high b.Bnode.high
+  && Int64.equal a.Bnode.snap_created b.Bnode.snap_created
+  && a.Bnode.descendants = b.Bnode.descendants
+  &&
+  match (a.Bnode.body, b.Bnode.body) with
+  | Bnode.Leaf x, Bnode.Leaf y -> x = y
+  | Bnode.Internal x, Bnode.Internal y ->
+      x.keys = y.keys && Array.for_all2 Objref.equal x.children y.children
+  | _ -> false
+
+let test_codec_roundtrip () =
+  let nodes =
+    [
+      leaf [];
+      leaf ~low:(Bkey.Key "a") ~high:(Bkey.Key "b") ~snap:42L [ ("a", "value") ];
+      Bnode.with_descendants (leaf [ ("k", "v") ]) [| 1L; 2L; 3L |];
+      internal ~height:1 [ "g" ] [ c0; c1 ];
+      internal ~height:7 ~low:(Bkey.Key "c") ~high:Bkey.Pos_inf ~snap:9L [ "g"; "p" ]
+        [ c0; c1; c2 ];
+    ]
+  in
+  List.iter
+    (fun n ->
+      check Alcotest.bool "roundtrip" true (node_equal n (Bnode.decode (Bnode.encode n))))
+    nodes
+
+let arbitrary_leaf =
+  let open QCheck in
+  let keyval = pair (string_of_size (Gen.int_range 1 20)) (string_of_size (Gen.int_range 0 16)) in
+  map
+    (fun (entries, snap) ->
+      let sorted =
+        List.sort_uniq (fun (a, _) (b, _) -> Bkey.compare a b) entries |> Array.of_list
+      in
+      {
+        (Bnode.make_leaf ~low:Bkey.Neg_inf ~high:Bkey.Pos_inf ~snap:(Int64.of_int snap) sorted)
+        with
+        Bnode.descendants = [||];
+      })
+    (pair (small_list keyval) small_nat)
+
+let prop_leaf_codec_roundtrip =
+  QCheck.Test.make ~name:"leaf codec roundtrip" ~count:300 arbitrary_leaf (fun n ->
+      node_equal n (Bnode.decode (Bnode.encode n)))
+
+let prop_leaf_insert_sorted =
+  let open QCheck in
+  QCheck.Test.make ~name:"leaf insert keeps sorted unique" ~count:300
+    (small_list (pair (string_of_size (Gen.int_range 1 8)) string))
+    (fun ops ->
+      let n = List.fold_left (fun n (k, v) -> Bnode.leaf_insert n k v) (leaf []) ops in
+      Bnode.check n = Ok ())
+
+let prop_split_preserves_entries =
+  QCheck.Test.make ~name:"split preserves leaf entries" ~count:300 arbitrary_leaf (fun n ->
+      QCheck.assume (Bnode.nkeys n >= 2);
+      let l, sep, r = Bnode.split n in
+      let merged = Array.append (Bnode.leaf_entries l) (Bnode.leaf_entries r) in
+      merged = Bnode.leaf_entries n
+      && Array.for_all (fun (k, _) -> Bkey.compare k sep < 0) (Bnode.leaf_entries l)
+      && Array.for_all (fun (k, _) -> Bkey.compare k sep >= 0) (Bnode.leaf_entries r))
+
+let prop_leaf_model =
+  (* leaf_insert/leaf_remove against a Map model. *)
+  let open QCheck in
+  let op =
+    oneof
+      [
+        map (fun (k, v) -> `Put (k, v)) (pair (string_of_size (Gen.int_range 1 4)) small_string);
+        map (fun k -> `Del k) (string_of_size (Gen.int_range 1 4));
+      ]
+  in
+  QCheck.Test.make ~name:"leaf matches map model" ~count:300 (small_list op) (fun ops ->
+      let module M = Map.Make (String) in
+      let node, model =
+        List.fold_left
+          (fun (node, model) -> function
+            | `Put (k, v) -> (Bnode.leaf_insert node k v, M.add k v model)
+            | `Del k -> (
+                match Bnode.leaf_remove node k with
+                | Some node' -> (node', M.remove k model)
+                | None -> (node, model)))
+          (leaf [], M.empty) ops
+      in
+      M.bindings model = Array.to_list (Bnode.leaf_entries node))
+
+(* ------------------------------------------------------------------ *)
+(* check                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_check_catches_violations () =
+  let bad_sort =
+    Bnode.make_leaf ~low:Bkey.Neg_inf ~high:Bkey.Pos_inf ~snap:0L [| ("b", "1"); ("a", "2") |]
+  in
+  check Alcotest.bool "unsorted" true (Result.is_error (Bnode.check bad_sort));
+  let out_of_fence =
+    Bnode.make_leaf ~low:(Bkey.Key "m") ~high:Bkey.Pos_inf ~snap:0L [| ("a", "1") |]
+  in
+  check Alcotest.bool "out of fence" true (Result.is_error (Bnode.check out_of_fence));
+  let good = leaf [ ("a", "1"); ("b", "2") ] in
+  check Alcotest.bool "good" true (Bnode.check good = Ok ())
+
+let () =
+  Alcotest.run "bnode"
+    [
+      ( "fences",
+        [
+          Alcotest.test_case "ordering" `Quick test_fence_order;
+          Alcotest.test_case "in_range" `Quick test_in_range;
+          Alcotest.test_case "codec" `Quick test_fence_codec;
+        ] );
+      ( "leaf",
+        [
+          Alcotest.test_case "insert/find" `Quick test_leaf_insert_find;
+          Alcotest.test_case "insert replaces" `Quick test_leaf_insert_replace;
+          Alcotest.test_case "remove" `Quick test_leaf_remove;
+          Alcotest.test_case "entries_from" `Quick test_leaf_entries_from;
+        ] );
+      ( "internal",
+        [
+          Alcotest.test_case "child_for" `Quick test_child_for;
+          Alcotest.test_case "child_fences" `Quick test_child_fences;
+          Alcotest.test_case "replace_child" `Quick test_replace_child;
+          Alcotest.test_case "insert_sep" `Quick test_insert_sep;
+        ] );
+      ( "split",
+        [
+          Alcotest.test_case "leaf" `Quick test_split_leaf;
+          Alcotest.test_case "internal" `Quick test_split_internal;
+          Alcotest.test_case "too small" `Quick test_split_too_small;
+        ] );
+      ("cow-metadata", [ Alcotest.test_case "snap metadata" `Quick test_snap_metadata ]);
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "check" `Quick test_check_catches_violations;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_leaf_codec_roundtrip;
+            prop_leaf_insert_sorted;
+            prop_split_preserves_entries;
+            prop_leaf_model;
+          ] );
+    ]

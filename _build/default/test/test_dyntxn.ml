@@ -1,0 +1,602 @@
+(* Tests for the dynamic transaction layer: read/write sets, OCC
+   validation, dirty reads, replicated objects, and the proxy cache. *)
+
+let check = Alcotest.check
+
+open Sinfonia
+open Dyntxn
+
+let slot node off = Objref.make ~addr:(Address.make ~node ~off) ~len:64
+
+(* Object slots live above the replicated-object region used in the
+   replicated tests. *)
+let base = 4096
+
+let with_cluster ?(n = 3) f = Sim.run (fun () -> f (Cluster.create ~n ()))
+
+let commit_ok t =
+  match Txn.commit t with
+  | Txn.Committed -> ()
+  | Txn.Validation_failed -> Alcotest.fail "unexpected validation failure"
+  | Txn.Retry_exhausted -> Alcotest.fail "unexpected retry exhaustion"
+
+let expect_validation_failure t =
+  match Txn.commit t with
+  | Txn.Validation_failed -> ()
+  | Txn.Committed -> Alcotest.fail "expected validation failure, committed"
+  | Txn.Retry_exhausted -> Alcotest.fail "expected validation failure, got retry exhaustion"
+
+(* ------------------------------------------------------------------ *)
+(* Objref                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_objref_slot_roundtrip () =
+  let s = Objref.slot_of ~seq:42L ~payload:"data" in
+  check Alcotest.int64 "seq" 42L (Objref.seq_of_slot s);
+  check Alcotest.string "payload" "data" (Objref.payload_of_slot s);
+  check Alcotest.int "slot length" 16 (String.length s)
+
+let test_objref_capacity () =
+  let r = slot 0 base in
+  check Alcotest.int "payload capacity" 52 (Objref.payload_capacity r);
+  match Objref.make ~addr:(Address.make ~node:0 ~off:0) ~len:12 with
+  | (_ : Objref.t) -> Alcotest.fail "slot without payload room accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_objref_zero_slot_seq () =
+  (* A never-written slot reads as zeros => sequence number 0. *)
+  check Alcotest.int64 "zero slot" 0L (Objref.seq_of_slot (String.make 64 '\000'))
+
+(* ------------------------------------------------------------------ *)
+(* Objcache                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let entry seq payload = { Objcache.seq; payload }
+
+let test_cache_basic () =
+  let c = Objcache.create ~capacity:10 () in
+  let r = slot 0 base in
+  check Alcotest.bool "miss" true (Objcache.find c r = None);
+  Objcache.insert c r (entry 1L "v1");
+  (match Objcache.find c r with
+  | Some { Objcache.seq = 1L; payload = "v1" } -> ()
+  | _ -> Alcotest.fail "hit expected");
+  Objcache.insert c r (entry 2L "v2");
+  (match Objcache.find c r with
+  | Some { Objcache.seq = 2L; payload = "v2" } -> ()
+  | _ -> Alcotest.fail "overwrite expected");
+  check Alcotest.int "size" 1 (Objcache.size c);
+  Objcache.invalidate c r;
+  check Alcotest.bool "invalidated" true (Objcache.find c r = None)
+
+let test_cache_lru_eviction () =
+  let c = Objcache.create ~capacity:3 () in
+  let refs = Array.init 4 (fun i -> slot 0 (base + (i * 64))) in
+  for i = 0 to 2 do
+    Objcache.insert c refs.(i) (entry (Int64.of_int i) "x")
+  done;
+  (* Touch refs.(0) so refs.(1) becomes LRU; inserting refs.(3) evicts it. *)
+  ignore (Objcache.find c refs.(0));
+  Objcache.insert c refs.(3) (entry 3L "x");
+  check Alcotest.int "capacity respected" 3 (Objcache.size c);
+  check Alcotest.bool "lru evicted" true (Objcache.find c refs.(1) = None);
+  check Alcotest.bool "recently used kept" true (Objcache.find c refs.(0) <> None);
+  check Alcotest.bool "newest kept" true (Objcache.find c refs.(3) <> None)
+
+let test_cache_stats () =
+  let c = Objcache.create () in
+  let r = slot 0 base in
+  ignore (Objcache.find c r);
+  Objcache.insert c r (entry 1L "v");
+  ignore (Objcache.find c r);
+  check Alcotest.int "hits" 1 (Objcache.hits c);
+  check Alcotest.int "misses" 1 (Objcache.misses c)
+
+let test_cache_clear () =
+  let c = Objcache.create () in
+  Objcache.insert c (slot 0 base) (entry 1L "v");
+  Objcache.clear c;
+  check Alcotest.int "cleared" 0 (Objcache.size c)
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_txn_write_then_read_back () =
+  with_cluster (fun cluster ->
+      let r = slot 0 base in
+      let t1 = Txn.begin_ cluster in
+      Txn.write t1 r "hello";
+      check Alcotest.string "read own write" "hello" (Txn.read t1 r);
+      commit_ok t1;
+      let t2 = Txn.begin_ cluster in
+      check Alcotest.string "persisted" "hello" (Txn.read t2 r);
+      commit_ok t2)
+
+let test_txn_read_only_free_commit () =
+  with_cluster (fun cluster ->
+      let r = slot 0 base in
+      let t0 = Txn.begin_ cluster in
+      Txn.write t0 r "v";
+      commit_ok t0;
+      let before = Sim.Metrics.counter_value (Cluster.metrics cluster) "txn.free_commits" in
+      let t = Txn.begin_ cluster in
+      check Alcotest.string "value" "v" (Txn.read t r);
+      check Alcotest.int "one fetch" 1 (Txn.fetches t);
+      commit_ok t;
+      let after = Sim.Metrics.counter_value (Cluster.metrics cluster) "txn.free_commits" in
+      check Alcotest.int "free commit" (before + 1) after)
+
+let test_txn_occ_conflict () =
+  with_cluster (fun cluster ->
+      let r = slot 0 base in
+      let t0 = Txn.begin_ cluster in
+      Txn.write t0 r "initial";
+      commit_ok t0;
+      (* t1 reads, then t2 updates, then t1 tries to write based on its
+         stale read: validation must fail. *)
+      let t1 = Txn.begin_ cluster in
+      let (_ : string) = Txn.read t1 r in
+      let t2 = Txn.begin_ cluster in
+      let (_ : string) = Txn.read t2 r in
+      Txn.write t2 r "t2 wins";
+      commit_ok t2;
+      Txn.write t1 r "t1 late";
+      expect_validation_failure t1;
+      let t3 = Txn.begin_ cluster in
+      check Alcotest.string "t2's write survived" "t2 wins" (Txn.read t3 r))
+
+let test_txn_dirty_read_not_validated () =
+  with_cluster (fun cluster ->
+      let a = slot 0 base and b = slot 0 (base + 64) in
+      let t0 = Txn.begin_ cluster in
+      Txn.write t0 a "a0";
+      Txn.write t0 b "b0";
+      commit_ok t0;
+      (* t1 dirty-reads [a]; a concurrent update to [a] must NOT abort
+         t1's commit, because dirty reads are not validated. *)
+      let t1 = Txn.begin_ cluster in
+      check Alcotest.string "dirty value" "a0" (Txn.dirty_read t1 a);
+      let t2 = Txn.begin_ cluster in
+      let (_ : string) = Txn.read t2 a in
+      Txn.write t2 a "a1";
+      commit_ok t2;
+      Txn.write t1 b "b1";
+      commit_ok t1)
+
+let test_txn_dirty_read_promoted_on_write () =
+  with_cluster (fun cluster ->
+      let a = slot 0 base in
+      let t0 = Txn.begin_ cluster in
+      Txn.write t0 a "a0";
+      commit_ok t0;
+      (* t1 dirty-reads [a], then [a] changes, then t1 writes [a]: the
+         dirty read joins the read set, so validation must fail. *)
+      let t1 = Txn.begin_ cluster in
+      check Alcotest.string "dirty value" "a0" (Txn.dirty_read t1 a);
+      let t2 = Txn.begin_ cluster in
+      let (_ : string) = Txn.read t2 a in
+      Txn.write t2 a "a1";
+      commit_ok t2;
+      Txn.write t1 a "t1 stale write";
+      expect_validation_failure t1;
+      let t3 = Txn.begin_ cluster in
+      check Alcotest.string "winner kept" "a1" (Txn.read t3 a))
+
+let test_txn_piggyback_aborts_stale_read_set () =
+  with_cluster (fun cluster ->
+      let a = slot 0 base and b = slot 0 (base + 64) in
+      let t0 = Txn.begin_ cluster in
+      Txn.write t0 a "a0";
+      Txn.write t0 b "b0";
+      commit_ok t0;
+      let t1 = Txn.begin_ cluster in
+      let (_ : string) = Txn.read t1 a in
+      (* Concurrent update to [a]. *)
+      let t2 = Txn.begin_ cluster in
+      let (_ : string) = Txn.read t2 a in
+      Txn.write t2 a "a1";
+      commit_ok t2;
+      (* t1's next transactional read on the same memnode piggy-backs
+         validation of [a] and must abort. *)
+      match Txn.read t1 b with
+      | (_ : string) -> Alcotest.fail "expected Aborted"
+      | exception Txn.Aborted _ -> check Alcotest.bool "aborted" true (Txn.is_aborted t1))
+
+let test_txn_multi_node_commit () =
+  with_cluster (fun cluster ->
+      let a = slot 0 base and b = slot 2 base in
+      let t = Txn.begin_ cluster in
+      Txn.write t a "node0";
+      Txn.write t b "node2";
+      commit_ok t;
+      let t2 = Txn.begin_ cluster in
+      check Alcotest.string "node0 data" "node0" (Txn.read t2 a);
+      check Alcotest.string "node2 data" "node2" (Txn.read t2 b);
+      commit_ok t2)
+
+let test_txn_multi_node_read_validated_commit () =
+  (* A read-only transaction spanning two memnodes cannot rely on
+     piggy-backed validation and must issue a commit-time validation. *)
+  with_cluster (fun cluster ->
+      let a = slot 0 base and b = slot 2 base in
+      let t0 = Txn.begin_ cluster in
+      Txn.write t0 a "A";
+      Txn.write t0 b "B";
+      commit_ok t0;
+      let t1 = Txn.begin_ cluster in
+      let (_ : string) = Txn.read t1 a in
+      let (_ : string) = Txn.read t1 b in
+      (* Concurrent update of [a] after t1 read it. *)
+      let t2 = Txn.begin_ cluster in
+      let (_ : string) = Txn.read t2 a in
+      Txn.write t2 a "A'";
+      commit_ok t2;
+      (* Hmm: t1 is read-only; its reads were individually atomic but the
+         pair is not a consistent snapshot anymore. Commit must detect it. *)
+      expect_validation_failure t1)
+
+let test_txn_abort_explicit () =
+  with_cluster (fun cluster ->
+      let r = slot 0 base in
+      let t = Txn.begin_ cluster in
+      Txn.write t r "doomed";
+      (match Txn.abort t with
+      | (_ : unit) -> Alcotest.fail "abort should raise"
+      | exception Txn.Aborted _ -> ());
+      (match Txn.commit t with
+      | (_ : Txn.commit_result) -> Alcotest.fail "commit after abort should raise"
+      | exception Txn.Aborted _ -> ());
+      let t2 = Txn.begin_ cluster in
+      check Alcotest.string "write discarded" "" (Txn.read t2 r))
+
+let test_txn_payload_capacity_checked () =
+  with_cluster (fun cluster ->
+      let r = slot 0 base in
+      let t = Txn.begin_ cluster in
+      match Txn.write t r (String.make 100 'x') with
+      | () -> Alcotest.fail "oversized payload accepted"
+      | exception Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Cache interaction                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_txn_dirty_read_uses_cache () =
+  with_cluster (fun cluster ->
+      let cache = Objcache.create () in
+      let r = slot 0 base in
+      let t0 = Txn.begin_ cluster in
+      Txn.write t0 r "cached-value";
+      commit_ok t0;
+      (* First dirty read fetches and fills the cache... *)
+      let t1 = Txn.begin_ cluster ~cache in
+      check Alcotest.string "fetch" "cached-value" (Txn.dirty_read t1 r);
+      check Alcotest.int "one fetch" 1 (Txn.fetches t1);
+      commit_ok t1;
+      (* ...second transaction is served locally. *)
+      let t2 = Txn.begin_ cluster ~cache in
+      check Alcotest.string "cache hit" "cached-value" (Txn.dirty_read t2 r);
+      check Alcotest.int "no fetch" 0 (Txn.fetches t2);
+      commit_ok t2)
+
+let test_txn_stale_cache_detected_on_write () =
+  with_cluster (fun cluster ->
+      let cache = Objcache.create () in
+      let r = slot 0 base in
+      let t0 = Txn.begin_ cluster in
+      Txn.write t0 r "v1";
+      commit_ok t0;
+      (* Warm the cache. *)
+      let t1 = Txn.begin_ cluster ~cache in
+      let (_ : string) = Txn.dirty_read t1 r in
+      commit_ok t1;
+      (* Remote update makes the cache stale (incoherent by design). *)
+      let t2 = Txn.begin_ cluster in
+      let (_ : string) = Txn.read t2 r in
+      Txn.write t2 r "v2";
+      commit_ok t2;
+      (* A cached dirty read + write must fail validation, and the stale
+         entry must be evicted so the retry succeeds. *)
+      let t3 = Txn.begin_ cluster ~cache in
+      check Alcotest.string "stale cache served" "v1" (Txn.dirty_read t3 r);
+      Txn.write t3 r "v3";
+      expect_validation_failure t3;
+      let t4 = Txn.begin_ cluster ~cache in
+      check Alcotest.string "refetched fresh" "v2" (Txn.dirty_read t4 r);
+      Txn.write t4 r "v3";
+      commit_ok t4)
+
+let test_txn_evict_dirty () =
+  with_cluster (fun cluster ->
+      let cache = Objcache.create () in
+      let r = slot 0 base in
+      let t0 = Txn.begin_ cluster in
+      Txn.write t0 r "v";
+      commit_ok t0;
+      let t1 = Txn.begin_ cluster ~cache in
+      let (_ : string) = Txn.dirty_read t1 r in
+      Txn.evict_dirty t1;
+      check Alcotest.bool "evicted" true (Objcache.find cache r = None))
+
+let test_txn_commit_refreshes_cached_objects () =
+  with_cluster (fun cluster ->
+      let cache = Objcache.create () in
+      let r = slot 0 base in
+      let t0 = Txn.begin_ cluster in
+      Txn.write t0 r "old";
+      commit_ok t0;
+      let t1 = Txn.begin_ cluster ~cache in
+      let (_ : string) = Txn.dirty_read t1 r in
+      Txn.write t1 r "new";
+      commit_ok t1;
+      (* The proxy's own cache reflects its committed write. *)
+      match Objcache.find cache r with
+      | Some { Objcache.payload = "new"; _ } -> ()
+      | Some { Objcache.payload; _ } -> Alcotest.failf "cache has %S" payload
+      | None -> Alcotest.fail "cache entry missing")
+
+(* ------------------------------------------------------------------ *)
+(* Replicated objects                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let repl_off = 0
+
+let repl_len = 24
+
+let test_replicated_write_updates_all () =
+  with_cluster (fun cluster ->
+      let t = Txn.begin_ cluster in
+      Txn.write_replicated t ~off:repl_off ~len:repl_len "tip=1";
+      commit_ok t;
+      (* Every memnode's heap holds the same slot bytes. *)
+      let slot0 =
+        Heap.read (Memnode.store_heap (Memnode.primary (Cluster.memnode cluster 0))) ~off:repl_off
+          ~len:repl_len
+      in
+      for i = 1 to Cluster.n_memnodes cluster - 1 do
+        let s =
+          Heap.read
+            (Memnode.store_heap (Memnode.primary (Cluster.memnode cluster i)))
+            ~off:repl_off ~len:repl_len
+        in
+        check Alcotest.string (Printf.sprintf "replica %d" i) slot0 s
+      done;
+      (* Readable from any home. *)
+      let t1 = Txn.begin_ cluster ~home:2 in
+      check Alcotest.string "read via home 2" "tip=1"
+        (Txn.read_replicated t1 ~off:repl_off ~len:repl_len);
+      commit_ok t1)
+
+let test_replicated_read_validates () =
+  with_cluster (fun cluster ->
+      let t0 = Txn.begin_ cluster in
+      Txn.write_replicated t0 ~off:repl_off ~len:repl_len "tip=1";
+      commit_ok t0;
+      let r = slot 0 base in
+      (* t1 reads the replicated object, then someone bumps it; t1's
+         write must fail validation. *)
+      let t1 = Txn.begin_ cluster in
+      check Alcotest.string "tip" "tip=1" (Txn.read_replicated t1 ~off:repl_off ~len:repl_len);
+      let t2 = Txn.begin_ cluster in
+      Txn.write_replicated t2 ~off:repl_off ~len:repl_len "tip=2";
+      commit_ok t2;
+      Txn.write t1 r "based on old tip";
+      expect_validation_failure t1)
+
+let test_replicated_dirty_read () =
+  with_cluster (fun cluster ->
+      let t0 = Txn.begin_ cluster in
+      Txn.write_replicated t0 ~off:repl_off ~len:repl_len "tip=7";
+      commit_ok t0;
+      let t1 = Txn.begin_ cluster in
+      check Alcotest.string "dirty replicated" "tip=7"
+        (Txn.dirty_read_replicated t1 ~off:repl_off ~len:repl_len);
+      (* Not in the read set: a concurrent bump does not fail t1. *)
+      let t2 = Txn.begin_ cluster in
+      Txn.write_replicated t2 ~off:repl_off ~len:repl_len "tip=8";
+      commit_ok t2;
+      Txn.write t1 (slot 1 base) "independent";
+      commit_ok t1)
+
+let test_replicated_blocking_commit () =
+  with_cluster (fun cluster ->
+      let t = Txn.begin_ cluster in
+      Txn.write_replicated t ~off:repl_off ~len:repl_len "tip=1";
+      (match Txn.commit ~blocking:true t with
+      | Txn.Committed -> ()
+      | _ -> Alcotest.fail "blocking commit failed");
+      let t1 = Txn.begin_ cluster ~home:1 in
+      check Alcotest.string "visible" "tip=1"
+        (Txn.read_replicated t1 ~off:repl_off ~len:repl_len))
+
+let test_replicated_cached_then_validated () =
+  (* A replicated read served from the proxy cache is still validated at
+     commit: stale cache => validation failure => eviction => retry ok. *)
+  with_cluster (fun cluster ->
+      let cache = Objcache.create () in
+      let t0 = Txn.begin_ cluster in
+      Txn.write_replicated t0 ~off:repl_off ~len:repl_len "tip=1";
+      commit_ok t0;
+      (* Warm the proxy cache. *)
+      let t1 = Txn.begin_ cluster ~cache in
+      let (_ : string) = Txn.read_replicated t1 ~off:repl_off ~len:repl_len in
+      commit_ok t1;
+      (* Tip bumped elsewhere. *)
+      let t2 = Txn.begin_ cluster in
+      Txn.write_replicated t2 ~off:repl_off ~len:repl_len "tip=2";
+      commit_ok t2;
+      (* Cached (stale) tip + a write => validation failure. *)
+      let t3 = Txn.begin_ cluster ~cache in
+      check Alcotest.string "stale tip from cache" "tip=1"
+        (Txn.read_replicated t3 ~off:repl_off ~len:repl_len);
+      Txn.write t3 (slot 0 base) "x";
+      expect_validation_failure t3;
+      (* Retry refetches the fresh tip. *)
+      let t4 = Txn.begin_ cluster ~cache in
+      check Alcotest.string "fresh tip" "tip=2"
+        (Txn.read_replicated t4 ~off:repl_off ~len:repl_len);
+      Txn.write t4 (slot 0 base) "x";
+      commit_ok t4)
+
+(* ------------------------------------------------------------------ *)
+(* Baseline-mode primitives                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_write_linked_echoes_seq () =
+  with_cluster (fun cluster ->
+      let r = slot 0 base in
+      let echo_off = 1024 in
+      let t = Txn.begin_ cluster in
+      Txn.write_linked t r "payload" ~repl_off:echo_off;
+      commit_ok t;
+      (* Every memnode's replicated slot carries the object's fresh
+         sequence number. *)
+      let obj_slot =
+        Heap.read (Memnode.store_heap (Memnode.primary (Cluster.memnode cluster 0))) ~off:base
+          ~len:64
+      in
+      let obj_seq = Dyntxn.Objref.seq_of_slot obj_slot in
+      for node = 0 to Cluster.n_memnodes cluster - 1 do
+        let echo_slot =
+          Heap.read
+            (Memnode.store_heap (Memnode.primary (Cluster.memnode cluster node)))
+            ~off:echo_off ~len:16
+        in
+        check Alcotest.int64
+          (Printf.sprintf "echo on node %d" node)
+          obj_seq
+          (Dyntxn.Objref.seq_of_slot echo_slot)
+      done)
+
+let test_validate_replicated_catches_stale () =
+  with_cluster (fun cluster ->
+      let r = slot 0 base in
+      let echo_off = 1024 in
+      (* Publish version 1. *)
+      let t0 = Txn.begin_ cluster in
+      Txn.write_linked t0 r "v1" ~repl_off:echo_off;
+      commit_ok t0;
+      let seq1, _ = Txn.dirty_read_with_seq (Txn.begin_ cluster) r in
+      (* A transaction validating against seq1 succeeds... *)
+      let ta = Txn.begin_ cluster in
+      Txn.validate_replicated ta ~off:echo_off ~seq:seq1;
+      Txn.write ta (slot 1 base) "x";
+      commit_ok ta;
+      (* ...the object is republished (seq changes)... *)
+      let t1 = Txn.begin_ cluster in
+      let (_ : string) = Txn.read t1 r in
+      Txn.write_linked t1 r "v2" ~repl_off:echo_off;
+      commit_ok t1;
+      (* ...and now the stale expectation fails validation. *)
+      let tb = Txn.begin_ cluster in
+      Txn.validate_replicated tb ~off:echo_off ~seq:seq1;
+      Txn.write tb (slot 1 base) "y";
+      expect_validation_failure tb)
+
+let test_read_with_seq () =
+  with_cluster (fun cluster ->
+      let r = slot 0 base in
+      let t0 = Txn.begin_ cluster in
+      Txn.write t0 r "v";
+      commit_ok t0;
+      let t1 = Txn.begin_ cluster in
+      let seq, payload = Txn.read_with_seq t1 r in
+      check Alcotest.string "payload" "v" payload;
+      check Alcotest.bool "nonzero seq" true (Int64.compare seq 0L > 0);
+      check Alcotest.bool "in_write_set false" false (Txn.in_write_set t1 r);
+      Txn.write t1 r "w";
+      check Alcotest.bool "in_write_set true" true (Txn.in_write_set t1 r))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency property: lost-update freedom                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_txn_concurrent_increments () =
+  with_cluster (fun cluster ->
+      let r = slot 0 base in
+      let t0 = Txn.begin_ cluster in
+      Txn.write t0 r "0";
+      commit_ok t0;
+      let workers = 6 and per_worker = 8 in
+      let finished = ref 0 in
+      for _ = 1 to workers do
+        Sim.spawn (fun () ->
+            for _ = 1 to per_worker do
+              let rec attempt () =
+                let t = Txn.begin_ cluster in
+                let v = int_of_string (Txn.read t r) in
+                Txn.write t r (string_of_int (v + 1));
+                match Txn.commit t with
+                | Txn.Committed -> ()
+                | Txn.Validation_failed -> attempt ()
+                | Txn.Retry_exhausted -> Alcotest.fail "retry exhausted"
+              in
+              attempt ()
+            done;
+            incr finished)
+      done;
+      Sim.delay 300.0;
+      check Alcotest.int "workers done" workers !finished;
+      let t = Txn.begin_ cluster in
+      check Alcotest.string "no lost updates"
+        (string_of_int (workers * per_worker))
+        (Txn.read t r))
+
+let () =
+  Alcotest.run "dyntxn"
+    [
+      ( "objref",
+        [
+          Alcotest.test_case "slot roundtrip" `Quick test_objref_slot_roundtrip;
+          Alcotest.test_case "capacity" `Quick test_objref_capacity;
+          Alcotest.test_case "zero slot seq" `Quick test_objref_zero_slot_seq;
+        ] );
+      ( "objcache",
+        [
+          Alcotest.test_case "basic" `Quick test_cache_basic;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "stats" `Quick test_cache_stats;
+          Alcotest.test_case "clear" `Quick test_cache_clear;
+        ] );
+      ( "txn",
+        [
+          Alcotest.test_case "write then read back" `Quick test_txn_write_then_read_back;
+          Alcotest.test_case "read-only free commit" `Quick test_txn_read_only_free_commit;
+          Alcotest.test_case "occ conflict" `Quick test_txn_occ_conflict;
+          Alcotest.test_case "dirty read not validated" `Quick test_txn_dirty_read_not_validated;
+          Alcotest.test_case "dirty read promoted on write" `Quick
+            test_txn_dirty_read_promoted_on_write;
+          Alcotest.test_case "piggyback aborts stale read set" `Quick
+            test_txn_piggyback_aborts_stale_read_set;
+          Alcotest.test_case "multi-node commit" `Quick test_txn_multi_node_commit;
+          Alcotest.test_case "multi-node read validation" `Quick
+            test_txn_multi_node_read_validated_commit;
+          Alcotest.test_case "explicit abort" `Quick test_txn_abort_explicit;
+          Alcotest.test_case "payload capacity" `Quick test_txn_payload_capacity_checked;
+          Alcotest.test_case "concurrent increments" `Quick test_txn_concurrent_increments;
+        ] );
+      ( "cache-interaction",
+        [
+          Alcotest.test_case "dirty read uses cache" `Quick test_txn_dirty_read_uses_cache;
+          Alcotest.test_case "stale cache detected" `Quick test_txn_stale_cache_detected_on_write;
+          Alcotest.test_case "evict dirty" `Quick test_txn_evict_dirty;
+          Alcotest.test_case "commit refreshes cache" `Quick
+            test_txn_commit_refreshes_cached_objects;
+        ] );
+      ( "baseline-primitives",
+        [
+          Alcotest.test_case "write_linked echoes seq" `Quick test_write_linked_echoes_seq;
+          Alcotest.test_case "validate_replicated staleness" `Quick
+            test_validate_replicated_catches_stale;
+          Alcotest.test_case "read_with_seq" `Quick test_read_with_seq;
+        ] );
+      ( "replicated",
+        [
+          Alcotest.test_case "write updates all replicas" `Quick test_replicated_write_updates_all;
+          Alcotest.test_case "read validates" `Quick test_replicated_read_validates;
+          Alcotest.test_case "dirty read" `Quick test_replicated_dirty_read;
+          Alcotest.test_case "blocking commit" `Quick test_replicated_blocking_commit;
+          Alcotest.test_case "cached then validated" `Quick test_replicated_cached_then_validated;
+        ] );
+    ]
