@@ -140,4 +140,8 @@ let () =
   let micro_only = Array.exists (( = ) "--micro-only") Sys.argv in
   let figures_only = Array.exists (( = ) "--figures-only") Sys.argv in
   if not figures_only then run_micro_benchmarks ();
-  if not micro_only then run_figures ()
+  if not micro_only then run_figures ();
+  (* End-to-end observability report: latency quantiles per operation
+     and the abort taxonomy, as machine-readable JSON. *)
+  let report = Experiments.Exp_common.run_observed ~name:"main" () in
+  Printf.printf "\nobservability report written to %s\n%!" report

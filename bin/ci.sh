@@ -1,0 +1,29 @@
+#!/bin/sh
+# Repo CI: build, run the test suite, check formatting where an
+# .ocamlformat-governed formatter is available, and smoke-test the
+# observability pipeline end to end (run a workload, emit
+# BENCH_smoke.json, validate it with the in-repo JSON parser).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+else
+  echo "== skipping @fmt (ocamlformat not installed) =="
+fi
+
+echo "== observability smoke =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+dune exec bin/minuet_bench.exe -- smoke --dir "$smoke_dir"
+dune exec bin/minuet_bench.exe -- check-report "$smoke_dir/BENCH_smoke.json"
+
+echo "CI OK"

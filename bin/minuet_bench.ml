@@ -77,8 +77,81 @@ let all_cmd =
   in
   Cmd.v (Cmd.info "all" ~doc) Term.(const action $ params_term)
 
+let smoke_cmd =
+  let doc =
+    "Run a short mixed workload on a small cluster and write its observability report \
+     (latency quantiles, abort taxonomy) to BENCH_<name>.json."
+  in
+  let name_arg =
+    Arg.(value & opt string "smoke" & info [ "name" ] ~docv:"NAME" ~doc:"Report name.")
+  in
+  let dir_arg =
+    Arg.(value & opt string "." & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let action name dir =
+    let path = P.run_observed ~dir ~name () in
+    Printf.printf "observability report written to %s\n%!" path
+  in
+  Cmd.v (Cmd.info "smoke" ~doc) Term.(const action $ name_arg $ dir_arg)
+
+(* Validate a BENCH_*.json report: parseable, current schema, and the
+   per-operation quantiles and per-layer abort taxonomy present. Used
+   by bin/ci.sh, which must not depend on external JSON tooling. *)
+let check_report_cmd =
+  let doc = "Validate the structure of a BENCH_*.json observability report." in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Report to check.")
+  in
+  let action file =
+    let fail fmt = Printf.ksprintf (fun m -> prerr_endline (file ^ ": " ^ m); exit 1) fmt in
+    let contents =
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let json =
+      match Obs.Json.parse contents with
+      | json -> json
+      | exception Obs.Json.Parse_error m -> fail "invalid JSON: %s" m
+    in
+    let member name =
+      match Obs.Json.member name json with
+      | Some v -> v
+      | None -> fail "missing field %S" name
+    in
+    (match member "schema_version" with
+    | Obs.Json.Int 1 -> ()
+    | _ -> fail "unsupported schema_version");
+    (match member "counters" with Obs.Json.Obj _ -> () | _ -> fail "counters: not an object");
+    (match member "aborts" with
+    | Obs.Json.Obj layers ->
+        List.iter
+          (fun (layer, v) ->
+            match v with
+            | Obs.Json.Obj _ -> ()
+            | _ -> fail "aborts.%s: not an object" layer)
+          layers
+    | _ -> fail "aborts: not an object");
+    (match member "ops" with
+    | Obs.Json.Obj ops ->
+        List.iter
+          (fun (label, v) ->
+            List.iter
+              (fun field ->
+                match Obs.Json.member field v with
+                | Some (Obs.Json.Int _ | Obs.Json.Float _) -> ()
+                | _ -> fail "ops.%s.%s: missing or not a number" label field)
+              [ "count"; "mean_ms"; "p50_ms"; "p95_ms"; "p99_ms"; "max_ms" ])
+          ops
+    | _ -> fail "ops: not an object");
+    Printf.printf "%s: ok\n%!" file
+  in
+  Cmd.v (Cmd.info "check-report" ~doc) Term.(const action $ file_arg)
+
 let () =
   let doc = "Reproduce the evaluation of 'Minuet: A Scalable Distributed Multiversion B-Tree'" in
   let info = Cmd.info "minuet-bench" ~version:"1.0" ~doc in
-  let cmds = all_cmd :: List.map figure_cmd Experiments.all in
+  let cmds = all_cmd :: smoke_cmd :: check_report_cmd :: List.map figure_cmd Experiments.all in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -66,7 +66,7 @@ let reserve_chunk t ~node =
           for i = next to next + take - 1 do
             Queue.add i t.local.(node)
           done;
-          Sim.Metrics.incr (Cluster.metrics t.cluster) "alloc.chunk_reservations"
+          Obs.Counter.incr (Obs.btree (Cluster.obs t.cluster)).Obs.chunk_reservations
       | Txn.Validation_failed | Txn.Retry_exhausted -> attempt (tries + 1)
     end
   in

@@ -7,6 +7,8 @@ type mode = Dirty_traversal | Validated_traversal
 
 type tree = {
   cluster : Cluster.t;
+  obs : Obs.t;
+  stats : Obs.btree_stats; (* typed counter handles, resolved once *)
   layout : Layout.t;
   tree_id : int;
   mode : mode;
@@ -38,8 +40,11 @@ let make_tree ?(mode = Dirty_traversal) ?max_keys_leaf ?max_keys_internal ?(max_
   let budget = layout.Layout.node_size - 128 in
   let derived_leaf = max 4 (budget / leaf_entry_bytes) in
   let derived_internal = max 4 (budget / internal_entry_bytes) in
+  let obs = Cluster.obs cluster in
   {
     cluster;
+    obs;
+    stats = Obs.btree obs;
     layout;
     tree_id;
     mode;
@@ -77,7 +82,6 @@ type vctx = {
   root_of : Txn.t -> int64 -> Objref.t;
 }
 
-let metrics tree = Cluster.metrics tree.cluster
 
 (* -------------------------------------------------------------------- *)
 (* Node I/O                                                              *)
@@ -158,17 +162,20 @@ let write_node tree txn (ptr : Objref.t) (node : Bnode.t) =
 let check_node tree txn vctx (node : Bnode.t) k =
   (* Fence keys: [k] must be within the node's responsibility range. *)
   if not (Bkey.in_range k ~low:node.Bnode.low ~high:node.Bnode.high) then begin
-    Sim.Metrics.incr (metrics tree) "btree.abort.fence";
+    Obs.Counter.incr tree.stats.Obs.abort_fence;
+    Obs.abort tree.obs ~layer:Obs.Abort.Btree Obs.Abort.Fence_violation;
     Txn.abort txn
   end;
   (* The node's version must lie on the path to [vctx.snap]... *)
   if not (vctx.is_ancestor node.Bnode.snap_created vctx.snap) then begin
-    Sim.Metrics.incr (metrics tree) "btree.abort.version";
+    Obs.Counter.incr tree.stats.Obs.abort_version;
+    Obs.abort tree.obs ~layer:Obs.Abort.Btree Obs.Abort.Snapshot_stale;
     Txn.abort txn
   end;
   (* ...and must not have been superseded by a copy on that path. *)
   if Array.exists (fun d -> vctx.is_ancestor d vctx.snap) node.Bnode.descendants then begin
-    Sim.Metrics.incr (metrics tree) "btree.abort.copied";
+    Obs.Counter.incr tree.stats.Obs.abort_copied;
+    Obs.abort tree.obs ~layer:Obs.Abort.Btree Obs.Abort.Snapshot_stale;
     Txn.abort txn
   end
 
@@ -177,6 +184,11 @@ type step = { s_ptr : Objref.t; s_node : Bnode.t; s_child : int }
 (* Traverse from the root to the leaf responsible for [k] at
    [vctx.snap]. Returns the internal path (root first) and the leaf. *)
 let traverse tree txn vctx k =
+  Obs.with_span tree.obs
+    ~outcome_of_exn:(function
+      | Txn.Aborted msg -> Some (Obs.Span.Failed msg) | _ -> None)
+    Obs.Span.Traversal
+  @@ fun () ->
   (* The root is internal in any tree with two or more levels; a
      one-level tree's root is the leaf itself. Its kind is unknown
      before reading it, so read it dirty first and, for a writable
@@ -198,7 +210,8 @@ let traverse tree txn vctx k =
       if child.Bnode.height <> node.Bnode.height - 1 then begin
         (* Fatal inconsistency (Fig. 5 line 15): stale pointers led us to
            a node at the wrong level. *)
-        Sim.Metrics.incr (metrics tree) "btree.abort.height";
+        Obs.Counter.incr tree.stats.Obs.abort_height;
+        Obs.abort tree.obs ~layer:Obs.Abort.Btree Obs.Abort.Height_mismatch;
         Txn.abort txn
       end;
       check_node tree txn vctx child k;
@@ -256,7 +269,7 @@ and place_node tree txn vctx ~path ~ptr ~(old : Bnode.t) ~(updated : Bnode.t) =
       let right_ptr = Node_alloc.alloc tree.alloc in
       write_node tree txn ptr left;
       write_node tree txn right_ptr right;
-      Sim.Metrics.incr (metrics tree) "btree.splits";
+      Obs.Counter.incr tree.stats.Obs.splits;
       apply_up tree txn vctx path (Split_into { left = ptr; sep; right = right_ptr })
     end
   end
@@ -274,7 +287,7 @@ and place_node tree txn vctx ~path ~ptr ~(old : Bnode.t) ~(updated : Bnode.t) =
     if not overflow then begin
       let new_ptr = Node_alloc.alloc_on tree.alloc ~node:home_node in
       write_node tree txn new_ptr fresh;
-      Sim.Metrics.incr (metrics tree) "btree.cow";
+      Obs.Counter.incr tree.stats.Obs.cow;
       apply_up tree txn vctx path (Replace new_ptr)
     end
     else begin
@@ -283,8 +296,8 @@ and place_node tree txn vctx ~path ~ptr ~(old : Bnode.t) ~(updated : Bnode.t) =
       let right_ptr = Node_alloc.alloc tree.alloc in
       write_node tree txn left_ptr left;
       write_node tree txn right_ptr right;
-      Sim.Metrics.incr (metrics tree) "btree.cow";
-      Sim.Metrics.incr (metrics tree) "btree.splits";
+      Obs.Counter.incr tree.stats.Obs.cow;
+      Obs.Counter.incr tree.stats.Obs.splits;
       apply_up tree txn vctx path (Split_into { left = left_ptr; sep; right = right_ptr })
     end
   end
@@ -308,7 +321,7 @@ and cow_mark_old tree txn vctx ~ptr ~(old : Bnode.t) =
       let copy = Bnode.with_descendants (Bnode.with_snap old disc_at) disc_covered in
       let copy_ptr = Node_alloc.alloc_on tree.alloc ~node:(Objref.node ptr) in
       write_node tree txn copy_ptr copy;
-      Sim.Metrics.incr (metrics tree) "btree.discretionary_cow";
+      Obs.Counter.incr tree.stats.Obs.discretionary_cow;
       relink tree txn vctx ~at:disc_at ~old_ptr:ptr ~old ~new_ptr:copy_ptr)
     plan.discretionary
 
@@ -367,35 +380,49 @@ and split_root tree txn (root_ptr : Objref.t) (updated : Bnode.t) =
       ~children:[| left_ptr; right_ptr |]
   in
   write_node tree txn root_ptr new_root;
-  Sim.Metrics.incr (metrics tree) "btree.root_splits";
-  Sim.Metrics.incr (metrics tree) "btree.splits"
+  Obs.Counter.incr tree.stats.Obs.root_splits;
+  Obs.Counter.incr tree.stats.Obs.splits
 
 (* -------------------------------------------------------------------- *)
 (* Retry wrapper                                                          *)
 (* -------------------------------------------------------------------- *)
 
 let with_retries tree op_name f =
+  Obs.with_span tree.obs Obs.Span.Txn @@ fun () ->
   let rec go attempt =
     if attempt >= tree.max_op_retries then
       raise (Too_contended (Printf.sprintf "%s: %d attempts" op_name attempt));
     if attempt > 0 then begin
-      Sim.Metrics.incr (metrics tree) "btree.op_retries";
+      Obs.Counter.incr tree.stats.Obs.op_retries;
       (* Jittered backoff decorrelates repeatedly conflicting
          operations. *)
       let cap = 20e-6 *. float_of_int (min attempt 6) in
       Sim.delay (Sim.Rng.float (Cluster.rng tree.cluster) cap)
     end;
+    let span = Obs.span_begin tree.obs Obs.Span.Attempt in
     let txn = Txn.begin_ ~cache:tree.cache ~home:tree.home tree.cluster in
     match f txn with
     | result -> (
         match Txn.commit txn with
-        | Txn.Committed -> result
-        | Txn.Validation_failed | Txn.Retry_exhausted ->
+        | Txn.Committed ->
+            Obs.span_end tree.obs span;
+            result
+        | Txn.Validation_failed ->
+            Obs.span_end tree.obs span
+              ~outcome:(Obs.Span.Aborted Obs.Abort.Validation_failed);
+            Txn.evict_dirty txn;
+            go (attempt + 1)
+        | Txn.Retry_exhausted ->
+            Obs.span_end tree.obs span ~outcome:(Obs.Span.Aborted Obs.Abort.Lock_busy);
             Txn.evict_dirty txn;
             go (attempt + 1))
-    | exception Txn.Aborted _ ->
+    | exception Txn.Aborted msg ->
+        Obs.span_end tree.obs span ~outcome:(Obs.Span.Failed msg);
         Txn.evict_dirty txn;
         go (attempt + 1)
+    | exception e ->
+        Obs.span_end tree.obs span ~outcome:(Obs.Span.Failed (Printexc.to_string e));
+        raise e
   in
   go 0
 
@@ -564,7 +591,7 @@ module Linear = struct
     write_node tree txn root_loc (Bnode.add_descendant root_node new_tip);
     Txn.write_replicated txn ~off:(tip_id_off tree) ~len:slot_len (encode_sid new_tip);
     Txn.write_replicated txn ~off:(tip_root_off tree) ~len:slot_len (encode_ref new_root_ptr);
-    Sim.Metrics.incr (metrics tree) "btree.snapshots_created";
+    Obs.Counter.incr tree.stats.Obs.snapshots_created;
     (sid, root_loc)
 end
 

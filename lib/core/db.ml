@@ -74,6 +74,8 @@ let shared_alloc t = t.shared_alloc
 
 let scs t ~index = t.scs.(index)
 
+let obs t = Cluster.obs t.cluster
+
 let metrics t = Cluster.metrics t.cluster
 
 let n_trees t = t.config.Config.n_trees
@@ -94,6 +96,7 @@ let pp_stats fmt t =
   List.iter
     (fun (name, v) -> Format.fprintf fmt "  %-40s %d@," name v)
     (Sim.Metrics.counters (Cluster.metrics t.cluster));
+  Format.fprintf fmt "%a" Obs.Report.pp (Cluster.obs t.cluster);
   Format.fprintf fmt "@]"
 
 let enable_gc ?(interval = 5.0) ~keep t =

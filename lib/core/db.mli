@@ -18,14 +18,19 @@ val shared_alloc : t -> Btree.Node_alloc.Shared.t
 val scs : t -> index:int -> Mvcc.Scs.t
 (** The snapshot creation service for one index (linear mode only). *)
 
+val obs : t -> Obs.t
+(** The cluster's observability registry: typed counters, abort
+    taxonomy by layer, operation latency histograms and trace spans. *)
+
 val metrics : t -> Sim.Metrics.t
 
 val n_trees : t -> int
 
 val pp_stats : Format.formatter -> t -> unit
 (** Human-readable runtime report: per-memnode CPU utilization and
-    storage high-water marks, plus all protocol metrics (commit/abort
-    counters, retries, copies, GC work). *)
+    storage high-water marks, all protocol metrics (commit/abort
+    counters, retries, copies, GC work), and the observability report
+    (operation latency quantiles and per-layer abort reasons). *)
 
 val enable_gc : ?interval:float -> keep:int -> t -> unit
 (** Start background garbage collection for every index (Sec. 4.4):

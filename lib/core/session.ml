@@ -1,12 +1,22 @@
 module Ops = Btree.Ops
 module Txn = Dyntxn.Txn
 
+type index = int
+
 type t = {
   db : Db.t;
   home : int;
+  obs : Obs.t;
   trees : Ops.tree array;
   branchings : Mvcc.Branching.t array;
 }
+
+let index db i =
+  if i < 0 || i >= Db.n_trees db then
+    invalid_arg
+      (Printf.sprintf "Session.index: %d out of range (database has %d indexes)" i
+         (Db.n_trees db));
+  i
 
 let attach ?(home = 0) db =
   let config = Db.config db in
@@ -22,13 +32,15 @@ let attach ?(home = 0) db =
       Array.map (fun tree -> Mvcc.Branching.attach ~tree ~beta:config.Config.beta) trees
     else [||]
   in
-  { db; home; trees; branchings }
+  { db; home; obs = Db.obs db; trees; branchings }
 
 let db t = t.db
 
 let home t = t.home
 
 let tree t ~index = t.trees.(index)
+
+let tree_of t index = t.trees.(index)
 
 let check_linear t =
   if (Db.config t.db).Config.branching then
@@ -38,28 +50,34 @@ let vctx_of t index txn = Ops.Linear.tip t.trees.(index) txn
 
 let get ?(index = 0) t k =
   check_linear t;
+  Obs.time_op t.obs ~op:Obs.Op.Get ~path:Obs.Op.Up_to_date @@ fun () ->
   Ops.get t.trees.(index) ~vctx_of:(vctx_of t index) k
 
 let put ?(index = 0) t k v =
   check_linear t;
+  Obs.time_op t.obs ~op:Obs.Op.Put ~path:Obs.Op.Up_to_date @@ fun () ->
   Ops.put t.trees.(index) ~vctx_of:(vctx_of t index) k v
 
 let remove ?(index = 0) t k =
   check_linear t;
+  Obs.time_op t.obs ~op:Obs.Op.Remove ~path:Obs.Op.Up_to_date @@ fun () ->
   Ops.remove t.trees.(index) ~vctx_of:(vctx_of t index) k
 
 let scan ?(index = 0) t ~from ~count =
   check_linear t;
+  Obs.time_op t.obs ~op:Obs.Op.Scan ~path:Obs.Op.Up_to_date @@ fun () ->
   Ops.scan t.trees.(index) ~vctx_of:(vctx_of t index) ~from ~count
 
 let multi_get t pairs =
   check_linear t;
+  Obs.time_op t.obs ~op:Obs.Op.Multi_get ~path:Obs.Op.Up_to_date @@ fun () ->
   Ops.multi_get
     (List.map (fun (index, k) -> (t.trees.(index), k)) pairs)
     ~vctx_of:(fun tree txn -> Ops.Linear.tip tree txn)
 
 let multi_put t triples =
   check_linear t;
+  Obs.time_op t.obs ~op:Obs.Op.Multi_put ~path:Obs.Op.Up_to_date @@ fun () ->
   Ops.multi_put
     (List.map (fun (index, k, v) -> (t.trees.(index), k, v)) triples)
     ~vctx_of:(fun tree txn -> Ops.Linear.tip tree txn)
@@ -68,6 +86,7 @@ type txn = { session : t; raw : Txn.t }
 
 let with_txn t f =
   check_linear t;
+  Obs.time_op t.obs ~op:Obs.Op.With_txn ~path:Obs.Op.Up_to_date @@ fun () ->
   Ops.run_txn t.trees.(0) (fun raw -> f { session = t; raw })
 
 let t_vctx txn index = Ops.Linear.tip txn.session.trees.(index) txn.raw
@@ -88,14 +107,18 @@ type snapshot = { index : int; sid : int64; root : Dyntxn.Objref.t }
 
 let snapshot ?(index = 0) t =
   check_linear t;
+  Obs.time_op t.obs ~op:Obs.Op.Snapshot_req ~path:Obs.Op.Up_to_date @@ fun () ->
   let sid, root = Mvcc.Scs.request (Db.scs t.db ~index) in
   { index; sid; root }
 
 let snap_vctx t snap _txn = Ops.Linear.at_snapshot t.trees.(snap.index) ~sid:snap.sid ~root:snap.root
 
-let get_at t snap k = Ops.get t.trees.(snap.index) ~vctx_of:(snap_vctx t snap) k
+let get_at t snap k =
+  Obs.time_op t.obs ~op:Obs.Op.Get ~path:Obs.Op.At_snapshot @@ fun () ->
+  Ops.get t.trees.(snap.index) ~vctx_of:(snap_vctx t snap) k
 
 let scan_at t snap ~from ~count =
+  Obs.time_op t.obs ~op:Obs.Op.Scan ~path:Obs.Op.At_snapshot @@ fun () ->
   Ops.scan t.trees.(snap.index) ~vctx_of:(snap_vctx t snap) ~from ~count
 
 let branching ?(index = 0) t =

@@ -4,7 +4,11 @@
     Each session models one proxy (Sec. 2): it has its own incoherent
     object cache and allocator chunks, and routes its Sinfonia traffic
     through a home memnode (typically the proxy's own host). Sessions
-    are cheap; benchmarks attach one per simulated host. *)
+    are cheap; benchmarks attach one per simulated host.
+
+    Every public operation is timed into the database's observability
+    registry ({!Db.obs}): latency histograms per operation kind, split
+    by up-to-date versus snapshot reads, plus a trace span per call. *)
 
 type t
 
@@ -16,19 +20,36 @@ val db : t -> Db.t
 
 val home : t -> int
 
+(** {1 Index handles}
+
+    Operations address one of the database's B-tree indexes through an
+    abstract, validated handle instead of a raw integer. *)
+
+type index
+(** A validated reference to one B-tree index of a database. *)
+
+val index : Db.t -> int -> index
+(** [index db i] is the handle for the [i]th index. Raises
+    [Invalid_argument] unless [0 <= i < Db.n_trees db]. *)
+
 val tree : t -> index:int -> Btree.Ops.tree
+  [@@deprecated "use Session.tree_of with a validated Session.index handle"]
+(** The underlying per-session tree handle (escape hatch for benches
+    and tests). *)
+
+val tree_of : t -> index -> Btree.Ops.tree
 (** The underlying per-session tree handle (escape hatch for benches
     and tests). *)
 
 (** {1 Up-to-date operations (strictly serializable)} *)
 
-val get : ?index:int -> t -> string -> string option
+val get : ?index:index -> t -> string -> string option
 
-val put : ?index:int -> t -> string -> string -> unit
+val put : ?index:index -> t -> string -> string -> unit
 
-val remove : ?index:int -> t -> string -> bool
+val remove : ?index:index -> t -> string -> bool
 
-val scan : ?index:int -> t -> from:string -> count:int -> (string * string) list
+val scan : ?index:index -> t -> from:string -> count:int -> (string * string) list
 (** Scan against the writable tip; aborts easily under concurrent
     updates — prefer {!scan_at} a snapshot (Sec. 6.3). *)
 
@@ -46,13 +67,13 @@ type txn
 val with_txn : t -> (txn -> 'a) -> 'a
 (** Run the body in a retrying dynamic transaction. *)
 
-val t_get : ?index:int -> txn -> string -> string option
+val t_get : ?index:index -> txn -> string -> string option
 
-val t_put : ?index:int -> txn -> string -> string -> unit
+val t_put : ?index:index -> txn -> string -> string -> unit
 
-val t_remove : ?index:int -> txn -> string -> bool
+val t_remove : ?index:index -> txn -> string -> bool
 
-val t_scan : ?index:int -> txn -> from:string -> count:int -> (string * string) list
+val t_scan : ?index:index -> txn -> from:string -> count:int -> (string * string) list
 
 (** {1 Multi-index transactions (Sec. 6.2)} *)
 
@@ -65,7 +86,7 @@ val multi_put : t -> (int * string * string) list -> unit
 
 type snapshot = { index : int; sid : int64; root : Dyntxn.Objref.t }
 
-val snapshot : ?index:int -> t -> snapshot
+val snapshot : ?index:index -> t -> snapshot
 (** Obtain a read-only snapshot from the snapshot creation service
     (created or borrowed per Fig. 7; possibly up to [k] seconds stale
     when the service has a staleness bound). *)
@@ -78,6 +99,6 @@ val scan_at : t -> snapshot -> from:string -> count:int -> (string * string) lis
 
 (** {1 Writable clones (branching mode)} *)
 
-val branching : ?index:int -> t -> Mvcc.Branching.t
+val branching : ?index:index -> t -> Mvcc.Branching.t
 (** Branch-aware operations for a database started with
     [config.branching = true]. Raises [Invalid_argument] otherwise. *)

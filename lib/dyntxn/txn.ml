@@ -15,6 +15,8 @@ type repl_read = { rr_len : int; rr_seq : int64; rr_payload : string }
 
 type t = {
   cluster : Cluster.t;
+  obs : Obs.t;
+  stats : Obs.txn_stats; (* typed counter handles, resolved once at begin_ *)
   cache : Objcache.t option;
   home : int;
   reads : (Objref.t, read_entry) Hashtbl.t;
@@ -34,8 +36,11 @@ type t = {
 let begin_ ?cache ?(home = 0) cluster =
   if home < 0 || home >= Cluster.n_memnodes cluster then
     invalid_arg "Txn.begin_: home memnode out of range";
+  let obs = Cluster.obs cluster in
   {
     cluster;
+    obs;
+    stats = Obs.txn obs;
     cache;
     home;
     reads = Hashtbl.create 8;
@@ -130,9 +135,14 @@ let fetch_slot t ~validate (addr : Address.t) ~len =
       (match t.cache with
       | None -> ()
       | Some cache -> Hashtbl.iter (fun ref_ _ -> Objcache.invalidate cache ref_) t.reads);
+      Obs.abort t.obs ~layer:Obs.Abort.Txn Obs.Abort.Validation_failed;
       fail t "piggy-backed validation failed"
-  | Mtx.Busy -> fail t "retry budget exhausted during fetch"
-  | Mtx.Unavailable -> fail t "memnode unavailable"
+  | Mtx.Busy ->
+      Obs.abort t.obs ~layer:Obs.Abort.Txn Obs.Abort.Lock_busy;
+      fail t "retry budget exhausted during fetch"
+  | Mtx.Unavailable ->
+      Obs.abort t.obs ~layer:Obs.Abort.Txn Obs.Abort.Crashed_host;
+      fail t "memnode unavailable"
 
 let in_write_set t ref_ = Hashtbl.mem t.writes ref_
 
@@ -325,10 +335,11 @@ let commit ?(blocking = false) t =
   (* mark consumed: a transaction commits at most once *)
   let no_writes = Hashtbl.length t.writes = 0 && Hashtbl.length t.repl_writes = 0 in
   if no_writes && t.fully_validated then begin
-    Sim.Metrics.incr (Cluster.metrics t.cluster) "txn.free_commits";
+    Obs.Counter.incr t.stats.Obs.free_commits;
     Committed
   end
-  else begin
+  else
+    Obs.with_span t.obs Obs.Span.Commit @@ fun () ->
     let n = Cluster.n_memnodes t.cluster in
     (* Fresh sequence numbers for every written object. Uniqueness (not
        contiguity) is what validation relies on; the cluster-wide counter
@@ -412,7 +423,7 @@ let commit ?(blocking = false) t =
               (fun (off, len, seq, payload) ->
                 Objcache.insert cache (cache_key_of_repl t off len) { Objcache.seq; payload })
               repl_written);
-        Sim.Metrics.incr (Cluster.metrics t.cluster) "txn.commits";
+        Obs.Counter.incr t.stats.Obs.commits;
         Committed
     | Mtx.Failed_compare idxs ->
         (* Evict whatever proved stale from the cache so the retry
@@ -429,15 +440,17 @@ let commit ?(blocking = false) t =
                   | `Repl (off, len) -> Objcache.invalidate cache (cache_key_of_repl t off len)
                   | `Repl_seq _ -> ())
               idxs);
-        Sim.Metrics.incr (Cluster.metrics t.cluster) "txn.validation_failures";
+        Obs.Counter.incr t.stats.Obs.validation_failures;
+        Obs.abort t.obs ~layer:Obs.Abort.Txn Obs.Abort.Validation_failed;
         Validation_failed
     | Mtx.Busy ->
-        Sim.Metrics.incr (Cluster.metrics t.cluster) "txn.retry_exhausted";
+        Obs.Counter.incr t.stats.Obs.retry_exhausted;
+        Obs.abort t.obs ~layer:Obs.Abort.Txn Obs.Abort.Lock_busy;
         Retry_exhausted
     | Mtx.Unavailable ->
-        Sim.Metrics.incr (Cluster.metrics t.cluster) "txn.unavailable";
+        Obs.Counter.incr t.stats.Obs.txn_unavailable;
+        Obs.abort t.obs ~layer:Obs.Abort.Txn Obs.Abort.Crashed_host;
         Retry_exhausted
-  end
 
 let commit_exn ?blocking t =
   match commit ?blocking t with

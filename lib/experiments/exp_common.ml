@@ -180,6 +180,49 @@ let in_sim ?(seed = 1) f =
   Sim.run ~seed (fun () -> r := Some (f ()));
   match !r with Some v -> v | None -> failwith "Exp_common.in_sim: did not complete"
 
+(* Exercise every observable code path against a small deployment and
+   write the observability report to BENCH_<name>.json: up-to-date and
+   snapshot reads, scans, cross-index transactions, and enough
+   concurrent writers on a hot key range to produce aborts. *)
+let run_observed ?(dir = ".") ~name () =
+  in_sim ~seed:0xB0B (fun () ->
+      let d = deploy ~hosts:3 ~n_trees:2 () in
+      let records = 2_000 in
+      preload d ~records;
+      let key i = Ycsb.Keygen.hashed_key_of_int (i mod records) in
+      let workers = Array.length d.sessions * 2 in
+      let remaining = ref workers in
+      let finished = Sim.Ivar.create () in
+      for w = 0 to workers - 1 do
+        let s = d.sessions.(w mod Array.length d.sessions) in
+        let idx1 = Minuet.Session.index d.db 1 in
+        Sim.spawn (fun () ->
+            for i = 0 to 199 do
+              (* Hot range: all workers collide on the same few keys so
+                 validation failures and lock retries show up in the
+                 abort taxonomy. *)
+              let k = key ((i mod 16) + (w land 1)) in
+              match i mod 10 with
+              | 0 | 1 | 2 | 3 -> ignore (Minuet.Session.get s k : string option)
+              | 4 | 5 | 6 -> Minuet.Session.put s k (string_of_int i)
+              | 7 ->
+                  let snap = Minuet.Session.snapshot s in
+                  ignore (Minuet.Session.get_at s snap k : string option);
+                  ignore
+                    (Minuet.Session.scan_at s snap ~from:(key 0) ~count:10
+                      : (string * string) list)
+              | 8 ->
+                  Minuet.Session.with_txn s (fun tx ->
+                      let v = Minuet.Session.t_get tx k in
+                      Minuet.Session.t_put tx k (Option.value v ~default:"0" ^ "!"))
+              | _ -> Minuet.Session.put ~index:idx1 s k (string_of_int i)
+            done;
+            decr remaining;
+            if !remaining = 0 then Sim.Ivar.fill finished ())
+      done;
+      Sim.Ivar.read finished;
+      Obs.Report.write ~name ~dir (Minuet.Db.obs d.db))
+
 type row = { label : (string * string) list; metrics : (string * float) list }
 
 let row_value r name = List.assoc name r.metrics

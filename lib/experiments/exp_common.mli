@@ -79,6 +79,12 @@ val in_sim : ?seed:int -> (unit -> 'a) -> 'a
 (** Run one experiment point in its own simulation and return its
     result. *)
 
+val run_observed : ?dir:string -> name:string -> unit -> string
+(** Run a small mixed workload (reads, writes, snapshot scans,
+    cross-index transactions, contended hot keys) against a fresh
+    3-host deployment and write its observability report to
+    [dir/BENCH_<name>.json]. Returns the file path. *)
+
 (** {1 Result rows} *)
 
 type row = { label : (string * string) list; metrics : (string * float) list }

@@ -60,8 +60,9 @@ let measure ~params ~hosts ~mix_name ~mix ~system =
             (* Preload both trees with the same hashed key space. *)
             preload d ~records;
             let s0 = d.sessions.(0) in
+            let idx1 = Minuet.Session.index d.db 1 in
             for i = 0 to records - 1 do
-              Minuet.Session.put ~index:1 s0 (Ycsb.Keygen.hashed_key_of_int i) "init"
+              Minuet.Session.put ~index:idx1 s0 (Ycsb.Keygen.hashed_key_of_int i) "init"
             done;
             fun ~client op -> minuet_dual d ~records ~client op
         | `Cdb ->

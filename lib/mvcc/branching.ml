@@ -214,9 +214,8 @@ let create_branch t ~from =
     | new_sid -> (
         match Txn.commit ~blocking:true txn with
         | Txn.Committed ->
-            Sim.Metrics.incr
-              (Sinfonia.Cluster.metrics (Ops.cluster t.tree))
-              "btree.branches_created";
+            Obs.Counter.incr
+              (Obs.btree (Sinfonia.Cluster.obs (Ops.cluster t.tree))).Obs.branches_created;
             new_sid
         | Txn.Validation_failed | Txn.Retry_exhausted ->
             Txn.evict_dirty txn;
@@ -340,8 +339,8 @@ let delete_branch t sid =
     | () -> (
         match Txn.commit ~blocking:true txn with
         | Txn.Committed ->
-            Sim.Metrics.incr (Sinfonia.Cluster.metrics (Ops.cluster t.tree))
-              "btree.branches_deleted"
+            Obs.Counter.incr
+              (Obs.btree (Sinfonia.Cluster.obs (Ops.cluster t.tree))).Obs.branches_deleted
         | Txn.Validation_failed | Txn.Retry_exhausted ->
             Txn.evict_dirty txn;
             attempt (tries + 1))

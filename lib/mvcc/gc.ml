@@ -96,7 +96,7 @@ let sweep tree ~alloc =
                 if reclaim tree ref_ ~observed_seq:seq then begin
                   Node_alloc.free alloc ref_;
                   incr freed;
-                  Sim.Metrics.incr (Cluster.metrics cluster) "gc.slots_reclaimed"
+                  Obs.Counter.incr (Obs.gc (Cluster.obs cluster)).Obs.slots_reclaimed
                 end
               end
         end
@@ -154,7 +154,7 @@ let sweep_branching trees ~alloc ~roots =
               if reclaim tree ref_ ~observed_seq:seq then begin
                 Node_alloc.free alloc ref_;
                 incr freed;
-                Sim.Metrics.incr (Cluster.metrics cluster) "gc.branch_slots_reclaimed"
+                Obs.Counter.incr (Obs.gc (Cluster.obs cluster)).Obs.branch_slots_reclaimed
               end
         end
       end

@@ -3,6 +3,8 @@ module Txn = Dyntxn.Txn
 
 type t = {
   tree : Ops.tree;
+  obs : Obs.t;
+  stats : Obs.scs_stats;
   borrowing : bool;
   min_interval : float;
   rpc_one_way : float;
@@ -18,8 +20,11 @@ type t = {
 }
 
 let create ?(borrowing = true) ?(min_interval = 0.0) ?(rpc_one_way = 25e-6) ~tree () =
+  let obs = Sinfonia.Cluster.obs (Ops.cluster tree) in
   {
     tree;
+    obs;
+    stats = Obs.scs obs;
     borrowing;
     min_interval;
     rpc_one_way;
@@ -42,6 +47,7 @@ let stale_reuses t = t.stale_reused
    validation failures (e.g. a racing up-to-date operation bumped a
    cached tip). *)
 let create_snapshot_now t =
+  Obs.with_span t.obs Obs.Span.Snapshot_create @@ fun () ->
   let rec attempt tries =
     if tries > 64 then failwith "Scs: snapshot creation starved";
     let txn = Txn.begin_ (Ops.cluster t.tree) ~home:(Ops.home t.tree) in
@@ -54,11 +60,13 @@ let create_snapshot_now t =
   in
   let result = attempt 0 in
   t.created <- t.created + 1;
+  Obs.Counter.incr t.stats.Obs.scs_created;
   t.last <- Some result;
   t.last_created_at <- Sim.now ();
   result
 
 let request t =
+  Obs.with_span t.obs Obs.Span.Scs_request @@ fun () ->
   (* Proxy → service hop. *)
   Sim.delay t.rpc_one_way;
   let result =
@@ -72,6 +80,7 @@ let request t =
     in
     if fresh_enough () then begin
       t.stale_reused <- t.stale_reused + 1;
+      Obs.Counter.incr t.stats.Obs.scs_stale_reused;
       Option.get t.last
     end
     else begin
@@ -80,6 +89,7 @@ let request t =
       let result =
         if fresh_enough () then begin
           t.stale_reused <- t.stale_reused + 1;
+          Obs.Counter.incr t.stats.Obs.scs_stale_reused;
           Option.get t.last
         end
         else begin
@@ -89,6 +99,7 @@ let request t =
              within our request window — borrow it. *)
           if t.borrowing && tmp2 >= tmp1 + 2 then begin
             t.borrowed <- t.borrowed + 1;
+            Obs.Counter.incr t.stats.Obs.scs_borrowed;
             Option.get t.last
           end
           else begin

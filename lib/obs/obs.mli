@@ -1,0 +1,236 @@
+(** Observability for the Minuet stack: typed metric handles, a closed
+    abort-reason taxonomy, per-operation latency histograms, and trace
+    spans with parent/child links — all exportable as JSON
+    ({!Report.to_json}) so a benchmark trajectory can be tracked across
+    changes.
+
+    One [Obs.t] is owned by each simulated cluster
+    ({!Sinfonia.Cluster.obs}); every layer above it (dynamic
+    transactions, B-tree, snapshot service, sessions) records into it
+    through the typed handles below. The string-keyed registry
+    ({!Sim.Metrics}) survives only as the report/back-compat layer: hot
+    paths never look a counter up by name. *)
+
+module Json = Json
+
+module Counter = Sim.Stats.Counter
+
+(** {1 Abort taxonomy}
+
+    Every way an operation can fail to make progress, as a closed
+    variant (replacing the old ad-hoc counter names). Aborts are counted
+    per (layer, reason); the same logical conflict may legitimately be
+    counted at more than one layer (a failed minitransaction compare is
+    a [Validation_failed] at the [Mtx] layer and again at the [Txn]
+    layer that aborts because of it). *)
+module Abort : sig
+  type reason =
+    | Lock_busy  (** Minitransaction lock collision; retried with backoff. *)
+    | Validation_failed  (** A read-set compare failed: data changed underneath. *)
+    | Fence_violation  (** Dirty traversal left the node's key-range fence. *)
+    | Height_mismatch  (** Stale pointer led to a node at the wrong level. *)
+    | Snapshot_stale  (** Node version not on the snapshot's path, or superseded. *)
+    | Crashed_host  (** Memnode (and backup) unreachable. *)
+
+  val all : reason list
+
+  val to_string : reason -> string
+  (** Stable snake_case name used in reports ("lock_busy", ...). *)
+
+  type layer = Mtx | Txn | Btree | Scs
+
+  val layers : layer list
+
+  val layer_to_string : layer -> string
+end
+
+type t
+
+val create : ?span_capacity:int -> unit -> t
+(** [span_capacity] bounds the finished-span ring buffer (default
+    65536); older spans are overwritten, aggregates are unaffected. *)
+
+val metrics : t -> Sim.Metrics.t
+(** The backing string-keyed registry (report layer). Typed handles
+    below write into it, so legacy [Sim.Metrics.counter_value]
+    inspection keeps working. *)
+
+(** {1 Typed metric handles}
+
+    Pre-registered at {!create}; incrementing one is a record-field read
+    plus an integer bump — no string hashing on any hot path. *)
+
+type mtx_stats = {
+  committed_1pc : Counter.t;
+  committed_2pc : Counter.t;
+  busy_retries : Counter.t;
+  compare_failed : Counter.t;
+  retry_budget_exhausted : Counter.t;
+  mtx_unavailable : Counter.t;
+  mirrors : Counter.t;
+  orphans_released : Counter.t;
+  crashes : Counter.t;
+  recoveries : Counter.t;
+}
+
+type txn_stats = {
+  commits : Counter.t;
+  free_commits : Counter.t;
+  validation_failures : Counter.t;
+  retry_exhausted : Counter.t;
+  txn_unavailable : Counter.t;
+}
+
+type btree_stats = {
+  abort_fence : Counter.t;
+  abort_version : Counter.t;
+  abort_copied : Counter.t;
+  abort_height : Counter.t;
+  splits : Counter.t;
+  root_splits : Counter.t;
+  cow : Counter.t;
+  discretionary_cow : Counter.t;
+  op_retries : Counter.t;
+  snapshots_created : Counter.t;
+  branches_created : Counter.t;
+  branches_deleted : Counter.t;
+  chunk_reservations : Counter.t;
+}
+
+type gc_stats = { slots_reclaimed : Counter.t; branch_slots_reclaimed : Counter.t }
+
+type scs_stats = {
+  scs_created : Counter.t;
+  scs_borrowed : Counter.t;
+  scs_stale_reused : Counter.t;
+}
+
+val mtx : t -> mtx_stats
+
+val txn : t -> txn_stats
+
+val btree : t -> btree_stats
+
+val gc : t -> gc_stats
+
+val scs : t -> scs_stats
+
+val counter : t -> name:string -> Counter.t
+(** Ad-hoc counter by name, resolved once at construction time by the
+    caller and then used as a typed handle. Prefer the records above
+    for the stack's own metrics. *)
+
+val hist : t -> name:string -> Sim.Stats.Hist.t
+
+(** {1 Abort accounting} *)
+
+val abort : t -> layer:Abort.layer -> Abort.reason -> unit
+
+val abort_count : t -> ?layer:Abort.layer -> Abort.reason -> int
+(** Count for one layer, or summed over all layers when omitted. *)
+
+val abort_counts : t -> (Abort.layer * Abort.reason * int) list
+(** All nonzero cells of the (layer, reason) matrix. *)
+
+(** {1 Per-operation latency} *)
+
+module Op : sig
+  type op = Get | Put | Remove | Scan | With_txn | Multi_get | Multi_put | Snapshot_req
+
+  (** Whether the operation read the writable tip (strictly
+      serializable) or a read-only snapshot. *)
+  type path = Up_to_date | At_snapshot
+
+  val all : op list
+
+  val to_string : op -> string
+
+  val label : op -> path -> string
+  (** Report key: ["get"], ["get\@snapshot"], ... *)
+end
+
+val op_hist : t -> op:Op.op -> path:Op.path -> Sim.Stats.Hist.t
+(** The latency histogram (seconds of simulated time) for one
+    (operation, path) cell. *)
+
+val observe_op : t -> op:Op.op -> path:Op.path -> float -> unit
+
+val time_op : t -> op:Op.op -> path:Op.path -> (unit -> 'a) -> 'a
+(** Run the thunk inside an operation span, recording its simulated
+    duration into the cell's histogram on success (exceptions
+    propagate; their duration is not recorded). *)
+
+(** {1 Trace spans}
+
+    Spans record simulated-time intervals with parent/child links: one
+    [put] decomposes into its traversal, validation and commit spans.
+    Parenting is implicit through the scheduler's per-process trace
+    context, so spans nest correctly across [Sim.spawn]/[Sim.delay]
+    boundaries without threading handles through every call. *)
+
+module Span : sig
+  type kind =
+    | Op of Op.op * Op.path  (** Session-level operation. *)
+    | Txn  (** One retrying dynamic transaction (all attempts). *)
+    | Attempt  (** One optimistic attempt inside a {!Txn}. *)
+    | Commit  (** Dynamic-transaction commit (validation + write-back). *)
+    | Traversal  (** Root-to-leaf descent. *)
+    | Mtx_exec  (** Single-memnode minitransaction (1PC fast path). *)
+    | Mtx_prepare  (** Prepare phase of a 2PC minitransaction. *)
+    | Mtx_commit  (** Commit phase of a 2PC minitransaction. *)
+    | Snapshot_create  (** SCS executing Fig. 6. *)
+    | Scs_request  (** Proxy-visible SCS snapshot request. *)
+
+  val kind_to_string : kind -> string
+
+  type outcome = Completed | Aborted of Abort.reason | Failed of string
+
+  type t
+  (** A live span handle. *)
+
+  (** A finished span. [parent = 0] means the span was a root. *)
+  type info = {
+    id : int;
+    parent : int;
+    kind : kind;
+    start : float;
+    stop : float;
+    outcome : outcome;
+  }
+end
+
+val span_begin : t -> Span.kind -> Span.t
+(** Starts a span whose parent is the calling process's current span,
+    and makes it the current span. *)
+
+val span_end : ?outcome:Span.outcome -> t -> Span.t -> unit
+(** Finishes the span, restores its parent as current, records its
+    duration into the per-kind histogram and appends it to the finished
+    ring. Spans must end LIFO within a process; prefer {!with_span}. *)
+
+val with_span : t -> ?outcome_of_exn:(exn -> Span.outcome option) -> Span.kind -> (unit -> 'a) -> 'a
+(** Wrap a computation in a span. An escaping exception finishes the
+    span with outcome [Failed] (or whatever [outcome_of_exn] maps it
+    to) and is re-raised. *)
+
+val spans : t -> Span.info list
+(** Finished spans still in the ring, oldest first. *)
+
+val clear_spans : t -> unit
+
+(** {1 Reporting} *)
+
+module Report : sig
+  val to_json : ?name:string -> t -> Json.t
+  (** Machine-readable snapshot: every counter, the (layer, reason)
+      abort matrix, and p50/p95/p99 latency summaries per operation and
+      per span kind. Schema documented in DESIGN.md ("Observability"). *)
+
+  val write : name:string -> ?dir:string -> t -> string
+  (** Serialize {!to_json} into [<dir>/BENCH_<name>.json] (default
+      [dir] is the current directory) and return the path. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Human-readable latency + abort tables ({!Db.pp_stats} embeds
+      this). *)
+end

@@ -43,6 +43,17 @@ let rng () = (get ()).root_rng
 
 let stop () = (get ()).stopped <- true
 
+(* Per-process trace context: an opaque span id owned by the tracing
+   layer (0 = no active span). The slot rides along with each process
+   across suspension points and is inherited by spawned children, which
+   is what lets a tracer attribute work to the span that caused it
+   without threading a handle through every call. *)
+let ctx : int ref = ref 0
+
+let trace_context () = !ctx
+
+let set_trace_context v = ctx := v
+
 let schedule s thunk = Event_queue.push s.queue ~time:s.clock thunk
 
 let schedule_at s ~time thunk = Event_queue.push s.queue ~time thunk
@@ -75,20 +86,29 @@ let rec exec : scheduler -> string option -> (unit -> unit) -> unit =
           | Delay d ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  schedule_at s ~time:(s.clock +. d) (fun () -> continue k ()))
+                  let saved = !ctx in
+                  schedule_at s ~time:(s.clock +. d) (fun () ->
+                      ctx := saved;
+                      continue k ()))
           | Spawn (child_name, f) ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  schedule s (fun () -> exec s child_name f);
+                  let inherited = !ctx in
+                  schedule s (fun () ->
+                      ctx := inherited;
+                      exec s child_name f);
                   continue k ())
           | Suspend register ->
               Some
                 (fun (k : (a, unit) continuation) ->
+                  let saved = !ctx in
                   let fired = ref false in
                   let wake v =
                     if not !fired then begin
                       fired := true;
-                      schedule s (fun () -> continue k v)
+                      schedule s (fun () ->
+                          ctx := saved;
+                          continue k v)
                     end
                   in
                   (* Run the registration under its own handler so that
@@ -104,9 +124,11 @@ let run ?(seed = 0x4d696e) ?until main =
     { queue = Event_queue.create (); clock = 0.0; stopped = false; root_rng = Rng.create seed }
   in
   current := Some s;
+  ctx := 0;
   let finish () =
     Event_queue.clear s.queue;
-    current := None
+    current := None;
+    ctx := 0
   in
   (try
      exec s (Some "main") main;

@@ -56,6 +56,16 @@ val rng : unit -> Rng.t
 (** The simulation's root random stream. Derive independent component
     streams with {!Rng.split}. *)
 
+val trace_context : unit -> int
+(** The calling process's trace context: an opaque span id owned by the
+    tracing layer ([minuet.obs]); [0] means no active span. The context
+    follows each process across {!delay}/{!suspend} and is inherited by
+    {!spawn}ed children, so spans parent correctly even across process
+    boundaries. Application code should not touch this directly. *)
+
+val set_trace_context : int -> unit
+(** Set the calling process's trace context (tracing layer only). *)
+
 val stop : unit -> unit
 (** Stop the simulation: no further events are processed after the
     current one returns. *)

@@ -2,7 +2,7 @@ type t = {
   config : Config.t;
   memnodes : Memnode.t array;
   net : Sim.Net.t;
-  metrics : Sim.Metrics.t;
+  obs : Obs.t;
   rng : Sim.Rng.t;
   mutable next_owner : int64;
 }
@@ -27,7 +27,7 @@ let create ?(config = Config.default) ?(seed = 0xC1057E4) ~n () =
         ignore
           (Memnode.add_replica memnodes.(backup) ~of_node:i ~heap_capacity:config.heap_capacity))
       memnodes;
-  { config; memnodes; net; metrics = Sim.Metrics.create (); rng; next_owner = 1L }
+  { config; memnodes; net; obs = Obs.create (); rng; next_owner = 1L }
 
 let config t = t.config
 
@@ -37,7 +37,9 @@ let memnode t i = t.memnodes.(i)
 
 let net t = t.net
 
-let metrics t = t.metrics
+let obs t = t.obs
+
+let metrics t = Obs.metrics t.obs
 
 let rng t = t.rng
 
@@ -93,7 +95,7 @@ let mirror t i writes =
                 Memnode.serve bn ~cost;
                 Memnode.apply_writes store writes;
                 Sim.Net.transfer t.net ~bytes:32;
-                Sim.Metrics.incr t.metrics "replication.mirrors"
+                Obs.Counter.incr (Obs.mtx t.obs).Obs.mirrors
           end
         end
 
@@ -104,7 +106,8 @@ let start_recovery ?(lease = 0.25) ?(interval = 1.0) t =
           let rec loop () =
             Sim.delay interval;
             let recovered = Memnode.recover_orphaned_locks mn ~lease in
-            if recovered > 0 then Sim.Metrics.add t.metrics "recovery.orphans_released" recovered;
+            if recovered > 0 then
+              Obs.Counter.add (Obs.mtx t.obs).Obs.orphans_released recovered;
             loop ()
           in
           loop ()))
@@ -112,7 +115,7 @@ let start_recovery ?(lease = 0.25) ?(interval = 1.0) t =
 
 let crash t i =
   Memnode.crash t.memnodes.(i);
-  Sim.Metrics.incr t.metrics "memnode.crashes"
+  Obs.Counter.incr (Obs.mtx t.obs).Obs.crashes
 
 let recover t i =
   match backup_of t i with
@@ -122,4 +125,4 @@ let recover t i =
       | None -> invalid_arg "Cluster.recover: no replica"
       | Some store ->
           Memnode.recover t.memnodes.(i) ~from_replica:store;
-          Sim.Metrics.incr t.metrics "memnode.recoveries")
+          Obs.Counter.incr (Obs.mtx t.obs).Obs.recoveries)

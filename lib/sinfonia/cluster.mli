@@ -16,7 +16,15 @@ val memnode : t -> int -> Memnode.t
 
 val net : t -> Sim.Net.t
 
+val obs : t -> Obs.t
+(** The cluster's observability registry: typed counters, abort
+    taxonomy, latency histograms and trace spans. One per cluster, so
+    distinct runs never share state. *)
+
 val metrics : t -> Sim.Metrics.t
+(** The string-keyed registry backing {!obs} (report layer / legacy
+    inspection). [Sim.Metrics.counter_value (metrics t) "txn.commits"]
+    keeps working. *)
 
 val rng : t -> Sim.Rng.t
 

@@ -39,13 +39,14 @@ let outcome_of_reads (mtx : Mtx.t) indexed =
 
 let exec_single cluster ~mode (mtx : Mtx.t) node =
   let cfg = Cluster.config cluster in
-  let metrics = Cluster.metrics cluster in
+  let obs = Cluster.obs cluster in
+  let stats = Obs.mtx obs in
   let part = Memnode.part_of_mtx mtx ~node in
   let cost = Memnode.part_cost cfg part in
   let bytes_out = Memnode.part_bytes part + request_overhead in
   let rec attempt n =
     if n > cfg.Config.max_retries then begin
-      Sim.Metrics.incr metrics "mtx.retry_budget_exhausted";
+      Obs.Counter.incr stats.Obs.retry_budget_exhausted;
       Mtx.Busy
     end
     else begin
@@ -61,17 +62,23 @@ let exec_single cluster ~mode (mtx : Mtx.t) node =
         | Memnode.Prepared reads -> read_bytes_of_result reads
         | Memnode.Busy_locks | Memnode.Compare_failed _ -> response_overhead
       in
-      match round_trip cluster node ~bytes_out ~resp_bytes run with
+      let result =
+        Obs.with_span obs Obs.Span.Mtx_exec (fun () ->
+            round_trip cluster node ~bytes_out ~resp_bytes run)
+      in
+      match result with
       | Memnode.Prepared reads ->
           if part.p_writes <> [] then Cluster.mirror cluster node part.p_writes;
-          Sim.Metrics.incr metrics "mtx.committed_1pc";
+          Obs.Counter.incr stats.Obs.committed_1pc;
           outcome_of_reads mtx (merge_reads [ reads ])
       | Memnode.Busy_locks ->
-          Sim.Metrics.incr metrics "mtx.busy_retries";
+          Obs.Counter.incr stats.Obs.busy_retries;
+          Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Lock_busy;
           backoff_delay cluster n;
           attempt (n + 1)
       | Memnode.Compare_failed idxs ->
-          Sim.Metrics.incr metrics "mtx.compare_failed";
+          Obs.Counter.incr stats.Obs.compare_failed;
+          Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Validation_failed;
           Mtx.Failed_compare idxs
     end
   in
@@ -94,11 +101,12 @@ let parallel_map cluster nodes f =
 
 let exec_multi cluster ~mode (mtx : Mtx.t) nodes =
   let cfg = Cluster.config cluster in
-  let metrics = Cluster.metrics cluster in
+  let obs = Cluster.obs cluster in
+  let stats = Obs.mtx obs in
   let parts = List.map (fun node -> (node, Memnode.part_of_mtx mtx ~node)) nodes in
   let rec attempt n =
     if n > cfg.Config.max_retries then begin
-      Sim.Metrics.incr metrics "mtx.retry_budget_exhausted";
+      Obs.Counter.incr stats.Obs.retry_budget_exhausted;
       Mtx.Busy
     end
     else begin
@@ -119,7 +127,9 @@ let exec_multi cluster ~mode (mtx : Mtx.t) nodes =
                 Memnode.prepare_blocking_timed mn store ~owner part ~cost
                   ~timeout:cfg.Config.blocking_timeout)
       in
-      let results = parallel_map cluster nodes prepare in
+      let results =
+        Obs.with_span obs Obs.Span.Mtx_prepare (fun () -> parallel_map cluster nodes prepare)
+      in
       let prepared_nodes =
         List.filter_map
           (fun (node, r) -> match r with Memnode.Prepared _ -> Some node | _ -> None)
@@ -139,27 +149,31 @@ let exec_multi cluster ~mode (mtx : Mtx.t) nodes =
       in
       if failed_compares <> [] then begin
         abort_prepared ();
-        Sim.Metrics.incr metrics "mtx.compare_failed";
+        Obs.Counter.incr stats.Obs.compare_failed;
+        Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Validation_failed;
         Mtx.Failed_compare (List.sort_uniq Int.compare failed_compares)
       end
       else if List.exists (fun (_, r) -> r = Memnode.Busy_locks) results then begin
         abort_prepared ();
-        Sim.Metrics.incr metrics "mtx.busy_retries";
+        Obs.Counter.incr stats.Obs.busy_retries;
+        Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Lock_busy;
         backoff_delay cluster n;
         attempt (n + 1)
       end
       else begin
         (* Phase two: commit everywhere in parallel, then mirror. *)
-        ignore
-          (parallel_map cluster nodes (fun node ->
-               let part = List.assoc node parts in
-               round_trip cluster node
-                 ~bytes_out:(Memnode.part_bytes part + request_overhead)
-                 ~resp_bytes:(fun () -> response_overhead)
-                 (fun mn store ->
-                   Memnode.commit_timed mn store ~owner part ~cost:(Memnode.part_cost cfg part);
-                   if part.p_writes <> [] then Cluster.mirror cluster node part.p_writes)));
-        Sim.Metrics.incr metrics "mtx.committed_2pc";
+        Obs.with_span obs Obs.Span.Mtx_commit (fun () ->
+            ignore
+              (parallel_map cluster nodes (fun node ->
+                   let part = List.assoc node parts in
+                   round_trip cluster node
+                     ~bytes_out:(Memnode.part_bytes part + request_overhead)
+                     ~resp_bytes:(fun () -> response_overhead)
+                     (fun mn store ->
+                       Memnode.commit_timed mn store ~owner part
+                         ~cost:(Memnode.part_cost cfg part);
+                       if part.p_writes <> [] then Cluster.mirror cluster node part.p_writes))));
+        Obs.Counter.incr stats.Obs.committed_2pc;
         let reads =
           List.concat_map
             (fun (_, r) -> match r with Memnode.Prepared reads -> reads | _ -> [])
@@ -184,5 +198,7 @@ let exec cluster ?(mode = Normal) mtx =
     | exception Cluster.Unavailable _ ->
         (* A participant (and its backup) is down; surface it as an
            outcome instead of tearing the caller down. *)
-        Sim.Metrics.incr (Cluster.metrics cluster) "mtx.unavailable";
+        let obs = Cluster.obs cluster in
+        Obs.Counter.incr (Obs.mtx obs).Obs.mtx_unavailable;
+        Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Crashed_host;
         Mtx.Unavailable

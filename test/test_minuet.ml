@@ -52,7 +52,7 @@ let test_multi_index () =
       | [ Some "a"; Some "b" ] -> ()
       | _ -> Alcotest.fail "multi_get mismatch");
       check (Alcotest.option Alcotest.string) "index isolation" None
-        (Minuet.Session.get ~index:1 s (key 2)))
+        (Minuet.Session.get ~index:(Minuet.Session.index db 1) s (key 2)))
 
 let test_with_txn_read_your_writes () =
   run (fun db ->
@@ -107,15 +107,16 @@ let test_with_txn_cross_index () =
   let config = { small_config with Minuet.Config.n_trees = 2 } in
   run ~config (fun db ->
       let s = Minuet.Session.attach db in
+      let idx0 = Minuet.Session.index db 0 and idx1 = Minuet.Session.index db 1 in
       Minuet.Session.with_txn s (fun tx ->
-          Minuet.Session.t_put ~index:0 tx (key 1) "zero";
-          Minuet.Session.t_put ~index:1 tx (key 1) "one";
+          Minuet.Session.t_put ~index:idx0 tx (key 1) "zero";
+          Minuet.Session.t_put ~index:idx1 tx (key 1) "one";
           check (Alcotest.option Alcotest.string) "cross-index read" (Some "zero")
-            (Minuet.Session.t_get ~index:0 tx (key 1)));
+            (Minuet.Session.t_get ~index:idx0 tx (key 1)));
       check (Alcotest.option Alcotest.string) "idx0" (Some "zero")
-        (Minuet.Session.get ~index:0 s (key 1));
+        (Minuet.Session.get ~index:idx0 s (key 1));
       check (Alcotest.option Alcotest.string) "idx1" (Some "one")
-        (Minuet.Session.get ~index:1 s (key 1)))
+        (Minuet.Session.get ~index:idx1 s (key 1)))
 
 let test_snapshots_via_scs () =
   run (fun db ->
@@ -370,7 +371,10 @@ let test_chaos_mixed_everything () =
       check Alcotest.int "all snapshot scans consistent" 20 !scans_ok;
       check Alcotest.int "no anomalies" 0 !scan_sizes_bad;
       (* Structural audit of the final tip. *)
-      let tree = Minuet.Session.tree seed_session ~index:0 in
+      let tree =
+        Minuet.Session.tree_of seed_session
+          (Minuet.Session.index (Minuet.Session.db seed_session) 0)
+      in
       let txn = Dyntxn.Txn.begin_ (Btree.Ops.cluster tree) in
       let sid, root = Btree.Ops.Linear.read_tip tree txn in
       (match Dyntxn.Txn.commit txn with _ -> ());
