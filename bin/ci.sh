@@ -26,4 +26,21 @@ trap 'rm -rf "$smoke_dir"' EXIT
 dune exec bin/minuet_bench.exe -- smoke --dir "$smoke_dir"
 dune exec bin/minuet_bench.exe -- check-report "$smoke_dir/BENCH_smoke.json"
 
+echo "== chaos + serializability check =="
+# Deterministic fault-injection storm with the history checker; fails
+# the build on any serializability/snapshot violation or audit failure.
+dune exec bin/minuet_bench.exe -- chaos --seed 42 --duration 2
+
+echo "== chaos checker catches injected bugs =="
+# With leaf-read validation deliberately broken the same pipeline must
+# FAIL — a checker that never fires would let real violations through.
+if dune exec bin/minuet_bench.exe -- chaos --seed 7 --duration 0.5 --broken \
+    --clients 8 --keys 24 >/dev/null 2>&1; then
+  echo "ERROR: --broken chaos run passed; the checker caught nothing" >&2
+  exit 1
+fi
+
+echo "== fault-tolerance example (asserting) =="
+dune exec examples/fault_tolerance.exe
+
 echo "CI OK"

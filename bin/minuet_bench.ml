@@ -150,8 +150,96 @@ let check_report_cmd =
   in
   Cmd.v (Cmd.info "check-report" ~doc) Term.(const action $ file_arg)
 
+(* Chaos run: deterministic fault injection plus the history-based
+   consistency checker. Exits nonzero (with a minimal counterexample)
+   on any serializability/snapshot violation or audit failure. *)
+let chaos_cmd =
+  let doc =
+    "Run a fault-injection storm (crashes, partitions, delay spikes, coordinator stalls, \
+     snapshot-service outages) under a mixed workload, then verify the recorded history for \
+     strict serializability and exact snapshot semantics. Exits 1 with a minimal \
+     counterexample on any violation. Deterministic: the same seed reproduces the same run \
+     byte for byte."
+  in
+  let seed_arg =
+    Arg.(value & opt int Chaos.Runner.default.Chaos.Runner.seed
+        & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
+  in
+  let duration_arg =
+    Arg.(value & opt float Chaos.Runner.default.Chaos.Runner.duration
+        & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated seconds of traffic.")
+  in
+  let hosts_arg =
+    Arg.(value & opt int Chaos.Runner.default.Chaos.Runner.hosts
+        & info [ "hosts" ] ~docv:"N" ~doc:"Memnode count.")
+  in
+  let clients_arg =
+    Arg.(value & opt int Chaos.Runner.default.Chaos.Runner.clients
+        & info [ "clients" ] ~docv:"N" ~doc:"Concurrent workload clients.")
+  in
+  let keys_arg =
+    Arg.(value & opt int Chaos.Runner.default.Chaos.Runner.keys
+        & info [ "keys" ] ~docv:"N" ~doc:"Key-space size.")
+  in
+  let phases_arg =
+    Arg.(value & opt int Chaos.Runner.default.Chaos.Runner.phases
+        & info [ "phases" ] ~docv:"N" ~doc:"Chaos phases (a structural audit runs after each).")
+  in
+  let faults_arg =
+    let doc =
+      "Comma-separated fault mix: any of 'crash', 'partition', 'delay', 'stall', 'scs', or \
+       'all' (default) / 'none'."
+    in
+    Arg.(value & opt string "all" & info [ "faults" ] ~docv:"KINDS" ~doc)
+  in
+  let broken_arg =
+    let doc =
+      "Deliberately break leaf-read validation (unsafe_dirty_leaf_reads) to prove the \
+       checker catches real violations; the run is expected to FAIL."
+    in
+    Arg.(value & flag & info [ "broken" ] ~doc)
+  in
+  let action seed duration hosts clients keys phases faults broken =
+    let kinds =
+      match faults with
+      | "all" -> Chaos.Nemesis.all_kinds
+      | "none" -> []
+      | s ->
+          List.map
+            (fun name ->
+              match Chaos.Nemesis.kind_of_string name with
+              | Some k -> k
+              | None ->
+                  prerr_endline ("unknown fault kind: " ^ name);
+                  exit 2)
+            (String.split_on_char ',' s)
+    in
+    let cfg =
+      {
+        Chaos.Runner.default with
+        Chaos.Runner.seed;
+        duration;
+        hosts;
+        clients;
+        keys;
+        phases;
+        kinds;
+        broken;
+      }
+    in
+    let report = Chaos.Runner.run cfg in
+    Format.printf "%a@." Chaos.Runner.pp_report report;
+    if not (Chaos.Runner.passed report) then exit 1
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const action $ seed_arg $ duration_arg $ hosts_arg $ clients_arg $ keys_arg $ phases_arg
+      $ faults_arg $ broken_arg)
+
 let () =
   let doc = "Reproduce the evaluation of 'Minuet: A Scalable Distributed Multiversion B-Tree'" in
   let info = Cmd.info "minuet-bench" ~version:"1.0" ~doc in
-  let cmds = all_cmd :: smoke_cmd :: check_report_cmd :: List.map figure_cmd Experiments.all in
+  let cmds =
+    all_cmd :: smoke_cmd :: check_report_cmd :: chaos_cmd :: List.map figure_cmd Experiments.all
+  in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -3,13 +3,25 @@
 
    A workload runs while one memnode crashes and later recovers; all
    data stays readable and writable throughout, served by the crashed
-   node's replica on its backup.
+   node's replica on its backup. The example asserts those guarantees —
+   it exits nonzero if any read goes missing during the outage or any
+   item carries the wrong generation after recovery — so it doubles as
+   a CI check.
 
    Run with:  dune exec examples/fault_tolerance.exe *)
 
 let n = 2_000
 
 let key i = Printf.sprintf "item:%06d" i
+
+let failures = ref 0
+
+let expect what expected actual =
+  if expected = actual then Printf.printf "%s: %d (ok)\n%!" what actual
+  else begin
+    Printf.printf "%s: expected %d, got %d (FAIL)\n%!" what expected actual;
+    incr failures
+  end
 
 let () =
   Minuet.Harness.run (fun db ->
@@ -29,8 +41,7 @@ let () =
       for i = 0 to n - 1 do
         if Minuet.Session.get session (key i) = None then incr missing
       done;
-      Printf.printf "reads during outage: %d/%d present (%d missing)\n%!" (n - !missing) n
-        !missing;
+      expect "reads missing during outage" 0 !missing;
 
       (* Writes keep working too. *)
       for i = 0 to n - 1 do
@@ -42,12 +53,26 @@ let () =
       Minuet.Db.recover_host db 1;
       print_endline "memnode 1 recovered from its replica";
 
-      let gen2 = ref 0 and gen1 = ref 0 in
+      let gen2 = ref 0 and gen1 = ref 0 and wrong = ref 0 in
       for i = 0 to n - 1 do
         match Minuet.Session.get session (key i) with
         | Some "generation-2" -> incr gen2
         | Some "generation-1" -> incr gen1
-        | _ -> ()
+        | _ -> incr wrong
       done;
-      Printf.printf "after recovery: %d generation-2, %d generation-1 (expected %d / %d)\n"
-        !gen2 !gen1 (n / 2) (n / 2))
+      expect "generation-2 items after recovery" (n / 2) !gen2;
+      expect "generation-1 items after recovery" (n / 2) !gen1;
+      expect "missing or corrupt items" 0 !wrong;
+      (* Even items were rewritten during the outage, odd ones were not:
+         the failover and the recovery must both preserve exactly that. *)
+      for i = 0 to n - 1 do
+        let expected = if i mod 2 = 0 then "generation-2" else "generation-1" in
+        match Minuet.Session.get session (key i) with
+        | Some v when v = expected -> ()
+        | _ -> incr failures
+      done;
+      if !failures > 0 then begin
+        Printf.printf "FAILED: %d check(s) did not hold\n%!" !failures;
+        exit 1
+      end;
+      print_endline "all fault-tolerance checks passed")

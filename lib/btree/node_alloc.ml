@@ -67,7 +67,7 @@ let reserve_chunk t ~node =
             Queue.add i t.local.(node)
           done;
           Obs.Counter.incr (Obs.btree (Cluster.obs t.cluster)).Obs.chunk_reservations
-      | Txn.Validation_failed | Txn.Retry_exhausted -> attempt (tries + 1)
+      | Txn.Validation_failed | Txn.Retry_exhausted | Txn.Unavailable _ -> attempt (tries + 1)
     end
   in
   attempt 0

@@ -16,8 +16,21 @@ type tree = {
   max_keys_internal : int;
   max_op_retries : int;
   home : int;
+  client : int option;
+  (* Deliberately broken mode for checker validation: leaf reads of
+     up-to-date operations skip the read set (no commit-time
+     validation). Gets can then serialize against a stale leaf — a
+     violation the history checker must catch. Never enable outside
+     checker self-tests. *)
+  unsafe_dirty_leaf_reads : bool;
   alloc : Node_alloc.t;
   cache : Objcache.t;
+  (* Commit stamp of the last operation that committed through this
+     handle (see [Txn.commit_stamp]); [None] for dirty-only (snapshot)
+     transactions. Read back by session-level tracing right after an
+     operation returns — safe because the simulator is cooperative and
+     operations on one handle do not interleave without a yield. *)
+  mutable last_stamp : int64 option;
   (* Decoded-node memo keyed by (location, sequence number): node
      versions are immutable, so a (ptr, seq) pair identifies the decoded
      value forever. Purely a wall-clock optimization of the simulator —
@@ -26,6 +39,8 @@ type tree = {
 }
 
 exception Too_contended of string
+
+exception Ambiguous of string
 
 let decode_memo_capacity = 16384
 
@@ -36,7 +51,8 @@ let leaf_entry_bytes = 40
 let internal_entry_bytes = 40
 
 let make_tree ?(mode = Dirty_traversal) ?max_keys_leaf ?max_keys_internal ?(max_op_retries = 64)
-    ?(home = 0) ~cluster ~layout ~tree_id ~alloc ~cache () =
+    ?(home = 0) ?client ?(unsafe_dirty_leaf_reads = false) ~cluster ~layout ~tree_id ~alloc ~cache
+    () =
   let budget = layout.Layout.node_size - 128 in
   let derived_leaf = max 4 (budget / leaf_entry_bytes) in
   let derived_internal = max 4 (budget / internal_entry_bytes) in
@@ -52,8 +68,11 @@ let make_tree ?(mode = Dirty_traversal) ?max_keys_leaf ?max_keys_internal ?(max_
     max_keys_internal = Option.value max_keys_internal ~default:derived_internal;
     max_op_retries;
     home;
+    client;
+    unsafe_dirty_leaf_reads;
     alloc;
     cache;
+    last_stamp = None;
     decode_memo = Hashtbl.create 1024;
   }
 
@@ -68,6 +87,8 @@ let home t = t.home
 let layout t = t.layout
 
 let proxy_cache t = t.cache
+
+let last_commit_stamp t = t.last_stamp
 
 type disc = { disc_at : int64; disc_covered : int64 array }
 
@@ -136,9 +157,14 @@ let read_internal tree txn (ptr : Objref.t) =
    (Sec. 4.2). Up-to-date operations read them transactionally;
    read-only snapshot operations use an unvalidated read guarded by the
    traversal safety checks. *)
-let read_leaf tree txn vctx (ptr : Objref.t) =
+let read_leaf tree txn vctx ~read_only (ptr : Objref.t) =
+  (* The broken mode only skips validation for pure reads: write
+     traversals stay safe (their leaf read is promoted into the read
+     set by the write), so the damage is exactly a stale read — which
+     the history checker must catch — and never structural. *)
+  let unsafe = tree.unsafe_dirty_leaf_reads && read_only in
   let seq, payload =
-    if vctx.writable then Txn.read_with_seq txn ptr
+    if vctx.writable && not unsafe then Txn.read_with_seq txn ptr
     else Txn.dirty_read_with_seq ~use_cache:false txn ptr
   in
   decode_node_memo tree txn ptr seq payload
@@ -183,7 +209,7 @@ type step = { s_ptr : Objref.t; s_node : Bnode.t; s_child : int }
 
 (* Traverse from the root to the leaf responsible for [k] at
    [vctx.snap]. Returns the internal path (root first) and the leaf. *)
-let traverse tree txn vctx k =
+let traverse ?(read_only = false) tree txn vctx k =
   Obs.with_span tree.obs
     ~outcome_of_exn:(function
       | Txn.Aborted msg -> Some (Obs.Span.Failed msg) | _ -> None)
@@ -196,7 +222,8 @@ let traverse tree txn vctx k =
      set. *)
   let root = read_internal tree txn vctx.root in
   let root =
-    if Bnode.is_leaf root && vctx.writable then read_leaf tree txn vctx vctx.root else root
+    if Bnode.is_leaf root && vctx.writable then read_leaf tree txn vctx ~read_only vctx.root
+    else root
   in
   check_node tree txn vctx root k;
   let rec descend path ptr (node : Bnode.t) =
@@ -205,7 +232,7 @@ let traverse tree txn vctx k =
       let idx, child_ptr = Bnode.child_for node k in
       let child =
         if node.Bnode.height > 1 then read_internal tree txn child_ptr
-        else read_leaf tree txn vctx child_ptr
+        else read_leaf tree txn vctx ~read_only child_ptr
       in
       if child.Bnode.height <> node.Bnode.height - 1 then begin
         (* Fatal inconsistency (Fig. 5 line 15): stale pointers led us to
@@ -387,6 +414,16 @@ and split_root tree txn (root_ptr : Objref.t) (updated : Bnode.t) =
 (* Retry wrapper                                                          *)
 (* -------------------------------------------------------------------- *)
 
+(* Aborts caused by an outage (crashed or partitioned memnode) back off
+   on the outage's timescale — milliseconds, waiting out failover or a
+   partition heal — instead of the microsecond contention backoff. The
+   fetch path surfaces outages as [Txn.Aborted] with these messages. *)
+let outage_abort_msg = function "memnode unavailable" | "memnode partitioned" -> true | _ -> false
+
+let outage_backoff tree attempt =
+  let cap = 1e-3 *. float_of_int (min (attempt + 1) 16) in
+  Sim.delay (Sim.Rng.float (Cluster.rng tree.cluster) cap)
+
 let with_retries tree op_name f =
   Obs.with_span tree.obs Obs.Span.Txn @@ fun () ->
   let rec go attempt =
@@ -400,11 +437,12 @@ let with_retries tree op_name f =
       Sim.delay (Sim.Rng.float (Cluster.rng tree.cluster) cap)
     end;
     let span = Obs.span_begin tree.obs Obs.Span.Attempt in
-    let txn = Txn.begin_ ~cache:tree.cache ~home:tree.home tree.cluster in
+    let txn = Txn.begin_ ~cache:tree.cache ?client:tree.client ~home:tree.home tree.cluster in
     match f txn with
     | result -> (
         match Txn.commit txn with
         | Txn.Committed ->
+            tree.last_stamp <- Txn.commit_stamp txn;
             Obs.span_end tree.obs span;
             result
         | Txn.Validation_failed ->
@@ -415,10 +453,22 @@ let with_retries tree op_name f =
         | Txn.Retry_exhausted ->
             Obs.span_end tree.obs span ~outcome:(Obs.Span.Aborted Obs.Abort.Lock_busy);
             Txn.evict_dirty txn;
+            go (attempt + 1)
+        | Txn.Unavailable { maybe_applied = true } ->
+            (* Cannot retry: the commit may already be in. The caller
+               must treat the operation's effect as unknown (the history
+               checker resolves it from later reads). *)
+            Obs.span_end tree.obs span ~outcome:(Obs.Span.Aborted Obs.Abort.Crashed_host);
+            raise (Ambiguous (Printf.sprintf "%s: commit outcome unknown" op_name))
+        | Txn.Unavailable { maybe_applied = false } ->
+            Obs.span_end tree.obs span ~outcome:(Obs.Span.Aborted Obs.Abort.Crashed_host);
+            Txn.evict_dirty txn;
+            outage_backoff tree attempt;
             go (attempt + 1))
     | exception Txn.Aborted msg ->
         Obs.span_end tree.obs span ~outcome:(Obs.Span.Failed msg);
         Txn.evict_dirty txn;
+        if outage_abort_msg msg then outage_backoff tree attempt;
         go (attempt + 1)
     | exception e ->
         Obs.span_end tree.obs span ~outcome:(Obs.Span.Failed (Printexc.to_string e));
@@ -431,7 +481,7 @@ let with_retries tree op_name f =
 (* -------------------------------------------------------------------- *)
 
 let get_in_txn tree txn vctx k =
-  let _, _, leaf = traverse tree txn vctx k in
+  let _, _, leaf = traverse ~read_only:true tree txn vctx k in
   Bnode.leaf_find leaf k
 
 let put_in_txn tree txn vctx k v =
@@ -461,7 +511,7 @@ let scan_in_txn tree txn vctx ~from ~count =
   if count <= 0 then []
   else begin
     let rec collect acc remaining cursor =
-      let _, _, leaf = traverse tree txn vctx cursor in
+      let _, _, leaf = traverse ~read_only:true tree txn vctx cursor in
       let entries = Bnode.leaf_entries_from leaf cursor in
       let rec take acc remaining = function
         | [] -> (acc, remaining, None)
@@ -572,7 +622,7 @@ module Linear = struct
     Txn.write_replicated txn ~off:(tip_root_off tree) ~len:slot_len (encode_ref root_ptr);
     match Txn.commit txn with
     | Txn.Committed -> ()
-    | Txn.Validation_failed | Txn.Retry_exhausted ->
+    | Txn.Validation_failed | Txn.Retry_exhausted | Txn.Unavailable _ ->
         failwith "Ops.Linear.init_tree: could not initialize tree"
 
   (* Fig. 6. The snapshot becomes real when the caller commits the

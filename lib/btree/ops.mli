@@ -40,6 +40,8 @@ val make_tree :
   ?max_keys_internal:int ->
   ?max_op_retries:int ->
   ?home:int ->
+  ?client:int ->
+  ?unsafe_dirty_leaf_reads:bool ->
   cluster:Sinfonia.Cluster.t ->
   layout:Layout.t ->
   tree_id:int ->
@@ -49,7 +51,16 @@ val make_tree :
   tree
 (** Key capacities default to values derived from [layout.node_size]
     assuming short keys and values (the YCSB schema: 14-byte keys,
-    8-byte values). *)
+    8-byte values).
+
+    [client] is this proxy's host id for the network fault model: all
+    transactions the tree runs carry it, so injected per-link faults
+    (partitions, drops, delays) apply to this proxy's traffic.
+
+    [unsafe_dirty_leaf_reads] deliberately breaks the tree for checker
+    validation: up-to-date leaf reads skip the read set, so gets can
+    serialize against a stale leaf. Only for proving the history
+    checker has teeth. *)
 
 val cluster : tree -> Sinfonia.Cluster.t
 
@@ -63,8 +74,25 @@ val layout : tree -> Layout.t
 
 val proxy_cache : tree -> Dyntxn.Objcache.t
 
+val last_commit_stamp : tree -> int64 option
+(** Commit stamp of the last operation that committed through this
+    handle ({!Txn.commit_stamp}); [None] when that operation was a
+    dirty-only snapshot read. Safe to read immediately after an
+    operation returns (the simulator is cooperative). For
+    session-level history tracing. *)
+
 exception Too_contended of string
-(** An operation exhausted its retry budget. *)
+(** An operation exhausted its retry budget. The operation certainly
+    did not take effect (every attempt aborted before its commit was
+    applied). *)
+
+exception Ambiguous of string
+(** An operation's commit round ended [Unavailable] with
+    [maybe_applied = true]: the operation may or may not have taken
+    effect, and retrying could double-apply it. Never raised under the
+    drain-based crash model (which only fails nodes at minitransaction
+    boundaries); the history checker resolves such operations from
+    later reads. *)
 
 (** {1 Version contexts} *)
 

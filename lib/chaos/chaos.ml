@@ -1,0 +1,15 @@
+(** Deterministic chaos engine for Minuet.
+
+    {!Nemesis} injects faults driven by the simulation RNG — memnode
+    crash/recover storms, client-to-memnode partitions, latency/loss
+    spikes, coordinator stalls that orphan locks mid-2PC, and snapshot
+    service outages. {!Workload} drives a mixed
+    read/update/insert/scan/snapshot workload through traced sessions.
+    {!Runner} combines both into phased storms with a structural audit
+    after every phase and a full history check
+    ({!Check.Checker}) at the end. A whole run is a pure function of
+    its seed: same seed, same faults, same history, same verdict. *)
+
+module Nemesis = Nemesis
+module Workload = Workload
+module Runner = Runner

@@ -1,0 +1,261 @@
+module Cluster = Sinfonia.Cluster
+module Memnode = Sinfonia.Memnode
+module Lock_table = Sinfonia.Lock_table
+
+type kind = Crash | Partition | Delay | Stall | Scs_outage
+
+let all_kinds = [ Crash; Partition; Delay; Stall; Scs_outage ]
+
+let kind_to_string = function
+  | Crash -> "crash"
+  | Partition -> "partition"
+  | Delay -> "delay"
+  | Stall -> "stall"
+  | Scs_outage -> "scs"
+
+let kind_of_string = function
+  | "crash" -> Some Crash
+  | "partition" -> Some Partition
+  | "delay" -> Some Delay
+  | "stall" -> Some Stall
+  | "scs" -> Some Scs_outage
+  | _ -> None
+
+type t = {
+  cluster : Cluster.t;
+  obs : Obs.t;
+  stats : Obs.chaos_stats;
+  scs : Mvcc.Scs.t array;
+  n_clients : int;
+  (* Links currently faulted by some nemesis process. A process only
+     sets faults on links it claimed here and only heals those, so
+     concurrent fault kinds never heal each other's links. *)
+  owned_links : (int * int, unit) Hashtbl.t;
+  mutable stop : bool;
+  mutable active : int;
+}
+
+let create ~cluster ~scs ~n_clients =
+  let obs = Cluster.obs cluster in
+  {
+    cluster;
+    obs;
+    stats = Obs.chaos obs;
+    scs;
+    n_clients;
+    owned_links = Hashtbl.create 64;
+    stop = false;
+    active = 0;
+  }
+
+let n t = Cluster.n_memnodes t.cluster
+
+(* Client host ids live above the memnode id range, so client-facing
+   faults never touch memnode-to-memnode (mirror) links. *)
+let client_host t k = n t + k
+
+let claim_link t ~src ~dst =
+  if Hashtbl.mem t.owned_links (src, dst) then false
+  else begin
+    Hashtbl.replace t.owned_links (src, dst) ();
+    true
+  end
+
+let heal_links t links =
+  let net = Cluster.net t.cluster in
+  List.iter
+    (fun (src, dst) ->
+      Sim.Net.clear_fault net ~src ~dst;
+      Hashtbl.remove t.owned_links (src, dst))
+    links
+
+let injected t =
+  Obs.Counter.incr t.stats.Obs.faults_injected
+
+(* ------------------------------------------------------------------ *)
+(* Fault cycles: each injects one fault, holds it, and heals it         *)
+(* (or leaves healing to the lease daemon, for stalls).                 *)
+(* ------------------------------------------------------------------ *)
+
+let poll = 0.5e-3
+
+(* Crash one memnode, wait for the crash to land (it drains in-flight
+   requests first), hold the outage, then recover from the replica. *)
+let crash_cycle t rng =
+  let candidates =
+    List.filter
+      (fun i ->
+        Memnode.available (Cluster.memnode t.cluster i) && Cluster.backup_of t.cluster i <> None)
+      (List.init (n t) Fun.id)
+  in
+  match candidates with
+  | [] -> ()
+  | _ :: _ ->
+      let i = List.nth candidates (Sim.Rng.int rng (List.length candidates)) in
+      let span = Obs.span_begin t.obs (Obs.Span.Fault "crash") in
+      injected t;
+      Obs.Counter.incr t.stats.Obs.crashes_injected;
+      Cluster.crash t.cluster i;
+      while not (Memnode.crashed (Cluster.memnode t.cluster i)) do
+        Sim.delay poll
+      done;
+      Sim.delay (0.02 +. Sim.Rng.float rng 0.08);
+      while not (Cluster.can_recover t.cluster i) do
+        Sim.delay poll
+      done;
+      Cluster.recover t.cluster i;
+      Obs.span_end t.obs span
+
+(* Block both directions between one client host and a subset of
+   memnodes. In-flight exchanges complete (the fault model only blocks
+   at protocol boundaries), so no minitransaction is cut in half. *)
+let partition_cycle t rng =
+  if t.n_clients = 0 then ()
+  else begin
+    let c = client_host t (Sim.Rng.int rng t.n_clients) in
+    let subset_size = 1 + Sim.Rng.int rng (max 1 (n t / 2)) in
+    let nodes = Array.init (n t) Fun.id in
+    Sim.Rng.shuffle rng nodes;
+    let net = Cluster.net t.cluster in
+    let links = ref [] in
+    for s = 0 to subset_size - 1 do
+      let m = nodes.(s) in
+      List.iter
+        (fun (src, dst) ->
+          if claim_link t ~src ~dst then begin
+            Sim.Net.set_fault net ~src ~dst ~blocked:true ();
+            links := (src, dst) :: !links
+          end)
+        [ (c, m); (m, c) ]
+    done;
+    if !links <> [] then begin
+      let span = Obs.span_begin t.obs (Obs.Span.Fault "partition") in
+      injected t;
+      Obs.Counter.incr t.stats.Obs.partitions_injected;
+      Sim.delay (0.05 +. Sim.Rng.float rng 0.15);
+      heal_links t !links;
+      Obs.span_end t.obs span
+    end
+  end
+
+(* Latency spike plus loss on every client link of one memnode. *)
+let delay_cycle t rng =
+  if t.n_clients = 0 then ()
+  else begin
+    let m = Sim.Rng.int rng (n t) in
+    let extra = 0.2e-3 +. Sim.Rng.float rng 1.8e-3 in
+    let drop = Sim.Rng.float rng 0.3 in
+    let net = Cluster.net t.cluster in
+    let links = ref [] in
+    for k = 0 to t.n_clients - 1 do
+      let c = client_host t k in
+      List.iter
+        (fun (src, dst) ->
+          if claim_link t ~src ~dst then begin
+            Sim.Net.set_fault net ~src ~dst ~extra_latency:extra ~drop ();
+            links := (src, dst) :: !links
+          end)
+        [ (c, m); (m, c) ]
+    done;
+    if !links <> [] then begin
+      let span = Obs.span_begin t.obs (Obs.Span.Fault "delay") in
+      injected t;
+      Obs.Counter.incr t.stats.Obs.delay_faults_injected;
+      Sim.delay (0.05 +. Sim.Rng.float rng 0.15);
+      heal_links t !links;
+      Obs.span_end t.obs span
+    end
+  end
+
+(* A coordinator that stalls mid-2PC leaves its locks behind. Model the
+   worst case: an exclusive range over a whole memnode's address space
+   under a fresh owner that never completes. Only the lease daemon
+   ({!Cluster.start_recovery}) can steal these, so the runner must have
+   it started. *)
+let stall_cycle t rng =
+  match Cluster.route t.cluster (Sim.Rng.int rng (n t)) with
+  | exception Cluster.Unavailable _ -> ()
+  | _, store ->
+      let owner = Cluster.fresh_owner t.cluster in
+      let range = { Lock_table.start = 0; len = max_int / 2; mode = Lock_table.Exclusive } in
+      if Lock_table.try_acquire (Memnode.store_locks store) ~owner [ range ] then begin
+        let span = Obs.span_begin t.obs (Obs.Span.Fault "stall") in
+        injected t;
+        Obs.Counter.incr t.stats.Obs.stalls_injected;
+        (* Wait out roughly a lease period before the next stall; the
+           orphaned locks are healed by the recovery daemon, not us. *)
+        Sim.delay (0.05 +. Sim.Rng.float rng 0.1);
+        Obs.span_end t.obs span
+      end
+
+let scs_outage_cycle t rng =
+  if Array.length t.scs = 0 then ()
+  else begin
+    let scs = t.scs.(Sim.Rng.int rng (Array.length t.scs)) in
+    let dur = 0.02 +. Sim.Rng.float rng 0.08 in
+    let span = Obs.span_begin t.obs (Obs.Span.Fault "scs") in
+    injected t;
+    Obs.Counter.incr t.stats.Obs.scs_outages_injected;
+    Mvcc.Scs.set_outage scs ~until:(Sim.now () +. dur);
+    Sim.delay dur;
+    Obs.span_end t.obs span
+  end
+
+let cycle t kind rng =
+  match kind with
+  | Crash -> crash_cycle t rng
+  | Partition -> partition_cycle t rng
+  | Delay -> delay_cycle t rng
+  | Stall -> stall_cycle t rng
+  | Scs_outage -> scs_outage_cycle t rng
+
+(* ------------------------------------------------------------------ *)
+(* Storm control                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let start t ~rng kinds =
+  t.stop <- false;
+  List.iter
+    (fun kind ->
+      (* Per-kind streams make each nemesis process deterministic
+         regardless of how the scheduler interleaves them. *)
+      let krng = Sim.Rng.split rng in
+      t.active <- t.active + 1;
+      Sim.spawn ~name:("nemesis-" ^ kind_to_string kind) (fun () ->
+          let rec loop () =
+            if t.stop then ()
+            else begin
+              Sim.delay (0.01 +. Sim.Rng.float krng 0.05);
+              if not t.stop then begin
+                cycle t kind krng;
+                loop ()
+              end
+            end
+          in
+          loop ();
+          t.active <- t.active - 1))
+    kinds
+
+(* Stop injecting and wait until every in-flight fault cycle has healed
+   what it owns (crash cycles recover their node; link cycles clear
+   their links). Orphaned stall locks are left for the lease daemon. *)
+let stop_and_drain t =
+  t.stop <- true;
+  while t.active > 0 do
+    Sim.delay poll
+  done;
+  Sim.Net.clear_all_faults (Cluster.net t.cluster);
+  Hashtbl.reset t.owned_links
+
+(* Recover any memnode still down (e.g. crashed right as the storm was
+   stopped), polling for drain/failover quiescence. *)
+let recover_all t =
+  for i = 0 to n t - 1 do
+    let mn = Cluster.memnode t.cluster i in
+    if Memnode.crashed mn || Memnode.crash_pending mn then begin
+      while not (Cluster.can_recover t.cluster i) do
+        Sim.delay poll
+      done;
+      Cluster.recover t.cluster i
+    end
+  done

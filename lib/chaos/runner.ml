@@ -1,0 +1,170 @@
+module Session = Minuet.Session
+module Db = Minuet.Db
+module Harness = Minuet.Harness
+module Mconfig = Minuet.Config
+module Cluster = Sinfonia.Cluster
+module Ops = Btree.Ops
+
+type config = {
+  seed : int;
+  duration : float;  (** Total traffic time, split evenly over phases. *)
+  hosts : int;
+  clients : int;
+  keys : int;
+  hot_keys : int;
+  think : float;
+  kinds : Nemesis.kind list;
+  phases : int;
+  broken : bool;  (** Enable [unsafe_dirty_leaf_reads] (checker must fail). *)
+}
+
+let default =
+  {
+    seed = 42;
+    duration = 2.0;
+    hosts = 4;
+    clients = 6;
+    keys = 160;
+    hot_keys = 8;
+    think = 1e-3;
+    kinds = Nemesis.all_kinds;
+    phases = 2;
+    broken = false;
+  }
+
+type report = {
+  verdict : Check.Checker.verdict;
+  totals : Workload.totals;
+  events : int;
+  audits : int;
+  audit_failures : string list;
+  fault_counts : (string * int) list;
+  sim_time : float;
+}
+
+let passed r = Check.Checker.ok r.verdict && r.audit_failures = []
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>workload: %a@,history: %d events@,faults:" Workload.pp_totals
+    r.totals r.events;
+  List.iter (fun (name, v) -> Format.fprintf fmt " %s=%d" name v) r.fault_counts;
+  Format.fprintf fmt "@,audits: %d passed" r.audits;
+  List.iter (fun msg -> Format.fprintf fmt "@,AUDIT FAILED: %s" msg) r.audit_failures;
+  Format.fprintf fmt "@,%a" Check.Checker.pp_verdict r.verdict;
+  Format.fprintf fmt "@,simulated time: %.3fs@]" r.sim_time
+
+(* Audit one index at a frozen snapshot (safe under concurrent traffic:
+   snapshots are immutable and GC is off during chaos runs). *)
+let audit_at_snapshot admin idx =
+  let index = Session.index (Session.db admin) idx in
+  let snap = Session.snapshot ~index admin in
+  let tree = Session.tree_of admin index in
+  ignore (Ops.audit tree ~sid:snap.Session.sid ~root:snap.Session.root : (string * string) list)
+
+let audit_tip admin idx =
+  let tree = Session.tree_of admin (Session.index (Session.db admin) idx) in
+  let sid, root = Ops.run_txn tree (fun txn -> Ops.Linear.read_tip tree txn) in
+  Ops.audit tree ~sid ~root
+
+let lease = 0.05
+
+let run cfg =
+  if cfg.phases <= 0 then invalid_arg "Chaos.Runner.run: phases must be positive";
+  if cfg.clients <= 0 then invalid_arg "Chaos.Runner.run: need at least one client";
+  let mconfig =
+    Mconfig.small_tree
+      { Mconfig.default with Mconfig.hosts = cfg.hosts; unsafe_dirty_leaf_reads = cfg.broken }
+  in
+  Harness.run ~seed:cfg.seed ~until:((cfg.duration *. 3.) +. 10.) ~config:mconfig @@ fun db ->
+  let cluster = Db.cluster db in
+  let n = Cluster.n_memnodes cluster in
+  (* Orphaned-lock recovery must be running: stall faults are healed
+     only by the lease daemon. *)
+  Cluster.start_recovery ~lease ~interval:0.02 cluster;
+  let history = Check.History.create () in
+  let rng = Sim.Rng.create (cfg.seed lxor 0x1ee7) in
+  let sessions =
+    Array.init cfg.clients (fun k ->
+        Session.attach ~home:(k mod n) ~client:(n + k) ~tracer:(Check.History.tracer history)
+          db)
+  in
+  let admin = Session.attach db in
+  (* Preload half the key space through a traced session so the checker
+     model includes the initial state. *)
+  for i = 0 to (cfg.keys / 2) - 1 do
+    if i mod 2 = 0 then Session.put sessions.(0) (Workload.key_of i) (Printf.sprintf "init-%d" i)
+  done;
+  let totals = Workload.totals () in
+  let remaining = ref cfg.clients in
+  let deadline = Sim.now () +. cfg.duration in
+  Array.iteri
+    (fun k session ->
+      let crng = Sim.Rng.split rng in
+      Sim.spawn
+        ~name:(Printf.sprintf "client-%d" k)
+        (Workload.run_client ~session ~rng:crng ~client_id:k ~keys:cfg.keys
+           ~hot_keys:cfg.hot_keys ~think:cfg.think ~deadline ~stats:totals
+           ~on_done:(fun () -> decr remaining)))
+    sessions;
+  let scs = Array.init (Db.n_trees db) (fun i -> Db.scs db ~index:i) in
+  let nemesis = Nemesis.create ~cluster ~scs ~n_clients:cfg.clients in
+  let audits = ref 0 in
+  let audit_failures = ref [] in
+  let audit_all f =
+    for idx = 0 to Db.n_trees db - 1 do
+      match f idx with
+      | () -> incr audits
+      | exception Failure msg ->
+          audit_failures := !audit_failures @ [ Printf.sprintf "index %d: %s" idx msg ]
+    done
+  in
+  let phase_dur = cfg.duration /. float_of_int cfg.phases in
+  for _phase = 1 to cfg.phases do
+    Nemesis.start nemesis ~rng cfg.kinds;
+    Sim.delay phase_dur;
+    Nemesis.stop_and_drain nemesis;
+    Nemesis.recover_all nemesis;
+    (* Let the lease daemon reap any orphaned stall locks. *)
+    Sim.delay (lease +. 0.03);
+    audit_all (fun idx -> audit_at_snapshot admin idx)
+  done;
+  while !remaining > 0 do
+    Sim.delay 1e-3
+  done;
+  Nemesis.recover_all nemesis;
+  Sim.delay (lease +. 0.03);
+  let final =
+    List.init (Db.n_trees db) (fun idx ->
+        match audit_tip admin idx with
+        | entries ->
+            incr audits;
+            [ (idx, entries) ]
+        | exception Failure msg ->
+            audit_failures := !audit_failures @ [ Printf.sprintf "index %d: %s" idx msg ];
+            [])
+    |> List.concat
+  in
+  let creations =
+    List.init (Db.n_trees db) (fun idx -> (idx, Mvcc.Scs.creations (Db.scs db ~index:idx)))
+  in
+  let verdict = Check.Checker.check ~final ~creations ~events:(Check.History.events history) () in
+  let stats = Obs.chaos (Db.obs db) in
+  let fault_counts =
+    [
+      ("total", Obs.Counter.value stats.Obs.faults_injected);
+      ("crash", Obs.Counter.value stats.Obs.crashes_injected);
+      ("partition", Obs.Counter.value stats.Obs.partitions_injected);
+      ("delay", Obs.Counter.value stats.Obs.delay_faults_injected);
+      ("stall", Obs.Counter.value stats.Obs.stalls_injected);
+      ("scs", Obs.Counter.value stats.Obs.scs_outages_injected);
+    ]
+  in
+  {
+    verdict;
+    totals;
+    events = Check.History.length history;
+    audits = !audits;
+    audit_failures = !audit_failures;
+    fault_counts;
+    sim_time = Sim.now ();
+  }

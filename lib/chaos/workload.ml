@@ -1,0 +1,92 @@
+module Session = Minuet.Session
+module Ops = Btree.Ops
+
+type totals = {
+  mutable ops : int;
+  mutable gets : int;
+  mutable puts : int;
+  mutable removes : int;
+  mutable scans : int;
+  mutable snapshots : int;
+  mutable snapshot_reads : int;
+  mutable too_contended : int;
+  mutable ambiguous : int;
+}
+
+let totals () =
+  {
+    ops = 0;
+    gets = 0;
+    puts = 0;
+    removes = 0;
+    scans = 0;
+    snapshots = 0;
+    snapshot_reads = 0;
+    too_contended = 0;
+    ambiguous = 0;
+  }
+
+let pp_totals fmt t =
+  Format.fprintf fmt
+    "@[<h>%d ops (%d get, %d put, %d remove, %d scan, %d snapshot + %d snapshot reads); %d \
+     too-contended, %d ambiguous@]"
+    t.ops t.gets t.puts t.removes t.scans t.snapshots t.snapshot_reads t.too_contended
+    t.ambiguous
+
+let key_of i = Printf.sprintf "k%05d" i
+
+(* Hot-key bias: a quarter of accesses hit a small hot set so that
+   update conflicts, lock contention and stale caches actually occur. *)
+let pick_key rng ~keys ~hot_keys =
+  if hot_keys > 0 && Sim.Rng.int rng 4 = 0 then key_of (Sim.Rng.int rng hot_keys)
+  else key_of (Sim.Rng.int rng keys)
+
+(* One client loop: mixed reads, updates, inserts/removes, scans and
+   snapshot reads against [session], with unique values so the checker
+   can identify every write. Runs until [deadline]; [on_done] is called
+   exactly once afterwards. *)
+let run_client ~session ~rng ~client_id ~keys ~hot_keys ~think ~deadline ~stats ~on_done () =
+  let opid = ref 0 in
+  let value () =
+    incr opid;
+    Printf.sprintf "c%d-%d" client_id !opid
+  in
+  let one_op () =
+    let k = pick_key rng ~keys ~hot_keys in
+    match Sim.Rng.int rng 100 with
+    | r when r < 35 ->
+        stats.gets <- stats.gets + 1;
+        ignore (Session.get session k : string option)
+    | r when r < 65 ->
+        stats.puts <- stats.puts + 1;
+        Session.put session k (value ())
+    | r when r < 75 ->
+        stats.removes <- stats.removes + 1;
+        ignore (Session.remove session k : bool)
+    | r when r < 85 ->
+        stats.scans <- stats.scans + 1;
+        ignore (Session.scan session ~from:k ~count:8 : (string * string) list)
+    | _ ->
+        stats.snapshots <- stats.snapshots + 1;
+        let snap = Session.snapshot session in
+        stats.snapshot_reads <- stats.snapshot_reads + 3;
+        ignore (Session.get_at session snap k : string option);
+        ignore (Session.get_at session snap (pick_key rng ~keys ~hot_keys) : string option);
+        ignore (Session.scan_at session snap ~from:k ~count:8 : (string * string) list)
+  in
+  let rec loop () =
+    if Sim.now () < deadline then begin
+      Sim.delay (Sim.Rng.float rng think);
+      if Sim.now () < deadline then begin
+        (try
+           one_op ();
+           stats.ops <- stats.ops + 1
+         with
+        | Ops.Too_contended _ -> stats.too_contended <- stats.too_contended + 1
+        | Ops.Ambiguous _ -> stats.ambiguous <- stats.ambiguous + 1);
+        loop ()
+      end
+    end
+  in
+  loop ();
+  on_done ()

@@ -1,0 +1,72 @@
+(** History-based consistency checker.
+
+    Consumes a run's operation history ({!History}), the snapshot
+    creation log ({!Mvcc.Scs.creations}) and optionally a final audit
+    of the surviving tree, and verifies:
+
+    - {b Serializability}: replaying the committed operations of each
+      index in commit-stamp order against a sequential map model must
+      reproduce every observed result. Commit stamps are the
+      operations' serialization points (drawn while all their locks
+      were held), so the replay order {e is} the equivalent serial
+      order — no search needed for unambiguous histories.
+    - {b Strictness} (real-time order): an operation that returned
+      before another was invoked must carry a lower stamp.
+    - {b Snapshot consistency}: a read at snapshot [sid] must observe
+      exactly the frozen prefix — the effects of all commits with
+      stamps below [sid]'s creation stamp — and a granted snapshot must
+      reflect every commit that completed before the request started
+      (disable the latter with [strict_scs:false] for runs with a
+      staleness bound [k > 0]).
+    - {b Ambiguous operations} (raised {!Btree.Ops.Ambiguous}; only
+      possible in synthetic histories under the drain-based crash
+      model): treated as bounded per-key candidates that later reads
+      can resolve as applied or not; committed overwrites expire them.
+      Histories exceeding the candidate budget are reported
+      inconclusive rather than failed.
+    - {b Final audit}: the surviving entries must equal the model's
+      final state, modulo unresolved candidates.
+    - {b Stamp uniqueness} across the whole history. *)
+
+module Event = Minuet.Session.Event
+
+type violation = {
+  v_index : int;  (** Index the violation was found in; -1 for global. *)
+  v_message : string;
+  v_event : Event.t option;  (** The operation that exposed it. *)
+  v_context : Event.t list;
+      (** Minimal counterexample context: the last few committed
+          operations on the same key, oldest first. *)
+}
+
+type verdict = {
+  violations : violation list;
+  inconclusive : string list;
+      (** Checks that could not complete (e.g. too many ambiguous
+          operations); not failures. *)
+  ops_checked : int;
+  snapshot_reads_checked : int;
+  candidates_resolved : int;
+}
+
+val check :
+  ?final:(int * (string * string) list) list ->
+  ?strict_scs:bool ->
+  creations:(int * (int64 * int64) list) list ->
+  events:Event.t list ->
+  unit ->
+  verdict
+(** [check ~creations ~events ()] verifies the history. [creations]
+    maps each index to its snapshot creation log ([(sid, stamp)]
+    pairs, any order). [final] maps an index to the entries of a
+    post-run {!Btree.Ops.audit} at the tip. [strict_scs] (default
+    true) enforces that granted snapshots reflect all previously
+    completed commits — turn off for staleness-bound SCS configs. *)
+
+val ok : verdict -> bool
+(** No violations (inconclusive notes allowed). *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val pp_verdict : Format.formatter -> verdict -> unit
+(** Deterministic rendering: same history, same output. *)

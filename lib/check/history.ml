@@ -1,0 +1,24 @@
+module Event = Minuet.Session.Event
+
+type t = { mutable rev_events : Event.t list; mutable n : int }
+
+let create () = { rev_events = []; n = 0 }
+
+let record t ev =
+  t.rev_events <- ev :: t.rev_events;
+  t.n <- t.n + 1
+
+let tracer t : Minuet.Session.tracer = record t
+
+let events t = List.rev t.rev_events
+
+let length t = t.n
+
+let clear t =
+  t.rev_events <- [];
+  t.n <- 0
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun ev -> Format.fprintf fmt "%a@," Event.pp ev) (events t);
+  Format.fprintf fmt "@]"

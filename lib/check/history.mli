@@ -1,0 +1,27 @@
+(** History recorder: collects {!Minuet.Session.Event.t}s from any
+    number of sessions into one run-wide history, in completion order.
+
+    Attach with [Session.attach ~tracer:(History.tracer h)]. The
+    recorder is passive (no simulated cost) and safe to share between
+    all sessions of a run — the simulator is cooperative, so events
+    arrive one at a time. *)
+
+module Event = Minuet.Session.Event
+
+type t
+
+val create : unit -> t
+
+val tracer : t -> Minuet.Session.tracer
+
+val record : t -> Event.t -> unit
+(** Append one event directly (synthetic histories in tests). *)
+
+val events : t -> Event.t list
+(** All recorded events, in recording (completion) order. *)
+
+val length : t -> int
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

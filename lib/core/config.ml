@@ -12,6 +12,7 @@ type t = {
   scs_min_interval : float;
   cache_capacity : int;
   alloc_chunk : int;
+  unsafe_dirty_leaf_reads : bool;
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     scs_min_interval = 0.0;
     cache_capacity = 65536;
     alloc_chunk = 64;
+    unsafe_dirty_leaf_reads = false;
   }
 
 let with_hosts hosts t = { t with hosts }

@@ -14,6 +14,12 @@ type t = {
   scs_min_interval : float;  (** Snapshot staleness bound k, seconds (Sec. 6.3). *)
   cache_capacity : int;  (** Proxy object-cache entries. *)
   alloc_chunk : int;  (** Slots reserved per allocator refill. *)
+  unsafe_dirty_leaf_reads : bool;
+      (** Deliberately broken concurrency control for checker
+          validation: up-to-date leaf reads skip commit-time validation,
+          so gets can serialize against a stale leaf. The history
+          checker must flag such runs. Never enable outside checker
+          self-tests. *)
 }
 
 val default : t

@@ -13,13 +13,14 @@ type t = {
 }
 
 (* Build a tree handle with its own allocator over the shared state. *)
-let make_tree_handle ~config ~cluster ~shared_alloc ~cache ~home ~tree_id =
+let make_tree_handle ?client ~config ~cluster ~shared_alloc ~cache ~home ~tree_id () =
   let alloc =
     Node_alloc.create ~chunk:config.Config.alloc_chunk ~first_node:home ~cluster
       ~layout:config.Config.layout ~shared:shared_alloc ()
   in
   Ops.make_tree ~mode:config.Config.mode ?max_keys_leaf:config.Config.max_keys_leaf
-    ?max_keys_internal:config.Config.max_keys_internal ~home ~cluster
+    ?max_keys_internal:config.Config.max_keys_internal ~home ?client
+    ~unsafe_dirty_leaf_reads:config.Config.unsafe_dirty_leaf_reads ~cluster
     ~layout:config.Config.layout ~tree_id ~alloc ~cache ()
 
 let start ?(config = Config.default) () =
@@ -42,7 +43,7 @@ let start ?(config = Config.default) () =
   let gc_trees =
     Array.init config.Config.n_trees (fun tree_id ->
         let tree =
-          make_tree_handle ~config ~cluster ~shared_alloc ~cache:admin_cache ~home:0 ~tree_id
+          make_tree_handle ~config ~cluster ~shared_alloc ~cache:admin_cache ~home:0 ~tree_id ()
         in
         (* The GC handle reuses the tree's allocator so reclaimed slots
            return to the shared free lists. *)

@@ -47,11 +47,14 @@ val recover_host : t -> int -> unit
 (**/**)
 
 val make_tree_handle :
+  ?client:int ->
   config:Config.t ->
   cluster:Sinfonia.Cluster.t ->
   shared_alloc:Btree.Node_alloc.Shared.t ->
   cache:Dyntxn.Objcache.t ->
   home:int ->
   tree_id:int ->
+  unit ->
   Btree.Ops.tree
-(** Internal (used by {!Session}). *)
+(** Internal (used by {!Session}). [client] is the attaching proxy's
+    host id for the network fault model. *)

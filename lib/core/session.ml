@@ -3,9 +3,56 @@ module Txn = Dyntxn.Txn
 
 type index = int
 
+module Event = struct
+  type operation =
+    | Get of { key : string; result : string option }
+    | Put of { key : string; value : string }
+    | Remove of { key : string; removed : bool }
+    | Scan of { from : string; count : int; result : (string * string) list }
+    | Snapshot_taken
+
+  type t = {
+    client : int option;
+    index : int;
+    op : operation;
+    invoked_at : float;
+    returned_at : float;
+    stamp : int64 option;
+    sid : int64 option;
+    ambiguous : bool;
+  }
+
+  let pp_operation fmt = function
+    | Get { key; result } ->
+        Format.fprintf fmt "get %S -> %a" key
+          (Format.pp_print_option ~none:(fun f () -> Format.pp_print_string f "none")
+             (fun f v -> Format.fprintf f "%S" v))
+          result
+    | Put { key; value } -> Format.fprintf fmt "put %S %S" key value
+    | Remove { key; removed } -> Format.fprintf fmt "remove %S -> %b" key removed
+    | Scan { from; count; result } ->
+        Format.fprintf fmt "scan from:%S count:%d -> %d entries" from count (List.length result)
+    | Snapshot_taken -> Format.fprintf fmt "snapshot"
+
+  let pp fmt t =
+    Format.fprintf fmt "@[<h>[%.6f,%.6f]%a%a%a%s idx%d %a@]" t.invoked_at t.returned_at
+      (Format.pp_print_option (fun f c -> Format.fprintf f " client%d" c))
+      t.client
+      (Format.pp_print_option (fun f s -> Format.fprintf f " stamp:%Ld" s))
+      t.stamp
+      (Format.pp_print_option (fun f s -> Format.fprintf f " sid:%Ld" s))
+      t.sid
+      (if t.ambiguous then " AMBIGUOUS" else "")
+      t.index pp_operation t.op
+end
+
+type tracer = Event.t -> unit
+
 type t = {
   db : Db.t;
   home : int;
+  client : int option;
+  tracer : tracer option;
   obs : Obs.t;
   trees : Ops.tree array;
   branchings : Mvcc.Branching.t array;
@@ -18,25 +65,27 @@ let index db i =
          (Db.n_trees db));
   i
 
-let attach ?(home = 0) db =
+let attach ?(home = 0) ?client ?tracer db =
   let config = Db.config db in
   if home < 0 || home >= config.Config.hosts then invalid_arg "Session.attach: home out of range";
   let cache = Dyntxn.Objcache.create ~capacity:config.Config.cache_capacity () in
   let trees =
     Array.init config.Config.n_trees (fun tree_id ->
-        Db.make_tree_handle ~config ~cluster:(Db.cluster db) ~shared_alloc:(Db.shared_alloc db)
-          ~cache ~home ~tree_id)
+        Db.make_tree_handle ?client ~config ~cluster:(Db.cluster db)
+          ~shared_alloc:(Db.shared_alloc db) ~cache ~home ~tree_id ())
   in
   let branchings =
     if config.Config.branching then
       Array.map (fun tree -> Mvcc.Branching.attach ~tree ~beta:config.Config.beta) trees
     else [||]
   in
-  { db; home; obs = Db.obs db; trees; branchings }
+  { db; home; client; tracer; obs = Db.obs db; trees; branchings }
 
 let db t = t.db
 
 let home t = t.home
+
+let client t = t.client
 
 let tree t ~index = t.trees.(index)
 
@@ -48,25 +97,66 @@ let check_linear t =
 
 let vctx_of t index txn = Ops.Linear.tip t.trees.(index) txn
 
+let emit t ~index ~invoked ?stamp ?sid ?(ambiguous = false) op =
+  match t.tracer with
+  | None -> ()
+  | Some f ->
+      f
+        {
+          Event.client = t.client;
+          index;
+          op;
+          invoked_at = invoked;
+          returned_at = Sim.now ();
+          stamp;
+          sid;
+          ambiguous;
+        }
+
+(* Stamp of the operation that just returned on this index handle
+   (cooperative scheduler: nothing else ran on the handle since). *)
+let op_stamp t index = Ops.last_commit_stamp t.trees.(index)
+
 let get ?(index = 0) t k =
   check_linear t;
   Obs.time_op t.obs ~op:Obs.Op.Get ~path:Obs.Op.Up_to_date @@ fun () ->
-  Ops.get t.trees.(index) ~vctx_of:(vctx_of t index) k
+  let invoked = Sim.now () in
+  let result = Ops.get t.trees.(index) ~vctx_of:(vctx_of t index) k in
+  emit t ~index ~invoked ?stamp:(op_stamp t index) (Event.Get { key = k; result });
+  result
 
 let put ?(index = 0) t k v =
   check_linear t;
   Obs.time_op t.obs ~op:Obs.Op.Put ~path:Obs.Op.Up_to_date @@ fun () ->
-  Ops.put t.trees.(index) ~vctx_of:(vctx_of t index) k v
+  let invoked = Sim.now () in
+  try
+    Ops.put t.trees.(index) ~vctx_of:(vctx_of t index) k v;
+    emit t ~index ~invoked ?stamp:(op_stamp t index) (Event.Put { key = k; value = v })
+  with Ops.Ambiguous _ as e ->
+    (* The write may or may not have taken effect; record it so the
+       checker can resolve it from later reads. *)
+    emit t ~index ~invoked ~ambiguous:true (Event.Put { key = k; value = v });
+    raise e
 
 let remove ?(index = 0) t k =
   check_linear t;
   Obs.time_op t.obs ~op:Obs.Op.Remove ~path:Obs.Op.Up_to_date @@ fun () ->
-  Ops.remove t.trees.(index) ~vctx_of:(vctx_of t index) k
+  let invoked = Sim.now () in
+  try
+    let removed = Ops.remove t.trees.(index) ~vctx_of:(vctx_of t index) k in
+    emit t ~index ~invoked ?stamp:(op_stamp t index) (Event.Remove { key = k; removed });
+    removed
+  with Ops.Ambiguous _ as e ->
+    emit t ~index ~invoked ~ambiguous:true (Event.Remove { key = k; removed = false });
+    raise e
 
 let scan ?(index = 0) t ~from ~count =
   check_linear t;
   Obs.time_op t.obs ~op:Obs.Op.Scan ~path:Obs.Op.Up_to_date @@ fun () ->
-  Ops.scan t.trees.(index) ~vctx_of:(vctx_of t index) ~from ~count
+  let invoked = Sim.now () in
+  let result = Ops.scan t.trees.(index) ~vctx_of:(vctx_of t index) ~from ~count in
+  emit t ~index ~invoked ?stamp:(op_stamp t index) (Event.Scan { from; count; result });
+  result
 
 let multi_get t pairs =
   check_linear t;
@@ -108,18 +198,26 @@ type snapshot = { index : int; sid : int64; root : Dyntxn.Objref.t }
 let snapshot ?(index = 0) t =
   check_linear t;
   Obs.time_op t.obs ~op:Obs.Op.Snapshot_req ~path:Obs.Op.Up_to_date @@ fun () ->
+  let invoked = Sim.now () in
   let sid, root = Mvcc.Scs.request (Db.scs t.db ~index) in
+  emit t ~index ~invoked ~sid Event.Snapshot_taken;
   { index; sid; root }
 
 let snap_vctx t snap _txn = Ops.Linear.at_snapshot t.trees.(snap.index) ~sid:snap.sid ~root:snap.root
 
 let get_at t snap k =
   Obs.time_op t.obs ~op:Obs.Op.Get ~path:Obs.Op.At_snapshot @@ fun () ->
-  Ops.get t.trees.(snap.index) ~vctx_of:(snap_vctx t snap) k
+  let invoked = Sim.now () in
+  let result = Ops.get t.trees.(snap.index) ~vctx_of:(snap_vctx t snap) k in
+  emit t ~index:snap.index ~invoked ~sid:snap.sid (Event.Get { key = k; result });
+  result
 
 let scan_at t snap ~from ~count =
   Obs.time_op t.obs ~op:Obs.Op.Scan ~path:Obs.Op.At_snapshot @@ fun () ->
-  Ops.scan t.trees.(snap.index) ~vctx_of:(snap_vctx t snap) ~from ~count
+  let invoked = Sim.now () in
+  let result = Ops.scan t.trees.(snap.index) ~vctx_of:(snap_vctx t snap) ~from ~count in
+  emit t ~index:snap.index ~invoked ~sid:snap.sid (Event.Scan { from; count; result });
+  result
 
 let branching ?(index = 0) t =
   if not (Db.config t.db).Config.branching then

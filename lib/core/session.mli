@@ -12,13 +12,59 @@
 
 type t
 
-val attach : ?home:int -> Db.t -> t
+(** {1 History events}
+
+    With a [tracer], every single-index session operation emits one
+    event when it returns, carrying the simulated invocation/response
+    times and the operation's serialization point — its commit stamp
+    (up-to-date operations) or snapshot id (snapshot reads). The
+    consistency checker ([Check.History]) consumes these.
+    Multi-index operations and {!with_txn} bodies are not traced. *)
+
+module Event : sig
+  type operation =
+    | Get of { key : string; result : string option }
+    | Put of { key : string; value : string }
+    | Remove of { key : string; removed : bool }
+    | Scan of { from : string; count : int; result : (string * string) list }
+    | Snapshot_taken
+
+  type t = {
+    client : int option;  (** The session's client host id. *)
+    index : int;  (** B-tree index operated on. *)
+    op : operation;
+    invoked_at : float;  (** Simulated time the operation started. *)
+    returned_at : float;  (** Simulated time it returned. *)
+    stamp : int64 option;
+        (** Cluster-global commit stamp of the operation's serialization
+            point; [None] for snapshot reads (serialized by [sid]) and
+            for ambiguous operations. *)
+    sid : int64 option;
+        (** Snapshot the operation ran against ([Snapshot_taken]: the
+            snapshot granted). [None] for up-to-date operations. *)
+    ambiguous : bool;
+        (** The operation raised {!Btree.Ops.Ambiguous}: its effect is
+            unknown (event emitted just before re-raising). *)
+  }
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type tracer = Event.t -> unit
+
+val attach : ?home:int -> ?client:int -> ?tracer:tracer -> Db.t -> t
 (** [home] defaults to 0; benchmarks attach one session per host with
-    [home = host]. *)
+    [home = host]. [client] is this proxy's host id for the network
+    fault model: injected per-link faults (partitions, drops, delays)
+    apply to this session's traffic. Omitted, the session's traffic is
+    anonymous and never faulted. [tracer] receives a history event per
+    operation (see {!Event}). *)
 
 val db : t -> Db.t
 
 val home : t -> int
+
+val client : t -> int option
 
 (** {1 Index handles}
 

@@ -18,6 +18,7 @@ type t = {
   obs : Obs.t;
   stats : Obs.txn_stats; (* typed counter handles, resolved once at begin_ *)
   cache : Objcache.t option;
+  client : int option;
   home : int;
   reads : (Objref.t, read_entry) Hashtbl.t;
   writes : (Objref.t, string * int option) Hashtbl.t; (* payload, echo offset *)
@@ -31,9 +32,19 @@ type t = {
   (* True when the read set as a whole was atomically validated by the
      most recent fetch; lets read-only transactions commit locally. *)
   mutable fully_validated : bool;
+  (* Stamp of the most recent validating fetch that committed. A free
+     commit's serialization point is that fetch (the last time the whole
+     read set was proven consistent at once), so this becomes its commit
+     stamp. *)
+  mutable last_validated_stamp : int64 option;
+  (* Commit stamp of this transaction's serialization point, set by a
+     successful [commit]. None for transactions with no validated
+     footprint (e.g. dirty-read-only snapshot transactions — those are
+     checked against their snapshot id instead). *)
+  mutable commit_stamp_ : int64 option;
 }
 
-let begin_ ?cache ?(home = 0) cluster =
+let begin_ ?cache ?client ?(home = 0) cluster =
   if home < 0 || home >= Cluster.n_memnodes cluster then
     invalid_arg "Txn.begin_: home memnode out of range";
   let obs = Cluster.obs cluster in
@@ -42,6 +53,7 @@ let begin_ ?cache ?(home = 0) cluster =
     obs;
     stats = Obs.txn obs;
     cache;
+    client;
     home;
     reads = Hashtbl.create 8;
     writes = Hashtbl.create 8;
@@ -53,9 +65,13 @@ let begin_ ?cache ?(home = 0) cluster =
     aborted = false;
     fetches = 0;
     fully_validated = true;
+    last_validated_stamp = None;
+    commit_stamp_ = None;
   }
 
 let cluster t = t.cluster
+
+let commit_stamp t = t.commit_stamp_
 
 let is_aborted t = t.aborted
 
@@ -121,11 +137,12 @@ let fetch_slot t ~validate (addr : Address.t) ~len =
   in
   let mtx = Mtx.make ~compares ~reads:[ Mtx.read_at addr len ] () in
   t.fetches <- t.fetches + 1;
-  match Coordinator.exec t.cluster mtx with
-  | Mtx.Committed [ (_, slot) ] ->
+  match Coordinator.exec t.cluster ?client:t.client mtx with
+  | Mtx.Committed { stamp; reads = [ (_, slot) ] } ->
       if validate then begin
         List.iter (fun (`Read entry) -> entry.validated <- true) covered;
-        t.fully_validated <- all_covered
+        t.fully_validated <- all_covered;
+        t.last_validated_stamp <- Some stamp
       end;
       (Objref.seq_of_slot slot, Objref.payload_of_slot slot)
   | Mtx.Committed _ -> assert false
@@ -140,9 +157,14 @@ let fetch_slot t ~validate (addr : Address.t) ~len =
   | Mtx.Busy ->
       Obs.abort t.obs ~layer:Obs.Abort.Txn Obs.Abort.Lock_busy;
       fail t "retry budget exhausted during fetch"
-  | Mtx.Unavailable ->
-      Obs.abort t.obs ~layer:Obs.Abort.Txn Obs.Abort.Crashed_host;
-      fail t "memnode unavailable"
+  | Mtx.Unavailable { partitioned; _ } ->
+      (* Distinguish an injected partition from a crashed, un-failed-over
+         host — both at this layer and below (the Mtx layer already
+         counted the same reason), so abort accounting agrees across
+         layers. *)
+      let reason = if partitioned then Obs.Abort.Partitioned else Obs.Abort.Crashed_host in
+      Obs.abort t.obs ~layer:Obs.Abort.Txn reason;
+      fail t (if partitioned then "memnode partitioned" else "memnode unavailable")
 
 let in_write_set t ref_ = Hashtbl.mem t.writes ref_
 
@@ -305,7 +327,11 @@ let evict_dirty t =
         (fun off len -> Objcache.invalidate cache (cache_key_of_repl t off len))
         t.dirty_repl_seen
 
-type commit_result = Committed | Validation_failed | Retry_exhausted
+type commit_result =
+  | Committed
+  | Validation_failed
+  | Retry_exhausted
+  | Unavailable of { maybe_applied : bool }
 
 let read_set_size t = Hashtbl.length t.reads + Hashtbl.length t.repl_reads
 
@@ -335,6 +361,10 @@ let commit ?(blocking = false) t =
   (* mark consumed: a transaction commits at most once *)
   let no_writes = Hashtbl.length t.writes = 0 && Hashtbl.length t.repl_writes = 0 in
   if no_writes && t.fully_validated then begin
+    (* Free commit: serialization point is the last fetch that validated
+       the whole read set (None for a transaction that never validated
+       anything, e.g. dirty-only snapshot reads). *)
+    t.commit_stamp_ <- t.last_validated_stamp;
     Obs.Counter.incr t.stats.Obs.free_commits;
     Committed
   end
@@ -411,8 +441,9 @@ let commit ?(blocking = false) t =
         ()
     in
     let mode = if blocking then Coordinator.Blocking else Coordinator.Normal in
-    match Coordinator.exec t.cluster ~mode mtx with
-    | Mtx.Committed _ ->
+    match Coordinator.exec t.cluster ?client:t.client ~mode mtx with
+    | Mtx.Committed { stamp; _ } ->
+        t.commit_stamp_ <- Some stamp;
         refresh_cache t written;
         (* Keep the proxy's view of replicated objects it just updated
            fresh (tip pointers, catalog entries). *)
@@ -447,13 +478,19 @@ let commit ?(blocking = false) t =
         Obs.Counter.incr t.stats.Obs.retry_exhausted;
         Obs.abort t.obs ~layer:Obs.Abort.Txn Obs.Abort.Lock_busy;
         Retry_exhausted
-    | Mtx.Unavailable ->
+    | Mtx.Unavailable { maybe_applied; partitioned } ->
+        (* Surfaced as its own result (not folded into Retry_exhausted):
+           an outage is not contention, and callers back off differently.
+           The abort reason matches what the Mtx layer counted for the
+           same event. *)
         Obs.Counter.incr t.stats.Obs.txn_unavailable;
-        Obs.abort t.obs ~layer:Obs.Abort.Txn Obs.Abort.Crashed_host;
-        Retry_exhausted
+        let reason = if partitioned then Obs.Abort.Partitioned else Obs.Abort.Crashed_host in
+        Obs.abort t.obs ~layer:Obs.Abort.Txn reason;
+        Unavailable { maybe_applied }
 
 let commit_exn ?blocking t =
   match commit ?blocking t with
   | Committed -> ()
   | Validation_failed -> raise (Aborted "validation failed")
   | Retry_exhausted -> raise (Aborted "retry budget exhausted")
+  | Unavailable _ -> raise (Aborted "memnode unavailable")

@@ -21,10 +21,12 @@ exception Aborted of string
 
 type t
 
-val begin_ : ?cache:Objcache.t -> ?home:int -> Sinfonia.Cluster.t -> t
+val begin_ : ?cache:Objcache.t -> ?client:int -> ?home:int -> Sinfonia.Cluster.t -> t
 (** Start a transaction. [cache] is the proxy's object cache (dirty
-    reads without one always go to the network). [home] is the memnode
-    used to fetch replicated objects (default 0). *)
+    reads without one always go to the network). [client] is the calling
+    host's id for the network fault model (see {!Sinfonia.Coordinator.exec});
+    omitted, the transaction's traffic is anonymous and never faulted.
+    [home] is the memnode used to fetch replicated objects (default 0). *)
 
 val cluster : t -> Sinfonia.Cluster.t
 
@@ -109,6 +111,12 @@ type commit_result =
   | Committed
   | Validation_failed  (** Some read-set entry was stale; stale cache entries evicted. *)
   | Retry_exhausted  (** Lock contention exceeded the retry budget. *)
+  | Unavailable of { maybe_applied : bool }
+      (** A participant was crashed or partitioned off; distinct from
+          {!Retry_exhausted} so callers can back off for the (much
+          longer) outage timescale. [maybe_applied] is false when the
+          writes certainly did not take effect (always, under the
+          drain-based crash model). *)
 
 val commit : ?blocking:bool -> t -> commit_result
 (** Execute the commit minitransaction. Read-only transactions whose
@@ -116,6 +124,16 @@ val commit : ?blocking:bool -> t -> commit_result
     further network round trip. [blocking] uses blocking
     minitransactions (Sec. 4.1), appropriate for updates to heavily
     contended replicated objects. *)
+
+val commit_stamp : t -> int64 option
+(** After a successful {!commit}: the transaction's commit stamp — the
+    cluster-global stamp of its serialization point. For write (or
+    validating read-only) commits this is the commit minitransaction's
+    stamp; for free commits it is the stamp of the last fetch that
+    validated the whole read set. [None] before commit, and for
+    transactions with no validated footprint (dirty-read-only snapshot
+    transactions, which are checked against their snapshot id
+    instead). *)
 
 val commit_exn : ?blocking:bool -> t -> unit
 (** Like {!commit} but raises {!Aborted} unless committed. *)

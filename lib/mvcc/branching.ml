@@ -169,7 +169,7 @@ let init_tree t =
   Catalog.write_counter t.tree txn 0L;
   match Txn.commit txn with
   | Txn.Committed -> ()
-  | Txn.Validation_failed | Txn.Retry_exhausted ->
+  | Txn.Validation_failed | Txn.Retry_exhausted | Txn.Unavailable _ ->
       failwith "Branching.init_tree: could not initialize tree"
 
 let create_branch t ~from =
@@ -217,7 +217,7 @@ let create_branch t ~from =
             Obs.Counter.incr
               (Obs.btree (Sinfonia.Cluster.obs (Ops.cluster t.tree))).Obs.branches_created;
             new_sid
-        | Txn.Validation_failed | Txn.Retry_exhausted ->
+        | Txn.Validation_failed | Txn.Retry_exhausted | Txn.Unavailable _ ->
             Txn.evict_dirty txn;
             attempt (tries + 1))
     | exception Txn.Aborted _ ->
@@ -341,7 +341,7 @@ let delete_branch t sid =
         | Txn.Committed ->
             Obs.Counter.incr
               (Obs.btree (Sinfonia.Cluster.obs (Ops.cluster t.tree))).Obs.branches_deleted
-        | Txn.Validation_failed | Txn.Retry_exhausted ->
+        | Txn.Validation_failed | Txn.Retry_exhausted | Txn.Unavailable _ ->
             Txn.evict_dirty txn;
             attempt (tries + 1))
     | exception Txn.Aborted _ ->

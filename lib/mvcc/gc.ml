@@ -20,7 +20,7 @@ let with_txn tree f =
     let v = f txn in
     match Txn.commit txn with
     | Txn.Committed -> v
-    | Txn.Validation_failed | Txn.Retry_exhausted -> attempt (tries + 1)
+    | Txn.Validation_failed | Txn.Retry_exhausted | Txn.Unavailable _ -> attempt (tries + 1)
   in
   attempt 0
 
@@ -63,7 +63,7 @@ let reclaim tree (ref_ : Objref.t) ~observed_seq =
   in
   match Coordinator.exec cluster mtx with
   | Mtx.Committed _ -> true
-  | Mtx.Failed_compare _ | Mtx.Busy | Mtx.Unavailable -> false
+  | Mtx.Failed_compare _ | Mtx.Busy | Mtx.Unavailable _ -> false
 
 let sweep tree ~alloc =
   let cluster = Ops.cluster tree in

@@ -17,6 +17,14 @@ type t = {
   mutable created : int;
   mutable borrowed : int;
   mutable stale_reused : int;
+  (* Creation log for the consistency checker: (sid, commit stamp of
+     the snapshot-creation transaction), newest first. The stamp is the
+     serialization point at which snapshot [sid] froze. *)
+  mutable creations : (int64 * int64) list;
+  (* Chaos: the service is down until this simulated time; requests
+     queue until it is back. *)
+  mutable outage_until : float;
+  mutable outage_stalled : int;
 }
 
 let create ?(borrowing = true) ?(min_interval = 0.0) ?(rpc_one_way = 25e-6) ~tree () =
@@ -35,6 +43,9 @@ let create ?(borrowing = true) ?(min_interval = 0.0) ?(rpc_one_way = 25e-6) ~tre
     created = 0;
     borrowed = 0;
     stale_reused = 0;
+    creations = [];
+    outage_until = neg_infinity;
+    outage_stalled = 0;
   }
 
 let snapshots_created t = t.created
@@ -43,32 +54,76 @@ let borrows t = t.borrowed
 
 let stale_reuses t = t.stale_reused
 
+let creations t = t.creations
+
+let set_outage t ~until = if until > t.outage_until then t.outage_until <- until
+
+let outage_until t = t.outage_until
+
+let outage_stalls t = t.outage_stalled
+
 (* Execute Fig. 6 to completion with a blocking commit, retrying on
    validation failures (e.g. a racing up-to-date operation bumped a
    cached tip). *)
+let outage_msg = function "memnode unavailable" | "memnode partitioned" -> true | _ -> false
+
+let outage_backoff outages = Sim.delay (1e-3 *. float_of_int (min (outages + 1) 16))
+
 let create_snapshot_now t =
   Obs.with_span t.obs Obs.Span.Snapshot_create @@ fun () ->
-  let rec attempt tries =
+  (* Contention retries are bounded tightly; outage retries (a crashed
+     or partitioned memnode) get a far larger budget with millisecond
+     backoff so the service survives chaos storms and resumes when the
+     cluster heals. *)
+  let rec attempt tries outages =
     if tries > 64 then failwith "Scs: snapshot creation starved";
+    if outages > 512 then failwith "Scs: snapshot creation starved by outage";
     let txn = Txn.begin_ (Ops.cluster t.tree) ~home:(Ops.home t.tree) in
-    let sid, loc = Ops.Linear.create_snapshot t.tree txn in
-    match Txn.commit ~blocking:true txn with
-    | Txn.Committed -> (sid, loc)
-    | Txn.Validation_failed | Txn.Retry_exhausted ->
+    match
+      let sid, loc = Ops.Linear.create_snapshot t.tree txn in
+      ((sid, loc), Txn.commit ~blocking:true txn)
+    with
+    | result, Txn.Committed ->
+        (* A snapshot creation always writes the tip objects, so its
+           blocking commit always carries a stamp. *)
+        (result, Option.get (Txn.commit_stamp txn))
+    | _, (Txn.Validation_failed | Txn.Retry_exhausted) ->
         Txn.evict_dirty txn;
-        attempt (tries + 1)
+        attempt (tries + 1) outages
+    | _, Txn.Unavailable _ ->
+        Txn.evict_dirty txn;
+        outage_backoff outages;
+        attempt tries (outages + 1)
+    | exception Txn.Aborted msg ->
+        (* The transaction's own reads aborted: piggy-backed validation
+           caught a racing tip update, or a fetch hit an outage. *)
+        Txn.evict_dirty txn;
+        if outage_msg msg then begin
+          outage_backoff outages;
+          attempt tries (outages + 1)
+        end
+        else attempt (tries + 1) outages
   in
-  let result = attempt 0 in
+  let ((sid, _) as result), stamp = attempt 0 0 in
   t.created <- t.created + 1;
   Obs.Counter.incr t.stats.Obs.scs_created;
   t.last <- Some result;
   t.last_created_at <- Sim.now ();
+  t.creations <- (sid, stamp) :: t.creations;
   result
 
 let request t =
   Obs.with_span t.obs Obs.Span.Scs_request @@ fun () ->
   (* Proxy → service hop. *)
   Sim.delay t.rpc_one_way;
+  (* Chaos: requests arriving during a service outage queue until the
+     service is back up. *)
+  if Sim.now () < t.outage_until then begin
+    t.outage_stalled <- t.outage_stalled + 1;
+    while Sim.now () < t.outage_until do
+      Sim.delay (t.outage_until -. Sim.now ())
+    done
+  end;
   let result =
     (* Staleness bound (Sec. 6.3): reuse the latest snapshot if it is
        younger than k. Checked again under the lock to serialize

@@ -40,3 +40,21 @@ val borrows : t -> int
 
 val stale_reuses : t -> int
 (** Requests served by the staleness bound (k > 0). *)
+
+val creations : t -> (int64 * int64) list
+(** Creation log for the consistency checker: [(sid, stamp)] pairs,
+    newest first, where [stamp] is the commit stamp of the transaction
+    that created snapshot [sid] — the serialization point at which the
+    state frozen into [sid] stopped changing. *)
+
+(** {1 Chaos hooks} *)
+
+val set_outage : t -> until:float -> unit
+(** Declare the service unreachable until simulated time [until]:
+    requests arriving before then queue and are served once the outage
+    lifts (extends, never shortens, a current outage). *)
+
+val outage_until : t -> float
+
+val outage_stalls : t -> int
+(** Requests that had to wait out an outage. *)

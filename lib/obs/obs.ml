@@ -15,9 +15,18 @@ module Abort = struct
     | Height_mismatch
     | Snapshot_stale
     | Crashed_host
+    | Partitioned
 
   let all =
-    [ Lock_busy; Validation_failed; Fence_violation; Height_mismatch; Snapshot_stale; Crashed_host ]
+    [
+      Lock_busy;
+      Validation_failed;
+      Fence_violation;
+      Height_mismatch;
+      Snapshot_stale;
+      Crashed_host;
+      Partitioned;
+    ]
 
   let to_string = function
     | Lock_busy -> "lock_busy"
@@ -26,6 +35,7 @@ module Abort = struct
     | Height_mismatch -> "height_mismatch"
     | Snapshot_stale -> "snapshot_stale"
     | Crashed_host -> "crashed_host"
+    | Partitioned -> "partitioned"
 
   let index = function
     | Lock_busy -> 0
@@ -34,6 +44,7 @@ module Abort = struct
     | Height_mismatch -> 3
     | Snapshot_stale -> 4
     | Crashed_host -> 5
+    | Partitioned -> 6
 
   type layer = Mtx | Txn | Btree | Scs
 
@@ -126,6 +137,15 @@ type scs_stats = {
   scs_stale_reused : Counter.t;
 }
 
+type chaos_stats = {
+  faults_injected : Counter.t;
+  crashes_injected : Counter.t;
+  partitions_injected : Counter.t;
+  delay_faults_injected : Counter.t;
+  stalls_injected : Counter.t;
+  scs_outages_injected : Counter.t;
+}
+
 module Span = struct
   type kind =
     | Op of Op.op * Op.path
@@ -138,6 +158,7 @@ module Span = struct
     | Mtx_commit
     | Snapshot_create
     | Scs_request
+    | Fault of string
 
   let kind_to_string = function
     | Op (op, path) -> "op." ^ Op.label op path
@@ -150,6 +171,7 @@ module Span = struct
     | Mtx_commit -> "mtx.commit"
     | Snapshot_create -> "scs.create_snapshot"
     | Scs_request -> "scs.request"
+    | Fault kind -> "chaos.fault." ^ kind
 
   type outcome = Completed | Aborted of Abort.reason | Failed of string
 
@@ -172,6 +194,7 @@ type t = {
   btree_stats : btree_stats;
   gc_stats : gc_stats;
   scs_stats : scs_stats;
+  chaos_stats : chaos_stats;
   aborts : Counter.t array array; (* [layer][reason] *)
   op_hists : Hist.t array array; (* [op][path] *)
   span_hists : (Span.kind, Hist.t) Hashtbl.t;
@@ -244,6 +267,16 @@ let create ?(span_capacity = 65536) () =
       scs_stale_reused = c "scs.stale_reuses";
     }
   in
+  let chaos_stats =
+    {
+      faults_injected = c "chaos.faults_injected";
+      crashes_injected = c "chaos.crashes";
+      partitions_injected = c "chaos.partitions";
+      delay_faults_injected = c "chaos.delay_faults";
+      stalls_injected = c "chaos.stalls";
+      scs_outages_injected = c "chaos.scs_outages";
+    }
+  in
   let aborts =
     Array.map
       (fun layer ->
@@ -270,6 +303,7 @@ let create ?(span_capacity = 65536) () =
     btree_stats;
     gc_stats;
     scs_stats;
+    chaos_stats;
     aborts;
     op_hists;
     span_hists = Hashtbl.create 16;
@@ -288,6 +322,8 @@ let btree t = t.btree_stats
 let gc t = t.gc_stats
 
 let scs t = t.scs_stats
+
+let chaos t = t.chaos_stats
 
 (* ------------------------------------------------------------------ *)
 (* Aborts                                                               *)

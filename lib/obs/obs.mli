@@ -31,6 +31,7 @@ module Abort : sig
     | Height_mismatch  (** Stale pointer led to a node at the wrong level. *)
     | Snapshot_stale  (** Node version not on the snapshot's path, or superseded. *)
     | Crashed_host  (** Memnode (and backup) unreachable. *)
+    | Partitioned  (** A participant is behind an injected network partition. *)
 
   val all : reason list
 
@@ -105,6 +106,15 @@ type scs_stats = {
   scs_stale_reused : Counter.t;
 }
 
+type chaos_stats = {
+  faults_injected : Counter.t;  (** Total faults injected by the chaos nemesis. *)
+  crashes_injected : Counter.t;
+  partitions_injected : Counter.t;
+  delay_faults_injected : Counter.t;
+  stalls_injected : Counter.t;
+  scs_outages_injected : Counter.t;
+}
+
 val mtx : t -> mtx_stats
 
 val txn : t -> txn_stats
@@ -114,6 +124,8 @@ val btree : t -> btree_stats
 val gc : t -> gc_stats
 
 val scs : t -> scs_stats
+
+val chaos : t -> chaos_stats
 
 val counter : t -> name:string -> Counter.t
 (** Ad-hoc counter by name, resolved once at construction time by the
@@ -180,6 +192,9 @@ module Span : sig
     | Mtx_commit  (** Commit phase of a 2PC minitransaction. *)
     | Snapshot_create  (** SCS executing Fig. 6. *)
     | Scs_request  (** Proxy-visible SCS snapshot request. *)
+    | Fault of string
+        (** One injected chaos fault ("crash", "partition", ...); the
+            span covers injection through heal. *)
 
   val kind_to_string : kind -> string
 

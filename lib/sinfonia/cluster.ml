@@ -5,9 +5,12 @@ type t = {
   obs : Obs.t;
   rng : Sim.Rng.t;
   mutable next_owner : int64;
+  mutable next_stamp : int64;
 }
 
 exception Unavailable of int
+
+exception Partitioned of int
 
 let create ?(config = Config.default) ?(seed = 0xC1057E4) ~n () =
   if n <= 0 then invalid_arg "Cluster.create: need at least one memnode";
@@ -27,7 +30,7 @@ let create ?(config = Config.default) ?(seed = 0xC1057E4) ~n () =
         ignore
           (Memnode.add_replica memnodes.(backup) ~of_node:i ~heap_capacity:config.heap_capacity))
       memnodes;
-  { config; memnodes; net; obs = Obs.create (); rng; next_owner = 1L }
+  { config; memnodes; net; obs = Obs.create (); rng; next_owner = 1L; next_stamp = 1L }
 
 let config t = t.config
 
@@ -50,6 +53,17 @@ let fresh_owner t =
 
 let owner_watermark t = t.next_owner
 
+(* Commit stamps share nothing with owner ids: owners identify lock
+   holders, stamps order committed minitransactions. A stamp is only
+   meaningful if drawn while the minitransaction's locks are held
+   (coordinator / memnode duty, not ours). *)
+let take_stamp t =
+  let s = t.next_stamp in
+  t.next_stamp <- Int64.add t.next_stamp 1L;
+  s
+
+let stamp_watermark t = t.next_stamp
+
 let backup_of t i =
   if t.config.replication && Array.length t.memnodes > 1 then
     Some ((i + 1) mod Array.length t.memnodes)
@@ -57,17 +71,26 @@ let backup_of t i =
 
 let route t i =
   let mn = t.memnodes.(i) in
-  if not (Memnode.crashed mn) then (mn, Memnode.primary mn)
+  if Memnode.available mn then (mn, Memnode.primary mn)
+  else if not (Memnode.crashed mn) then
+    (* Draining toward a crash: refusing new requests here is what keeps
+       the node's final state a transaction boundary. The failover below
+       only engages once the crash has actually landed. *)
+    raise (Unavailable i)
   else
     match backup_of t i with
     | None -> raise (Unavailable i)
     | Some b ->
         let bn = t.memnodes.(b) in
-        if Memnode.crashed bn then raise (Unavailable i)
+        if not (Memnode.available bn) then raise (Unavailable i)
         else (
           match Memnode.replica bn ~of_node:i with
           | Some store -> (bn, store)
           | None -> raise (Unavailable i))
+
+let serving_host t i =
+  let mn, _ = route t i in
+  Memnode.id mn
 
 let mirror t i writes =
   if writes <> [] then
@@ -79,24 +102,30 @@ let mirror t i writes =
           ()
         else begin
           let bn = t.memnodes.(b) in
-          if not (Memnode.crashed bn) then begin
-            match Memnode.replica bn ~of_node:i with
-            | None -> ()
-            | Some store ->
-                let bytes =
-                  List.fold_left (fun acc w -> acc + String.length w.Mtx.w_data) 64 writes
-                in
-                Sim.Net.transfer t.net ~bytes;
-                let cost =
-                  t.config.backup_factor
-                  *. (t.config.svc_msg
-                     +. (t.config.svc_per_kb *. (float_of_int bytes /. 1024.0)))
-                in
-                Memnode.serve bn ~cost;
-                Memnode.apply_writes store writes;
-                Sim.Net.transfer t.net ~bytes:32;
-                Obs.Counter.incr (Obs.mtx t.obs).Obs.mirrors
-          end
+          match Memnode.replica bn ~of_node:i with
+          | None -> ()
+          | Some store when Memnode.crashed bn ->
+              (* Backup down: Sinfonia's primary logs the update and the
+                 backup replays the log when it returns. We model the
+                 eventual catch-up by applying the writes to the replica
+                 image directly (no network or CPU cost — nothing is
+                 serving), so the replica is never silently stale if the
+                 primary crashes later. *)
+              Memnode.apply_writes store writes;
+              Obs.Counter.incr (Obs.mtx t.obs).Obs.mirrors
+          | Some store ->
+              let bytes =
+                List.fold_left (fun acc w -> acc + String.length w.Mtx.w_data) 64 writes
+              in
+              Sim.Net.transfer ~src:i ~dst:b t.net ~bytes;
+              let cost =
+                t.config.backup_factor
+                *. (t.config.svc_msg +. (t.config.svc_per_kb *. (float_of_int bytes /. 1024.0)))
+              in
+              Memnode.serve bn ~cost;
+              Memnode.apply_writes store writes;
+              Sim.Net.transfer ~src:b ~dst:i t.net ~bytes:32;
+              Obs.Counter.incr (Obs.mtx t.obs).Obs.mirrors
         end
 
 let start_recovery ?(lease = 0.25) ?(interval = 1.0) t =
@@ -117,12 +146,30 @@ let crash t i =
   Memnode.crash t.memnodes.(i);
   Obs.Counter.incr (Obs.mtx t.obs).Obs.crashes
 
+let can_recover t i =
+  Memnode.crashed t.memnodes.(i)
+  &&
+  match backup_of t i with
+  | None -> false
+  | Some b -> (
+      match Memnode.replica t.memnodes.(b) ~of_node:i with
+      | None -> false
+      | Some store ->
+          (* A replica mid-minitransaction (serving as failover) must
+             finish before its image is copied back, or the restored
+             primary would miss the in-flight writes. *)
+          Memnode.store_serving store = 0)
+
 let recover t i =
+  if not (Memnode.crashed t.memnodes.(i)) then
+    invalid_arg "Cluster.recover: node is not crashed";
   match backup_of t i with
   | None -> invalid_arg "Cluster.recover: replication disabled"
   | Some b -> (
       match Memnode.replica t.memnodes.(b) ~of_node:i with
       | None -> invalid_arg "Cluster.recover: no replica"
       | Some store ->
+          if Memnode.store_serving store > 0 then
+            invalid_arg "Cluster.recover: replica is serving in-flight requests";
           Memnode.recover t.memnodes.(i) ~from_replica:store;
           Obs.Counter.incr (Obs.mtx t.obs).Obs.recoveries)

@@ -36,23 +36,48 @@ val owner_watermark : t -> int64
     drawn from the same counter, so any object written from now on has a
     sequence number >= this value (used by the branching GC). *)
 
+val take_stamp : t -> int64
+(** Draw the next commit stamp from the cluster-global stamp counter.
+    Only meaningful when called while the minitransaction being stamped
+    holds all of its locks (the coordinator's and memnode's job); under
+    that discipline, stamp order of conflicting minitransactions equals
+    their serialization order, which is what [minuet.check] replays. *)
+
+val stamp_watermark : t -> int64
+(** The next stamp {!take_stamp} would hand out. *)
+
 val backup_of : t -> int -> int option
 (** The node hosting [i]'s replica, if replication is on and [n > 1]. *)
 
 exception Unavailable of int
 (** Raised when routing to a memnode whose primary and backup are both
-    down. *)
+    down (or still draining toward a crash). *)
+
+exception Partitioned of int
+(** Raised by the coordinator when an injected network partition blocks
+    the link between a client and the node serving memnode [i]. *)
 
 val route : t -> int -> Memnode.t * Memnode.store
 (** [route t i] is the node and store that currently serve memnode [i]'s
     address space: the primary when alive, otherwise its replica on the
-    backup node. Raises {!Unavailable} if neither is reachable. *)
+    backup node. Raises {!Unavailable} if neither is available — a node
+    draining toward a requested crash ({!Memnode.crash_pending}) already
+    refuses new requests, and its backup only takes over once the crash
+    lands. *)
+
+val serving_host : t -> int -> int
+(** The id of the physical node {!route} would pick for memnode [i]'s
+    address space — the endpoint used for per-link fault lookups.
+    Raises {!Unavailable} like {!route}. *)
 
 val mirror : t -> int -> Mtx.write_item list -> unit
 (** Synchronously apply [writes] (addressed to memnode [i]) to [i]'s
     replica, paying network and backup CPU costs. No-op when replication
     is off, the write list is empty, or node [i] is being served from its
-    replica already. *)
+    replica already. If the backup host is {e crashed}, the writes are
+    applied to the replica image for free — modelling Sinfonia's primary
+    redo log being replayed when the backup returns — so the replica is
+    never silently stale. *)
 
 val start_recovery : ?lease:float -> ?interval:float -> t -> unit
 (** Spawn Sinfonia's recovery daemon: every [interval] (default 1 s)
@@ -63,9 +88,20 @@ val start_recovery : ?lease:float -> ?interval:float -> t -> unit
     lease. *)
 
 val crash : t -> int -> unit
-(** Crash memnode [i]. Subsequent operations are served by its backup
-    replica (if any). *)
+(** Request a crash of memnode [i]: immediate if the node is idle,
+    otherwise it lands once in-flight requests drain
+    ({!Memnode.crash}). Either way the node refuses new requests from
+    this call on; once {!Memnode.crashed} flips, operations are served
+    by its backup replica (if any). *)
+
+val can_recover : t -> int -> bool
+(** True iff memnode [i] has actually crashed (not merely draining), has
+    a replica to restore from, and that replica is not mid-request as a
+    failover target — i.e. {!recover} would succeed right now. *)
 
 val recover : t -> int -> unit
 (** Bring memnode [i] back, restoring state from its replica. Raises
-    [Invalid_argument] if there is no replica to restore from. *)
+    [Invalid_argument] if the node is not crashed, there is no replica
+    to restore from, or the replica is serving in-flight failover
+    requests (see {!can_recover}; poll it first when recovering under
+    load). *)

@@ -9,16 +9,56 @@ let response_overhead = 32
 let read_bytes_of_result reads =
   List.fold_left (fun acc (_, data) -> acc + String.length data) response_overhead reads
 
+(* Before starting an exchange, a client that knows its own host id
+   refuses to talk across a blocked link (in either direction) — a
+   partition is detected at the protocol boundary, never mid-protocol.
+   Anonymous clients ([client = None]) are not subject to partitions. *)
+let check_reachable cluster ~client node_id =
+  match client with
+  | None -> ()
+  | Some src ->
+      let dst = Cluster.serving_host cluster node_id in
+      let net = Cluster.net cluster in
+      if not (Sim.Net.reachable net ~src ~dst && Sim.Net.reachable net ~src:dst ~dst:src) then
+        raise (Cluster.Partitioned node_id)
+
 (* One request/response exchange with the node currently serving memnode
-   [node_id]'s address space: pay the request transfer, run [f] (which
+   [node_id]'s address space: pay the request transfer, route (the node
+   may have crashed while the request was in flight), run [f] (which
    spends the memnode CPU while holding any locks it takes), pay the
-   response transfer. *)
-let round_trip cluster node_id ~bytes_out ~resp_bytes f =
+   response transfer. [f] runs inside a serving pin, so a crash
+   requested while it runs lands only after it finishes. *)
+let round_trip cluster ~client node_id ~bytes_out ~resp_bytes f =
+  check_reachable cluster ~client node_id;
   let net = Cluster.net cluster in
-  Sim.Net.transfer net ~bytes:bytes_out;
+  let dst =
+    match client with None -> None | Some _ -> Some (Cluster.serving_host cluster node_id)
+  in
+  Sim.Net.transfer ?src:client ?dst net ~bytes:bytes_out;
   let mn, store = Cluster.route cluster node_id in
-  let result = f mn store in
-  Sim.Net.transfer net ~bytes:(resp_bytes result);
+  Memnode.begin_serving mn store;
+  let result =
+    try f mn store
+    with e ->
+      Memnode.end_serving mn store;
+      raise e
+  in
+  Memnode.end_serving mn store;
+  Sim.Net.transfer ?src:dst ?dst:client net ~bytes:(resp_bytes result);
+  result
+
+(* Phase-two exchange with a participant pinned at prepare time: no
+   re-routing (the prepared locks live in that exact store) and no
+   partition check — an exchange already in flight completes, modelling
+   Sinfonia's transaction-recovery protocol resolving in-doubt
+   participants. The caller still holds the serving pin taken at
+   prepare. *)
+let round_trip_pinned cluster ~client mn ~bytes_out ~resp_bytes f =
+  let net = Cluster.net cluster in
+  let dst = match client with None -> None | Some _ -> Some (Memnode.id mn) in
+  Sim.Net.transfer ?src:client ?dst net ~bytes:bytes_out;
+  let result = f () in
+  Sim.Net.transfer ?src:dst ?dst:client net ~bytes:(resp_bytes result);
   result
 
 let backoff_delay cluster attempt =
@@ -28,16 +68,16 @@ let backoff_delay cluster attempt =
   Sim.delay (Sim.Rng.float (Cluster.rng cluster) capped)
 
 let merge_reads parts_results =
-  List.concat parts_results
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  List.concat parts_results |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 (* Reads are tagged with their index into [mtx.reads]; translate back to
    (address, data) pairs in declaration order. *)
-let outcome_of_reads (mtx : Mtx.t) indexed =
+let outcome_of_reads (mtx : Mtx.t) ~stamp indexed =
   let arr = Array.of_list mtx.reads in
-  Mtx.Committed (List.map (fun (i, data) -> ((arr.(i)).Mtx.r_addr, data)) indexed)
+  Mtx.Committed
+    { stamp; reads = List.map (fun (i, data) -> ((arr.(i)).Mtx.r_addr, data)) indexed }
 
-let exec_single cluster ~mode (mtx : Mtx.t) node =
+let exec_single cluster ~client ~mode (mtx : Mtx.t) node =
   let cfg = Cluster.config cluster in
   let obs = Cluster.obs cluster in
   let stats = Obs.mtx obs in
@@ -51,32 +91,43 @@ let exec_single cluster ~mode (mtx : Mtx.t) node =
     end
     else begin
       let owner = Cluster.fresh_owner cluster in
+      let stamp () = Cluster.take_stamp cluster in
+      (* Mirror before the response transfer (ack-after-replication) and
+         inside the serving pin, so a crash never lands between commit
+         and mirror. *)
       let run mn store =
-        match mode with
-        | Normal -> Memnode.execute_single_timed mn store ~owner part ~cost
-        | Blocking ->
-            Memnode.execute_single_blocking_timed mn store ~owner part ~cost
-              ~timeout:cfg.Config.blocking_timeout
+        let result =
+          match mode with
+          | Normal -> Memnode.execute_single_timed mn store ~owner ~stamp part ~cost
+          | Blocking ->
+              Memnode.execute_single_blocking_timed mn store ~owner ~stamp part ~cost
+                ~timeout:cfg.Config.blocking_timeout
+        in
+        (match result with
+        | Memnode.Prepared _, _ when part.p_writes <> [] ->
+            Cluster.mirror cluster node part.p_writes
+        | _ -> ());
+        result
       in
       let resp_bytes = function
-        | Memnode.Prepared reads -> read_bytes_of_result reads
-        | Memnode.Busy_locks | Memnode.Compare_failed _ -> response_overhead
+        | Memnode.Prepared reads, _ -> read_bytes_of_result reads
+        | (Memnode.Busy_locks | Memnode.Compare_failed _), _ -> response_overhead
       in
       let result =
         Obs.with_span obs Obs.Span.Mtx_exec (fun () ->
-            round_trip cluster node ~bytes_out ~resp_bytes run)
+            round_trip cluster ~client node ~bytes_out ~resp_bytes run)
       in
       match result with
-      | Memnode.Prepared reads ->
-          if part.p_writes <> [] then Cluster.mirror cluster node part.p_writes;
+      | Memnode.Prepared reads, Some stamp ->
           Obs.Counter.incr stats.Obs.committed_1pc;
-          outcome_of_reads mtx (merge_reads [ reads ])
-      | Memnode.Busy_locks ->
+          outcome_of_reads mtx ~stamp (merge_reads [ reads ])
+      | Memnode.Prepared _, None -> assert false
+      | Memnode.Busy_locks, _ ->
           Obs.Counter.incr stats.Obs.busy_retries;
           Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Lock_busy;
           backoff_delay cluster n;
           attempt (n + 1)
-      | Memnode.Compare_failed idxs ->
+      | Memnode.Compare_failed idxs, _ ->
           Obs.Counter.incr stats.Obs.compare_failed;
           Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Validation_failed;
           Mtx.Failed_compare idxs
@@ -99,7 +150,17 @@ let parallel_map cluster nodes f =
       match Sim.Ivar.read ivar with Ok v -> (node, v) | Error e -> raise e)
     ivars
 
-let exec_multi cluster ~mode (mtx : Mtx.t) nodes =
+(* Per-participant prepare outcome. A prepared participant is pinned:
+   the exact (node, store) pair holding its locks, with the serving pin
+   still taken, so phase two never re-routes and the node cannot crash
+   under the held locks. *)
+type presult =
+  | P_prepared of Memnode.t * Memnode.store * (int * string) list
+  | P_busy
+  | P_compare of int list
+  | P_unreachable of bool (* partitioned? *)
+
+let exec_multi cluster ~client ~mode (mtx : Mtx.t) nodes =
   let cfg = Cluster.config cluster in
   let obs = Cluster.obs cluster in
   let stats = Obs.mtx obs in
@@ -111,41 +172,75 @@ let exec_multi cluster ~mode (mtx : Mtx.t) nodes =
     end
     else begin
       let owner = Cluster.fresh_owner cluster in
-      (* Phase one: prepare at every participant in parallel. *)
+      (* Phase one: prepare at every participant in parallel. Routing
+         failures become values, never exceptions, so the participants
+         that did prepare are always aborted. *)
       let prepare node =
         let part = List.assoc node parts in
         let cost = Memnode.part_cost cfg part in
         let bytes_out = Memnode.part_bytes part + request_overhead in
         let resp_bytes = function
-          | Memnode.Prepared reads -> read_bytes_of_result reads
-          | Memnode.Busy_locks | Memnode.Compare_failed _ -> response_overhead
+          | P_prepared (_, _, reads) -> read_bytes_of_result reads
+          | P_busy | P_compare _ | P_unreachable _ -> response_overhead
         in
-        round_trip cluster node ~bytes_out ~resp_bytes (fun mn store ->
-            match mode with
-            | Normal -> Memnode.prepare_timed mn store ~owner part ~cost
-            | Blocking ->
-                Memnode.prepare_blocking_timed mn store ~owner part ~cost
-                  ~timeout:cfg.Config.blocking_timeout)
+        try
+          check_reachable cluster ~client node;
+          let net = Cluster.net cluster in
+          let dst =
+            match client with
+            | None -> None
+            | Some _ -> Some (Cluster.serving_host cluster node)
+          in
+          Sim.Net.transfer ?src:client ?dst net ~bytes:bytes_out;
+          let mn, store = Cluster.route cluster node in
+          Memnode.begin_serving mn store;
+          let result =
+            match
+              match mode with
+              | Normal -> Memnode.prepare_timed mn store ~owner part ~cost
+              | Blocking ->
+                  Memnode.prepare_blocking_timed mn store ~owner part ~cost
+                    ~timeout:cfg.Config.blocking_timeout
+            with
+            | Memnode.Prepared reads -> P_prepared (mn, store, reads)
+            | Memnode.Busy_locks ->
+                Memnode.end_serving mn store;
+                P_busy
+            | Memnode.Compare_failed idxs ->
+                Memnode.end_serving mn store;
+                P_compare idxs
+          in
+          Sim.Net.transfer ?src:dst ?dst:client net ~bytes:(resp_bytes result);
+          result
+        with
+        | Cluster.Unavailable _ -> P_unreachable false
+        | Cluster.Partitioned _ -> P_unreachable true
       in
       let results =
         Obs.with_span obs Obs.Span.Mtx_prepare (fun () -> parallel_map cluster nodes prepare)
       in
-      let prepared_nodes =
+      let prepared =
         List.filter_map
-          (fun (node, r) -> match r with Memnode.Prepared _ -> Some node | _ -> None)
+          (fun (node, r) ->
+            match r with P_prepared (mn, store, reads) -> Some (node, mn, store, reads) | _ -> None)
           results
       in
+      (* Abort phase for a failed attempt: release locks at every
+         prepared (pinned) participant, then drop the serving pins. *)
       let abort_prepared () =
         ignore
-          (parallel_map cluster prepared_nodes (fun node ->
-               round_trip cluster node ~bytes_out:request_overhead
+          (parallel_map cluster prepared (fun (_, mn, store, _) ->
+               round_trip_pinned cluster ~client mn ~bytes_out:request_overhead
                  ~resp_bytes:(fun () -> response_overhead)
-                 (fun mn store -> Memnode.abort_timed mn store ~owner ~cost:cfg.Config.svc_msg)))
+                 (fun () ->
+                   Memnode.abort_timed mn store ~owner ~cost:cfg.Config.svc_msg;
+                   Memnode.end_serving mn store)))
       in
       let failed_compares =
-        List.concat_map
-          (fun (_, r) -> match r with Memnode.Compare_failed idxs -> idxs | _ -> [])
-          results
+        List.concat_map (fun (_, r) -> match r with P_compare idxs -> idxs | _ -> []) results
+      in
+      let unreachable =
+        List.filter_map (fun (_, r) -> match r with P_unreachable p -> Some p | _ -> None) results
       in
       if failed_compares <> [] then begin
         abort_prepared ();
@@ -153,7 +248,16 @@ let exec_multi cluster ~mode (mtx : Mtx.t) nodes =
         Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Validation_failed;
         Mtx.Failed_compare (List.sort_uniq Int.compare failed_compares)
       end
-      else if List.exists (fun (_, r) -> r = Memnode.Busy_locks) results then begin
+      else if unreachable <> [] then begin
+        (* A participant is down or partitioned off. Nothing committed
+           (no stamp was drawn); release whatever prepared and let the
+           caller decide whether to retry later. *)
+        abort_prepared ();
+        let node = List.hd nodes in
+        if List.exists Fun.id unreachable then raise (Cluster.Partitioned node)
+        else raise (Cluster.Unavailable node)
+      end
+      else if List.exists (fun (_, r) -> r = P_busy) results then begin
         abort_prepared ();
         Obs.Counter.incr stats.Obs.busy_retries;
         Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Lock_busy;
@@ -161,44 +265,51 @@ let exec_multi cluster ~mode (mtx : Mtx.t) nodes =
         attempt (n + 1)
       end
       else begin
-        (* Phase two: commit everywhere in parallel, then mirror. *)
+        (* Every participant prepared: the decision is commit. The stamp
+           is drawn here — after the last prepare, before any commit —
+           while every participant's locks are held. *)
+        let stamp = Cluster.take_stamp cluster in
         Obs.with_span obs Obs.Span.Mtx_commit (fun () ->
             ignore
-              (parallel_map cluster nodes (fun node ->
+              (parallel_map cluster prepared (fun (node, mn, store, _) ->
                    let part = List.assoc node parts in
-                   round_trip cluster node
+                   round_trip_pinned cluster ~client mn
                      ~bytes_out:(Memnode.part_bytes part + request_overhead)
                      ~resp_bytes:(fun () -> response_overhead)
-                     (fun mn store ->
+                     (fun () ->
                        Memnode.commit_timed mn store ~owner part
                          ~cost:(Memnode.part_cost cfg part);
-                       if part.p_writes <> [] then Cluster.mirror cluster node part.p_writes))));
+                       if part.p_writes <> [] then Cluster.mirror cluster node part.p_writes;
+                       Memnode.end_serving mn store))));
         Obs.Counter.incr stats.Obs.committed_2pc;
-        let reads =
-          List.concat_map
-            (fun (_, r) -> match r with Memnode.Prepared reads -> reads | _ -> [])
-            results
-        in
-        outcome_of_reads mtx (merge_reads [ reads ])
+        let reads = List.concat_map (fun (_, _, _, reads) -> reads) prepared in
+        outcome_of_reads mtx ~stamp (merge_reads [ reads ])
       end
     end
   in
   attempt 0
 
-let exec cluster ?(mode = Normal) mtx =
-  if Mtx.is_empty mtx then Mtx.Committed []
+let exec cluster ?client ?(mode = Normal) mtx =
+  if Mtx.is_empty mtx then Mtx.Committed { stamp = Cluster.take_stamp cluster; reads = [] }
   else
+    let obs = Cluster.obs cluster in
     match
       match Mtx.memnodes mtx with
-      | [] -> Mtx.Committed []
-      | [ node ] -> exec_single cluster ~mode mtx node
-      | nodes -> exec_multi cluster ~mode mtx nodes
+      | [] -> Mtx.Committed { stamp = Cluster.take_stamp cluster; reads = [] }
+      | [ node ] -> exec_single cluster ~client ~mode mtx node
+      | nodes -> exec_multi cluster ~client ~mode mtx nodes
     with
     | outcome -> outcome
     | exception Cluster.Unavailable _ ->
         (* A participant (and its backup) is down; surface it as an
-           outcome instead of tearing the caller down. *)
-        let obs = Cluster.obs cluster in
+           outcome instead of tearing the caller down. Under the drain
+           model no write of this minitransaction can have been applied:
+           single-phase failures happen before execution, multi-phase
+           ones abort every prepared participant. *)
         Obs.Counter.incr (Obs.mtx obs).Obs.mtx_unavailable;
         Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Crashed_host;
-        Mtx.Unavailable
+        Mtx.Unavailable { maybe_applied = false; partitioned = false }
+    | exception Cluster.Partitioned _ ->
+        Obs.Counter.incr (Obs.mtx obs).Obs.mtx_unavailable;
+        Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Partitioned;
+        Mtx.Unavailable { maybe_applied = false; partitioned = true }

@@ -12,10 +12,24 @@ type mode =
   | Normal  (** Abort-and-retry on busy locks. *)
   | Blocking  (** Wait at memnodes for locks, bounded by the config threshold. *)
 
-val exec : Cluster.t -> ?mode:mode -> Mtx.t -> Mtx.outcome
+val exec : Cluster.t -> ?client:int -> ?mode:mode -> Mtx.t -> Mtx.outcome
 (** Execute a minitransaction to completion. [Busy] is only returned
     if the retry budget ([Config.max_retries]) is exhausted — callers
-    treat it as an abort. Must run inside a simulation. *)
+    treat it as an abort. Must run inside a simulation.
+
+    [client] is the calling host's id for the network fault model: when
+    given, request/response transfers are attributed to the
+    (client, memnode) links, so injected per-link faults (drops, delay,
+    partitions) apply. A blocked link is detected before each exchange
+    and surfaces as [Unavailable { partitioned = true; _ }]; exchanges
+    already in flight complete (Sinfonia's recovery protocol resolves
+    in-doubt participants). Without [client], traffic is anonymous and
+    never faulted.
+
+    Committed outcomes carry a commit stamp drawn while all participant
+    locks were held (after the last prepare, before the first commit),
+    so stamp order is serialization order for conflicting
+    minitransactions. *)
 
 val round_trips : Mtx.t -> int
 (** Round trips a successful execution takes (1 for single-memnode, 2

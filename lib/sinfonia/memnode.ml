@@ -1,8 +1,10 @@
-type store = { heap : Heap.t; mutable locks : Lock_table.t }
+type store = { heap : Heap.t; mutable locks : Lock_table.t; mutable store_serving : int }
 
 let store_heap s = s.heap
 
 let store_locks s = s.locks
+
+let store_serving s = s.store_serving
 
 type t = {
   id : int;
@@ -10,10 +12,13 @@ type t = {
   mutable primary_store : store;
   replicas : (int, store) Hashtbl.t;
   mutable crashed : bool;
+  mutable crash_pending : bool;
+  mutable serving : int;
   heap_capacity : int;
 }
 
-let make_store capacity = { heap = Heap.create ~capacity (); locks = Lock_table.create () }
+let make_store capacity =
+  { heap = Heap.create ~capacity (); locks = Lock_table.create (); store_serving = 0 }
 
 let create ~id ~cores ~heap_capacity =
   {
@@ -22,6 +27,8 @@ let create ~id ~cores ~heap_capacity =
     primary_store = make_store heap_capacity;
     replicas = Hashtbl.create 4;
     crashed = false;
+    crash_pending = false;
+    serving = 0;
     heap_capacity;
   }
 
@@ -33,15 +40,40 @@ let primary t = t.primary_store
 
 let crashed t = t.crashed
 
-let crash t =
+let crash_pending t = t.crash_pending
+
+let available t = not (t.crashed || t.crash_pending)
+
+let do_crash t =
   t.crashed <- true;
+  t.crash_pending <- false;
   (* Volatile lock state dies with the node. *)
   t.primary_store.locks <- Lock_table.create ()
+
+(* Fail-stop at minitransaction boundaries: a node asked to crash while
+   it is mid-exchange (locks possibly held, writes possibly half
+   mirrored) first drains its in-flight requests. New requests are
+   refused immediately ([available] is already false), so the drain
+   window is bounded by one service time. This is what lets the
+   consistency checker treat every committed minitransaction as either
+   fully applied or not applied at all. *)
+let crash t = if t.serving = 0 then do_crash t else t.crash_pending <- true
+
+let begin_serving t store =
+  if t.crashed then invalid_arg "Memnode.begin_serving: node is crashed";
+  t.serving <- t.serving + 1;
+  store.store_serving <- store.store_serving + 1
+
+let end_serving t store =
+  t.serving <- t.serving - 1;
+  store.store_serving <- store.store_serving - 1;
+  if t.serving = 0 && t.crash_pending then do_crash t
 
 let recover t ~from_replica =
   Heap.restore t.primary_store.heap (Heap.snapshot from_replica.heap);
   t.primary_store.locks <- Lock_table.create ();
-  t.crashed <- false
+  t.crashed <- false;
+  t.crash_pending <- false
 
 let add_replica t ~of_node ~heap_capacity =
   match Hashtbl.find_opt t.replicas of_node with
@@ -155,16 +187,22 @@ let commit store ~owner p =
 
 let abort store ~owner = Lock_table.release store.locks ~owner
 
-let finish_single store ~owner p = function
+(* The commit stamp is drawn between a successful prepare and the
+   commit, i.e. while this (single-participant) minitransaction holds
+   every lock it will ever need — which is what makes stamp order a
+   serialization order for conflicting minitransactions. *)
+let finish_single store ~owner ~stamp p = function
   | Prepared _ as r ->
+      let s = stamp () in
       commit store ~owner p;
-      r
-  | (Busy_locks | Compare_failed _) as r -> r
+      (r, Some s)
+  | (Busy_locks | Compare_failed _) as r -> (r, None)
 
-let execute_single store ~owner p = finish_single store ~owner p (prepare store ~owner p)
+let execute_single store ~owner p =
+  fst (finish_single store ~owner ~stamp:(fun () -> 0L) p (prepare store ~owner p))
 
 let execute_single_blocking store ~owner p ~timeout =
-  finish_single store ~owner p (prepare_blocking store ~owner p ~timeout)
+  fst (finish_single store ~owner ~stamp:(fun () -> 0L) p (prepare_blocking store ~owner p ~timeout))
 
 (* Timed variants: a small reception cost decides lock acquisition; the
    bulk of the service time is spent holding the locks. *)
@@ -194,8 +232,8 @@ let abort_timed t store ~owner ~cost =
   serve t ~cost;
   abort store ~owner
 
-let execute_single_timed t store ~owner p ~cost =
-  finish_single store ~owner p (prepare_timed t store ~owner p ~cost)
+let execute_single_timed t store ~owner ~stamp p ~cost =
+  finish_single store ~owner ~stamp p (prepare_timed t store ~owner p ~cost)
 
-let execute_single_blocking_timed t store ~owner p ~cost ~timeout =
-  finish_single store ~owner p (prepare_blocking_timed t store ~owner p ~cost ~timeout)
+let execute_single_blocking_timed t store ~owner ~stamp p ~cost ~timeout =
+  finish_single store ~owner ~stamp p (prepare_blocking_timed t store ~owner p ~cost ~timeout)

@@ -12,6 +12,11 @@ val store_heap : store -> Heap.t
 
 val store_locks : store -> Lock_table.t
 
+val store_serving : store -> int
+(** Number of in-flight requests currently being served from this store
+    (see {!begin_serving}). A store with in-flight requests must not be
+    used as a recovery source — its heap may be mid-update. *)
+
 type t
 
 val create : id:int -> cores:int -> heap_capacity:int -> t
@@ -24,13 +29,36 @@ val primary : t -> store
 
 val crashed : t -> bool
 
+val crash_pending : t -> bool
+(** True while a crash request drains in-flight requests (see
+    {!crash}). *)
+
+val available : t -> bool
+(** True iff the node is neither crashed nor draining toward a crash;
+    only available nodes accept new requests. *)
+
 val crash : t -> unit
-(** Mark the node crashed. Its primary store stops serving; lock state
-    is wiped (as a real crash would). *)
+(** Ask the node to crash. If it is idle the crash is immediate: lock
+    state is wiped (as a real crash would) and {!crashed} flips. If
+    requests are in flight the node stops accepting new ones
+    ({!available} becomes false) and the crash lands when the last
+    in-flight request finishes — fail-stop at minitransaction
+    boundaries, so a committed minitransaction is never half-applied.
+    Poll {!crashed} to observe the flip. *)
 
 val recover : t -> from_replica:store -> unit
 (** Restore the primary store's contents from a replica image and mark
     the node alive. *)
+
+val begin_serving : t -> store -> unit
+(** Pin the node (and one of its stores) as serving one in-flight
+    request; a pending crash will not land until the matching
+    {!end_serving}. Raises [Invalid_argument] on a crashed node —
+    callers must route first. *)
+
+val end_serving : t -> store -> unit
+(** Release one {!begin_serving} pin, landing any pending crash once
+    the node goes idle. *)
 
 val add_replica : t -> of_node:int -> heap_capacity:int -> store
 (** Host a replica store for memnode [of_node] on this node. *)
@@ -115,10 +143,17 @@ val commit_timed : t -> store -> owner:int64 -> part -> cost:float -> unit
 
 val abort_timed : t -> store -> owner:int64 -> cost:float -> unit
 
-val execute_single_timed : t -> store -> owner:int64 -> part -> cost:float -> prepare_result
+val execute_single_timed :
+  t -> store -> owner:int64 -> stamp:(unit -> int64) -> part -> cost:float ->
+  prepare_result * int64 option
+(** Like {!execute_single}, but on success draws a commit stamp from
+    [stamp] {e between} prepare and commit — while the
+    minitransaction's locks are held — and returns it. Stamp order of
+    two conflicting minitransactions is their serialization order. *)
 
 val execute_single_blocking_timed :
-  t -> store -> owner:int64 -> part -> cost:float -> timeout:float -> prepare_result
+  t -> store -> owner:int64 -> stamp:(unit -> int64) -> part -> cost:float -> timeout:float ->
+  prepare_result * int64 option
 
 val apply_writes : store -> Mtx.write_item list -> unit
 (** Raw write application (used by replication mirroring). *)

@@ -44,13 +44,14 @@ let byte_count t =
   + List.fold_left (fun acc w -> acc + String.length w.w_data) 0 t.writes
 
 type outcome =
-  | Committed of (Address.t * string) list
+  | Committed of { stamp : int64; reads : (Address.t * string) list }
   | Failed_compare of int list
   | Busy
-  | Unavailable
+  | Unavailable of { maybe_applied : bool; partitioned : bool }
 
 let pp_outcome fmt = function
-  | Committed reads -> Format.fprintf fmt "Committed(%d reads)" (List.length reads)
+  | Committed { stamp; reads } ->
+      Format.fprintf fmt "Committed(stamp=%Ld, %d reads)" stamp (List.length reads)
   | Failed_compare idxs ->
       Format.fprintf fmt "Failed_compare[%a]"
         (Format.pp_print_list
@@ -58,4 +59,5 @@ let pp_outcome fmt = function
            Format.pp_print_int)
         idxs
   | Busy -> Format.pp_print_string fmt "Busy"
-  | Unavailable -> Format.pp_print_string fmt "Unavailable"
+  | Unavailable { maybe_applied; partitioned } ->
+      Format.fprintf fmt "Unavailable(maybe_applied=%b, partitioned=%b)" maybe_applied partitioned

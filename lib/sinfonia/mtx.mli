@@ -46,11 +46,23 @@ val byte_count : t -> int
     modelling. *)
 
 type outcome =
-  | Committed of (Address.t * string) list
-      (** Read results, in the order of [reads]. *)
+  | Committed of { stamp : int64; reads : (Address.t * string) list }
+      (** [reads] are the read results, in the order of the [reads]
+          field. [stamp] is the minitransaction's commit stamp, drawn
+          from a cluster-global counter {e while every participant's
+          locks were held}: stamp order of two conflicting
+          minitransactions is therefore their serialization order. The
+          checker ([minuet.check]) replays histories in stamp order. *)
   | Failed_compare of int list
       (** Indices (into [compares]) of the comparisons that failed. *)
   | Busy  (** A lock could not be acquired; caller should retry. *)
-  | Unavailable  (** A participant memnode is crashed and not failed over. *)
+  | Unavailable of { maybe_applied : bool; partitioned : bool }
+      (** A participant could not be reached. [partitioned] separates an
+          injected network partition from a crashed, un-failed-over
+          host. [maybe_applied] is false when the coordinator knows no
+          write took effect (it always is under the current drain-based
+          crash model, which fails memnodes only at minitransaction
+          boundaries; the field exists so callers are forced to consider
+          the ambiguous case). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,376 @@
+(* Tests for the history-based consistency checker, driven by synthetic
+   histories: hand-built event lists exercising each check — commit-order
+   replay, real-time order, snapshot freezing, SCS strictness, ambiguity
+   resolution, final audits and stamp uniqueness. *)
+
+module Event = Check.History.Event
+module Checker = Check.Checker
+
+let check = Alcotest.check
+
+let ev ?client ?(index = 0) ?stamp ?sid ?(ambiguous = false) ~invoked ~returned op =
+  {
+    Event.client;
+    index;
+    op;
+    invoked_at = invoked;
+    returned_at = returned;
+    stamp;
+    sid;
+    ambiguous;
+  }
+
+let put ?client ?index ?stamp ?sid ?ambiguous ~invoked ~returned key value =
+  ev ?client ?index ?stamp ?sid ?ambiguous ~invoked ~returned (Event.Put { key; value })
+
+let get ?client ?index ?stamp ?sid ?ambiguous ~invoked ~returned key result =
+  ev ?client ?index ?stamp ?sid ?ambiguous ~invoked ~returned (Event.Get { key; result })
+
+let remove ?client ?index ?stamp ?sid ?ambiguous ~invoked ~returned key removed =
+  ev ?client ?index ?stamp ?sid ?ambiguous ~invoked ~returned (Event.Remove { key; removed })
+
+let scan ?client ?index ?stamp ?sid ?ambiguous ~invoked ~returned from count result =
+  ev ?client ?index ?stamp ?sid ?ambiguous ~invoked ~returned
+    (Event.Scan { from; count; result })
+
+let snapshot ?client ?index ~sid ~invoked ~returned () =
+  ev ?client ?index ~sid ~invoked ~returned Event.Snapshot_taken
+
+let run ?final ?strict_scs ?(creations = [ (0, []) ]) events =
+  Checker.check ?final ?strict_scs ~creations ~events ()
+
+let assert_ok ?(msg = "verdict ok") v =
+  if not (Checker.ok v) then
+    Alcotest.failf "%s, but:@.%a" msg Checker.pp_verdict v
+
+let assert_violation ?(msg = "expected a violation") ~mentioning v =
+  check Alcotest.bool msg true
+    (List.exists
+       (fun viol ->
+         let m = viol.Checker.v_message in
+         (* substring match *)
+         let rec contains i =
+           i + String.length mentioning <= String.length m
+           && (String.sub m i (String.length mentioning) = mentioning || contains (i + 1))
+         in
+         contains 0)
+       v.Checker.violations)
+
+(* ------------------------------------------------------------------ *)
+(* Commit-order replay                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_clean_history () =
+  let v =
+    run
+      [
+        put ~stamp:1L ~invoked:0.00 ~returned:0.01 "a" "1";
+        get ~stamp:2L ~invoked:0.02 ~returned:0.03 "a" (Some "1");
+        put ~stamp:3L ~invoked:0.04 ~returned:0.05 "b" "2";
+        scan ~stamp:4L ~invoked:0.06 ~returned:0.07 "" 10 [ ("a", "1"); ("b", "2") ];
+        remove ~stamp:5L ~invoked:0.08 ~returned:0.09 "a" true;
+        get ~stamp:6L ~invoked:0.10 ~returned:0.11 "a" None;
+      ]
+  in
+  assert_ok v;
+  check Alcotest.int "ops checked" 6 v.Checker.ops_checked;
+  check Alcotest.int "no snapshot reads" 0 v.Checker.snapshot_reads_checked
+
+let test_stale_read_caught () =
+  let v =
+    run
+      [
+        put ~stamp:1L ~invoked:0.00 ~returned:0.01 "a" "old";
+        put ~stamp:2L ~invoked:0.02 ~returned:0.03 "a" "new";
+        get ~stamp:3L ~invoked:0.04 ~returned:0.05 "a" (Some "old");
+      ]
+  in
+  check Alcotest.bool "not ok" false (Checker.ok v);
+  assert_violation ~mentioning:"get \"a\"" v;
+  (* The counterexample carries the nearby writes on the key. *)
+  let viol = List.hd v.Checker.violations in
+  check Alcotest.bool "context present" true (List.length viol.Checker.v_context >= 2)
+
+let test_wrong_remove_caught () =
+  let v = run [ remove ~stamp:1L ~invoked:0.0 ~returned:0.1 "ghost" true ] in
+  check Alcotest.bool "not ok" false (Checker.ok v);
+  assert_violation ~mentioning:"remove \"ghost\"" v
+
+let test_scan_divergence_caught () =
+  let v =
+    run
+      [
+        put ~stamp:1L ~invoked:0.00 ~returned:0.01 "a" "1";
+        put ~stamp:2L ~invoked:0.02 ~returned:0.03 "b" "2";
+        scan ~stamp:3L ~invoked:0.04 ~returned:0.05 "" 10 [ ("a", "1"); ("b", "3") ];
+      ]
+  in
+  check Alcotest.bool "not ok" false (Checker.ok v);
+  assert_violation ~mentioning:"first divergence" v
+
+let test_missing_stamp_caught () =
+  let v = run [ get ~invoked:0.0 ~returned:0.1 "a" None ] in
+  check Alcotest.bool "not ok" false (Checker.ok v);
+  assert_violation ~mentioning:"no commit stamp" v
+
+(* ------------------------------------------------------------------ *)
+(* Real-time order and stamp uniqueness                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_realtime_order_violation () =
+  (* A returned before B was invoked, yet A's stamp is above B's: the
+     serial order contradicts real time (not strictly serializable). *)
+  let v =
+    run
+      [
+        put ~stamp:10L ~invoked:0.0 ~returned:0.1 "a" "1";
+        put ~stamp:5L ~invoked:0.2 ~returned:0.3 "b" "2";
+      ]
+  in
+  check Alcotest.bool "not ok" false (Checker.ok v);
+  assert_violation ~mentioning:"real-time order" v
+
+let test_realtime_order_concurrent_ok () =
+  (* Overlapping operations may serialize either way. *)
+  let v =
+    run
+      [
+        put ~stamp:10L ~invoked:0.0 ~returned:0.2 "a" "1";
+        put ~stamp:5L ~invoked:0.1 ~returned:0.3 "b" "2";
+      ]
+  in
+  assert_ok v
+
+let test_duplicate_stamp_caught () =
+  let v =
+    run
+      [
+        put ~stamp:7L ~invoked:0.0 ~returned:0.1 "a" "1";
+        put ~stamp:7L ~invoked:0.2 ~returned:0.3 "b" "2";
+      ]
+  in
+  check Alcotest.bool "not ok" false (Checker.ok v);
+  assert_violation ~mentioning:"duplicate commit stamp" v;
+  check Alcotest.bool "global violation" true
+    (List.exists (fun viol -> viol.Checker.v_index = -1) v.Checker.violations)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_frozen_prefix () =
+  (* sid 100 was created at stamp 2: it sees the put at stamp 1, not the
+     one at stamp 3. *)
+  let creations = [ (0, [ (100L, 2L) ]) ] in
+  let history sid_result =
+    [
+      put ~stamp:1L ~invoked:0.00 ~returned:0.01 "a" "frozen";
+      put ~stamp:3L ~invoked:0.02 ~returned:0.03 "a" "later";
+      get ~sid:100L ~invoked:0.04 ~returned:0.05 "a" sid_result;
+    ]
+  in
+  let v = run ~creations (history (Some "frozen")) in
+  assert_ok ~msg:"frozen value accepted" v;
+  check Alcotest.int "snapshot read counted" 1 v.Checker.snapshot_reads_checked;
+  let v = run ~creations (history (Some "later")) in
+  check Alcotest.bool "leaked later write" false (Checker.ok v);
+  assert_violation ~mentioning:"snapshot get" v
+
+let test_snapshot_without_creation_record () =
+  let v = run [ get ~sid:999L ~invoked:0.0 ~returned:0.1 "a" None ] in
+  check Alcotest.bool "not ok" false (Checker.ok v);
+  assert_violation ~mentioning:"no creation record" v
+
+let test_scs_strictness () =
+  (* The put committed (stamp 5) and returned before the snapshot request
+     started, but the granted snapshot's creation stamp is 2: the
+     snapshot misses a completed commit. *)
+  let creations = [ (0, [ (100L, 2L) ]) ] in
+  let events =
+    [
+      put ~stamp:5L ~invoked:0.00 ~returned:0.10 "a" "1";
+      snapshot ~sid:100L ~invoked:0.20 ~returned:0.30 ();
+    ]
+  in
+  let v = run ~creations events in
+  check Alcotest.bool "strict mode rejects" false (Checker.ok v);
+  assert_violation ~mentioning:"misses a commit" v;
+  (* With a staleness bound (k > 0) the same history is legal. *)
+  assert_ok ~msg:"non-strict mode accepts" (run ~strict_scs:false ~creations events)
+
+(* ------------------------------------------------------------------ *)
+(* Ambiguous operations                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ambiguous_put_resolved_applied () =
+  (* The ambiguous put may or may not have landed; the later read proves
+     it did, and the model absorbs it. *)
+  let v =
+    run
+      [
+        put ~ambiguous:true ~invoked:0.00 ~returned:0.10 "a" "maybe";
+        get ~stamp:1L ~invoked:0.20 ~returned:0.30 "a" (Some "maybe");
+        get ~stamp:2L ~invoked:0.40 ~returned:0.50 "a" (Some "maybe");
+      ]
+  in
+  assert_ok v;
+  check Alcotest.int "resolved" 1 v.Checker.candidates_resolved
+
+let test_ambiguous_put_not_applied () =
+  let v =
+    run
+      ~final:[ (0, []) ]
+      [
+        put ~ambiguous:true ~invoked:0.00 ~returned:0.10 "a" "maybe";
+        get ~stamp:1L ~invoked:0.20 ~returned:0.30 "a" None;
+      ]
+  in
+  assert_ok v;
+  check Alcotest.int "nothing resolved" 0 v.Checker.candidates_resolved
+
+let test_ambiguous_remove_resolved () =
+  let v =
+    run
+      [
+        put ~stamp:1L ~invoked:0.00 ~returned:0.01 "a" "1";
+        remove ~ambiguous:true ~invoked:0.02 ~returned:0.03 "a" false;
+        get ~stamp:2L ~invoked:0.04 ~returned:0.05 "a" None;
+      ]
+  in
+  assert_ok v;
+  check Alcotest.int "resolved" 1 v.Checker.candidates_resolved
+
+let test_candidate_expired_by_overwrite () =
+  (* A committed put that started after the ambiguous window closed
+     overwrites the key either way; the stale candidate can no longer
+     excuse a read of the ambiguous value. *)
+  let v =
+    run
+      [
+        put ~ambiguous:true ~invoked:0.00 ~returned:0.10 "a" "maybe";
+        put ~stamp:1L ~invoked:0.20 ~returned:0.30 "a" "committed";
+        get ~stamp:2L ~invoked:0.40 ~returned:0.50 "a" (Some "maybe");
+      ]
+  in
+  check Alcotest.bool "not ok" false (Checker.ok v);
+  assert_violation ~mentioning:"get \"a\"" v
+
+let test_too_many_ambiguous_inconclusive () =
+  let amb = List.init 9 (fun i ->
+      let t = float_of_int i /. 100.0 in
+      put ~ambiguous:true ~invoked:t ~returned:(t +. 0.001) "hot" (string_of_int i))
+  in
+  let v = run amb in
+  assert_ok ~msg:"over-budget is inconclusive, not failed" v;
+  check Alcotest.bool "inconclusive noted" true (v.Checker.inconclusive <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Final audit                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_final_audit_mismatch () =
+  let v =
+    run
+      ~final:[ (0, [ ("a", "2") ]) ]
+      [ put ~stamp:1L ~invoked:0.0 ~returned:0.1 "a" "1" ]
+  in
+  check Alcotest.bool "not ok" false (Checker.ok v);
+  assert_violation ~mentioning:"final audit" v
+
+let test_final_audit_match () =
+  let v =
+    run
+      ~final:[ (0, [ ("a", "1"); ("b", "2") ]) ]
+      [
+        put ~stamp:1L ~invoked:0.00 ~returned:0.01 "a" "1";
+        put ~stamp:2L ~invoked:0.02 ~returned:0.03 "b" "2";
+        put ~stamp:3L ~invoked:0.04 ~returned:0.05 "c" "3";
+        remove ~stamp:4L ~invoked:0.06 ~returned:0.07 "c" true;
+      ]
+  in
+  assert_ok v
+
+(* ------------------------------------------------------------------ *)
+(* Multiple indexes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_indexes_checked_independently () =
+  (* The same key lives in two indexes with different values; each index
+     replays against its own model. *)
+  let v =
+    Checker.check
+      ~creations:[ (0, []); (1, []) ]
+      ~events:
+        [
+          put ~index:0 ~stamp:1L ~invoked:0.00 ~returned:0.01 "k" "zero";
+          put ~index:1 ~stamp:2L ~invoked:0.02 ~returned:0.03 "k" "one";
+          get ~index:0 ~stamp:3L ~invoked:0.04 ~returned:0.05 "k" (Some "zero");
+          get ~index:1 ~stamp:4L ~invoked:0.06 ~returned:0.07 "k" (Some "one");
+        ]
+      ()
+  in
+  assert_ok v;
+  check Alcotest.int "all ops checked" 4 v.Checker.ops_checked
+
+(* ------------------------------------------------------------------ *)
+(* Recorder                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_history_recorder () =
+  let h = Check.History.create () in
+  let e1 = put ~stamp:1L ~invoked:0.0 ~returned:0.1 "a" "1" in
+  let e2 = get ~stamp:2L ~invoked:0.2 ~returned:0.3 "a" (Some "1") in
+  Check.History.record h e1;
+  (Check.History.tracer h) e2;
+  check Alcotest.int "length" 2 (Check.History.length h);
+  (match Check.History.events h with
+  | [ a; b ] ->
+      check Alcotest.bool "order kept" true (a == e1 && b == e2)
+  | _ -> Alcotest.fail "wrong event count");
+  Check.History.clear h;
+  check Alcotest.int "cleared" 0 (Check.History.length h)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "replay",
+        [
+          Alcotest.test_case "clean history" `Quick test_clean_history;
+          Alcotest.test_case "stale read caught" `Quick test_stale_read_caught;
+          Alcotest.test_case "wrong remove caught" `Quick test_wrong_remove_caught;
+          Alcotest.test_case "scan divergence caught" `Quick test_scan_divergence_caught;
+          Alcotest.test_case "missing stamp caught" `Quick test_missing_stamp_caught;
+        ] );
+      ( "order",
+        [
+          Alcotest.test_case "real-time violation" `Quick test_realtime_order_violation;
+          Alcotest.test_case "concurrent ok" `Quick test_realtime_order_concurrent_ok;
+          Alcotest.test_case "duplicate stamp" `Quick test_duplicate_stamp_caught;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "frozen prefix" `Quick test_snapshot_frozen_prefix;
+          Alcotest.test_case "missing creation record" `Quick
+            test_snapshot_without_creation_record;
+          Alcotest.test_case "scs strictness" `Quick test_scs_strictness;
+        ] );
+      ( "ambiguity",
+        [
+          Alcotest.test_case "put resolved (applied)" `Quick test_ambiguous_put_resolved_applied;
+          Alcotest.test_case "put not applied" `Quick test_ambiguous_put_not_applied;
+          Alcotest.test_case "remove resolved" `Quick test_ambiguous_remove_resolved;
+          Alcotest.test_case "expired by overwrite" `Quick test_candidate_expired_by_overwrite;
+          Alcotest.test_case "over budget inconclusive" `Quick
+            test_too_many_ambiguous_inconclusive;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "final mismatch" `Quick test_final_audit_mismatch;
+          Alcotest.test_case "final match" `Quick test_final_audit_match;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "independent indexes" `Quick test_indexes_checked_independently;
+          Alcotest.test_case "history recorder" `Quick test_history_recorder;
+        ] );
+    ]

@@ -19,12 +19,14 @@ let commit_ok t =
   | Txn.Committed -> ()
   | Txn.Validation_failed -> Alcotest.fail "unexpected validation failure"
   | Txn.Retry_exhausted -> Alcotest.fail "unexpected retry exhaustion"
+  | Txn.Unavailable _ -> Alcotest.fail "unexpected unavailability"
 
 let expect_validation_failure t =
   match Txn.commit t with
   | Txn.Validation_failed -> ()
   | Txn.Committed -> Alcotest.fail "expected validation failure, committed"
   | Txn.Retry_exhausted -> Alcotest.fail "expected validation failure, got retry exhaustion"
+  | Txn.Unavailable _ -> Alcotest.fail "expected validation failure, got unavailability"
 
 (* ------------------------------------------------------------------ *)
 (* Objref                                                               *)
@@ -531,6 +533,7 @@ let test_txn_concurrent_increments () =
                 | Txn.Committed -> ()
                 | Txn.Validation_failed -> attempt ()
                 | Txn.Retry_exhausted -> Alcotest.fail "retry exhausted"
+                | Txn.Unavailable _ -> Alcotest.fail "unexpected unavailability"
               in
               attempt ()
             done;

@@ -123,7 +123,7 @@ let test_crashed_host_abort () =
       let addr = Sinfonia.Address.make ~node:1 ~off:0 in
       let mtx = Sinfonia.Mtx.make ~writes:[ Sinfonia.Mtx.write_at addr "x" ] () in
       (match Sinfonia.Coordinator.exec cluster mtx with
-      | Sinfonia.Mtx.Unavailable -> ()
+      | Sinfonia.Mtx.Unavailable _ -> ()
       | _ -> Alcotest.fail "expected Unavailable against a crashed, unreplicated node");
       check Alcotest.int "crashed_host at mtx layer" 1
         (Obs.abort_count obs ~layer:Obs.Abort.Mtx Obs.Abort.Crashed_host);

@@ -399,6 +399,68 @@ let test_net_size_dependence () =
   let large = Sim.Net.sample_one_way net ~bytes:1_000_000 in
   check Alcotest.bool "larger message slower" true (large > small)
 
+let test_net_fault_latency () =
+  Sim.run (fun () ->
+      let net = Sim.Net.create ~jitter:0.0 ~rng:(Sim.Rng.create 1) () in
+      let timed f =
+        let t0 = Sim.now () in
+        f ();
+        Sim.now () -. t0
+      in
+      let base = timed (fun () -> Sim.Net.transfer net ~src:0 ~dst:1 ~bytes:100) in
+      Sim.Net.set_fault net ~src:0 ~dst:1 ~extra_latency:0.01 ();
+      check Alcotest.int "one fault installed" 1 (Sim.Net.active_faults net);
+      checkf "extra latency added" (base +. 0.01)
+        (timed (fun () -> Sim.Net.transfer net ~src:0 ~dst:1 ~bytes:100));
+      (* Faults are directional: the reverse link is untouched. *)
+      checkf "reverse link clean" base
+        (timed (fun () -> Sim.Net.transfer net ~src:1 ~dst:0 ~bytes:100));
+      Sim.Net.clear_fault net ~src:0 ~dst:1;
+      checkf "cleared fault costs nothing" base
+        (timed (fun () -> Sim.Net.transfer net ~src:0 ~dst:1 ~bytes:100)))
+
+let test_net_fault_drop () =
+  Sim.run (fun () ->
+      let rto = 1e-3 in
+      let net = Sim.Net.create ~jitter:0.0 ~rto ~rng:(Sim.Rng.create 7) () in
+      Sim.Net.set_fault net ~src:0 ~dst:1 ~drop:0.9 ();
+      let t0 = Sim.now () in
+      for _ = 1 to 20 do
+        Sim.Net.transfer net ~src:0 ~dst:1 ~bytes:100
+      done;
+      let elapsed = Sim.now () -. t0 in
+      check Alcotest.bool "some transmissions dropped" true (Sim.Net.drops net > 0);
+      check Alcotest.bool "each drop costs one rto" true
+        (elapsed > float_of_int (Sim.Net.drops net) *. rto);
+      (* Every delivery eventually succeeds: lossy links delay, never cut. *)
+      check Alcotest.bool "retransmissions counted" true
+        (Sim.Net.messages_sent net = 20 + Sim.Net.drops net))
+
+let test_net_fault_blocked () =
+  let net = Sim.Net.create ~rng:(Sim.Rng.create 1) () in
+  check Alcotest.bool "initially reachable" true (Sim.Net.reachable net ~src:0 ~dst:1);
+  Sim.Net.set_fault net ~src:0 ~dst:1 ~blocked:true ();
+  check Alcotest.bool "blocked" false (Sim.Net.reachable net ~src:0 ~dst:1);
+  check Alcotest.bool "reverse direction open" true (Sim.Net.reachable net ~src:1 ~dst:0);
+  (* Installing an all-benign fault removes the table entry entirely. *)
+  Sim.Net.set_fault net ~src:0 ~dst:1 ();
+  check Alcotest.int "benign fault clears entry" 0 (Sim.Net.active_faults net);
+  Sim.Net.set_fault net ~src:2 ~dst:3 ~blocked:true ();
+  Sim.Net.set_fault net ~src:4 ~dst:5 ~drop:0.5 ();
+  Sim.Net.clear_all_faults net;
+  check Alcotest.int "clear_all" 0 (Sim.Net.active_faults net);
+  check Alcotest.bool "reachable again" true (Sim.Net.reachable net ~src:2 ~dst:3)
+
+let test_net_anonymous_unfaulted () =
+  Sim.run (fun () ->
+      let net = Sim.Net.create ~jitter:0.0 ~rng:(Sim.Rng.create 1) () in
+      Sim.Net.set_fault net ~src:0 ~dst:1 ~drop:0.9 ~extra_latency:1.0 ~blocked:true ();
+      let t0 = Sim.now () in
+      Sim.Net.transfer net ~bytes:100;
+      (* Anonymous transfers never consult the fault table. *)
+      check Alcotest.bool "no extra latency" true (Sim.now () -. t0 < 0.5);
+      check Alcotest.int "no drops" 0 (Sim.Net.drops net))
+
 (* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -528,6 +590,10 @@ let () =
         [
           Alcotest.test_case "delay positive" `Quick test_net_delay_positive;
           Alcotest.test_case "size dependence" `Quick test_net_size_dependence;
+          Alcotest.test_case "fault latency" `Quick test_net_fault_latency;
+          Alcotest.test_case "fault drop" `Quick test_net_fault_drop;
+          Alcotest.test_case "fault blocked" `Quick test_net_fault_blocked;
+          Alcotest.test_case "anonymous unfaulted" `Quick test_net_anonymous_unfaulted;
         ] );
       ( "stats",
         [

@@ -243,7 +243,7 @@ let exec = Coordinator.exec
 
 let expect_committed outcome =
   match outcome with
-  | Mtx.Committed reads -> reads
+  | Mtx.Committed { reads; _ } -> reads
   | o -> Alcotest.failf "expected commit, got %a" Mtx.pp_outcome o
 
 let test_mtx_single_write_read () =
@@ -507,7 +507,7 @@ let test_unavailable_without_replication () =
   with_cluster ~config (fun cluster ->
       Cluster.crash cluster 0;
       match exec cluster (Mtx.make ~reads:[ Mtx.read_at (addr 0 0) 1 ] ()) with
-      | Mtx.Unavailable -> ()
+      | Mtx.Unavailable { maybe_applied = false; partitioned = false } -> ()
       | o -> Alcotest.failf "expected Unavailable, got %a" Mtx.pp_outcome o)
 
 let test_recovery_releases_orphans () =
@@ -541,6 +541,66 @@ let test_recovery_releases_orphans () =
         (Sim.Metrics.counter_value (Cluster.metrics cluster) "recovery.orphans_released" > 0);
       (* The recovery daemon loops forever; end the simulation. *)
       Sim.stop ())
+
+(* ------------------------------------------------------------------ *)
+(* Orphaned-lock recovery lease boundaries                              *)
+(* ------------------------------------------------------------------ *)
+
+let range start len mode = { Lock_table.start; len; mode }
+
+let test_lease_exact_boundary_not_stolen () =
+  (* The cutoff is strict: a lock held for *exactly* the lease is still
+     within its lease and must not be stolen. Only strictly older locks
+     are orphan candidates. *)
+  Sim.run (fun () ->
+      let mn = Memnode.create ~id:0 ~cores:1 ~heap_capacity:4096 in
+      let locks = Memnode.store_locks (Memnode.primary mn) in
+      check Alcotest.bool "acquired" true
+        (Lock_table.try_acquire locks ~owner:1L [ range 0 16 Lock_table.Exclusive ]);
+      Sim.delay 0.25;
+      let stolen = Memnode.recover_orphaned_locks mn ~lease:0.25 in
+      check Alcotest.int "exact-lease lock kept" 0 stolen;
+      check Alcotest.bool "still held" true (Lock_table.holds locks ~owner:1L);
+      (* One tick past the lease it becomes an orphan. *)
+      Sim.delay 1e-6;
+      let stolen = Memnode.recover_orphaned_locks mn ~lease:0.25 in
+      check Alcotest.int "expired lock stolen" 1 stolen;
+      check Alcotest.bool "released" false (Lock_table.holds locks ~owner:1L))
+
+let test_lease_reacquire_after_release () =
+  (* An owner whose locks were reaped can come back: a fresh acquisition
+     under the same owner id starts a fresh lease. *)
+  Sim.run (fun () ->
+      let mn = Memnode.create ~id:0 ~cores:1 ~heap_capacity:4096 in
+      let locks = Memnode.store_locks (Memnode.primary mn) in
+      check Alcotest.bool "first acquire" true
+        (Lock_table.try_acquire locks ~owner:9L [ range 0 16 Lock_table.Exclusive ]);
+      Sim.delay 0.3;
+      check Alcotest.int "reaped" 1 (Memnode.recover_orphaned_locks mn ~lease:0.25);
+      check Alcotest.bool "second acquire succeeds" true
+        (Lock_table.try_acquire locks ~owner:9L [ range 0 16 Lock_table.Exclusive ]);
+      (* The fresh lock is inside its own lease, not tainted by history. *)
+      check Alcotest.int "fresh lock kept" 0 (Memnode.recover_orphaned_locks mn ~lease:0.25);
+      check Alcotest.bool "held" true (Lock_table.holds locks ~owner:9L))
+
+let test_lease_live_coordinator_not_stolen () =
+  (* Recovery is selective: only locks past the lease go. A concurrent
+     live coordinator (fresh locks, even overlapping key space on other
+     ranges) keeps everything. *)
+  Sim.run (fun () ->
+      let mn = Memnode.create ~id:0 ~cores:1 ~heap_capacity:4096 in
+      let locks = Memnode.store_locks (Memnode.primary mn) in
+      check Alcotest.bool "stale owner" true
+        (Lock_table.try_acquire locks ~owner:100L [ range 0 16 Lock_table.Exclusive ]);
+      Sim.delay 0.2;
+      check Alcotest.bool "live owner" true
+        (Lock_table.try_acquire locks ~owner:200L [ range 32 16 Lock_table.Exclusive ]);
+      Sim.delay 0.1;
+      (* Stale is now 0.3 old (> lease), live is 0.1 old (< lease). *)
+      check Alcotest.int "only the stale owner reaped" 1
+        (Memnode.recover_orphaned_locks mn ~lease:0.25);
+      check Alcotest.bool "stale released" false (Lock_table.holds locks ~owner:100L);
+      check Alcotest.bool "live untouched" true (Lock_table.holds locks ~owner:200L))
 
 let () =
   Alcotest.run "sinfonia"
@@ -590,6 +650,10 @@ let () =
       ( "replication",
         [
           Alcotest.test_case "recovery releases orphans" `Quick test_recovery_releases_orphans;
+          Alcotest.test_case "lease boundary strict" `Quick test_lease_exact_boundary_not_stolen;
+          Alcotest.test_case "reacquire after reap" `Quick test_lease_reacquire_after_release;
+          Alcotest.test_case "live coordinator kept" `Quick
+            test_lease_live_coordinator_not_stolen;
           Alcotest.test_case "mirrors writes" `Quick test_replication_mirrors_writes;
           Alcotest.test_case "failover" `Quick test_failover_serves_from_backup;
           Alcotest.test_case "unavailable without replication" `Quick
