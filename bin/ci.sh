@@ -31,12 +31,32 @@ echo "== chaos + serializability check =="
 # the build on any serializability/snapshot violation or audit failure.
 dune exec bin/minuet_bench.exe -- chaos --seed 42 --duration 2
 
+echo "== mid-2PC crash storm (3 seeds) =="
+# Mid-transaction crashes, mirror-link partitions and replica lag: the
+# redo-log/recovery path must keep every history serializable, every
+# 2PC decision atomic across participants, and the in-doubt set drained.
+for seed in 1 7 42; do
+  dune exec bin/minuet_bench.exe -- chaos --seed "$seed" --duration 1 \
+    --faults midcrash,mpartition,replag
+done
+
 echo "== chaos checker catches injected bugs =="
 # With leaf-read validation deliberately broken the same pipeline must
 # FAIL — a checker that never fires would let real violations through.
 if dune exec bin/minuet_bench.exe -- chaos --seed 7 --duration 0.5 --broken \
     --clients 8 --keys 24 >/dev/null 2>&1; then
   echo "ERROR: --broken chaos run passed; the checker caught nothing" >&2
+  exit 1
+fi
+
+echo "== chaos checker catches broken recovery =="
+# With the redo-log replay disabled, committed-but-unmirrored writes are
+# lost on promotion/recovery; the mid-crash storm must catch it (checker
+# violation, failed structural audit, or the corruption crashing the run
+# — all reported as failures).
+if dune exec bin/minuet_bench.exe -- chaos --seed 7 --duration 1 \
+    --faults midcrash,replag --broken-recovery >/dev/null 2>&1; then
+  echo "ERROR: --broken-recovery chaos run passed; lost writes went unnoticed" >&2
   exit 1
 fi
 

@@ -155,11 +155,11 @@ let check_report_cmd =
    on any serializability/snapshot violation or audit failure. *)
 let chaos_cmd =
   let doc =
-    "Run a fault-injection storm (crashes, partitions, delay spikes, coordinator stalls, \
-     snapshot-service outages) under a mixed workload, then verify the recorded history for \
-     strict serializability and exact snapshot semantics. Exits 1 with a minimal \
-     counterexample on any violation. Deterministic: the same seed reproduces the same run \
-     byte for byte."
+    "Run a fault-injection storm (crashes, mid-2PC crashes, partitions, mirror-link \
+     partitions, replica lag, delay spikes, coordinator stalls, snapshot-service outages) \
+     under a mixed workload, then verify the recorded history for strict serializability, \
+     exact snapshot semantics and 2PC atomicity. Exits 1 with a minimal counterexample on \
+     any violation. Deterministic: the same seed reproduces the same run byte for byte."
   in
   let seed_arg =
     Arg.(value & opt int Chaos.Runner.default.Chaos.Runner.seed
@@ -187,8 +187,9 @@ let chaos_cmd =
   in
   let faults_arg =
     let doc =
-      "Comma-separated fault mix: any of 'crash', 'partition', 'delay', 'stall', 'scs', or \
-       'all' (default) / 'none'."
+      "Comma-separated fault mix: any of 'crash', 'partition', 'delay', 'stall', 'scs', \
+       'midcrash' (immediate crash landing mid-2PC), 'mpartition' (memnode-to-backup mirror \
+       link cut), 'replag' (loss/latency on the mirror link), or 'all' (default) / 'none'."
     in
     Arg.(value & opt string "all" & info [ "faults" ] ~docv:"KINDS" ~doc)
   in
@@ -199,7 +200,22 @@ let chaos_cmd =
     in
     Arg.(value & flag & info [ "broken" ] ~doc)
   in
-  let action seed duration hosts clients keys phases faults broken =
+  let broken_recovery_arg =
+    let doc =
+      "Deliberately skip the redo-log replay on crash recovery and replica promotion \
+       (committed-but-unmirrored writes are lost) to prove the checker catches recovery \
+       bugs; the run is expected to FAIL."
+    in
+    Arg.(value & flag & info [ "broken-recovery" ] ~doc)
+  in
+  let scs_k_arg =
+    let doc =
+      "Snapshot staleness bound k in simulated seconds (0 = strict SCS). The checker's SCS \
+       rule is relaxed by exactly k."
+    in
+    Arg.(value & opt float 0.0 & info [ "scs-k" ] ~docv:"SECONDS" ~doc)
+  in
+  let action seed duration hosts clients keys phases faults broken broken_recovery scs_k =
     let kinds =
       match faults with
       | "all" -> Chaos.Nemesis.all_kinds
@@ -225,6 +241,8 @@ let chaos_cmd =
         phases;
         kinds;
         broken;
+        broken_recovery;
+        scs_k;
       }
     in
     let report = Chaos.Runner.run cfg in
@@ -234,7 +252,7 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const action $ seed_arg $ duration_arg $ hosts_arg $ clients_arg $ keys_arg $ phases_arg
-      $ faults_arg $ broken_arg)
+      $ faults_arg $ broken_arg $ broken_recovery_arg $ scs_k_arg)
 
 let () =
   let doc = "Reproduce the evaluation of 'Minuet: A Scalable Distributed Multiversion B-Tree'" in

@@ -2,9 +2,21 @@ module Cluster = Sinfonia.Cluster
 module Memnode = Sinfonia.Memnode
 module Lock_table = Sinfonia.Lock_table
 
-type kind = Crash | Partition | Delay | Stall | Scs_outage
+type kind =
+  | Crash
+  | Partition
+  | Delay
+  | Stall
+  | Scs_outage
+  | Mid_crash
+  | Mirror_partition
+  | Replica_lag
 
-let all_kinds = [ Crash; Partition; Delay; Stall; Scs_outage ]
+(* New kinds are appended, never inserted: [start] splits one RNG per
+   kind in list order, so preserving the prefix keeps old seeds
+   byte-reproducible for the old fault mix. *)
+let all_kinds =
+  [ Crash; Partition; Delay; Stall; Scs_outage; Mid_crash; Mirror_partition; Replica_lag ]
 
 let kind_to_string = function
   | Crash -> "crash"
@@ -12,6 +24,9 @@ let kind_to_string = function
   | Delay -> "delay"
   | Stall -> "stall"
   | Scs_outage -> "scs"
+  | Mid_crash -> "midcrash"
+  | Mirror_partition -> "mpartition"
+  | Replica_lag -> "replag"
 
 let kind_of_string = function
   | "crash" -> Some Crash
@@ -19,6 +34,9 @@ let kind_of_string = function
   | "delay" -> Some Delay
   | "stall" -> Some Stall
   | "scs" -> Some Scs_outage
+  | "midcrash" -> Some Mid_crash
+  | "mpartition" -> Some Mirror_partition
+  | "replag" -> Some Replica_lag
   | _ -> None
 
 type t = {
@@ -79,9 +97,25 @@ let injected t =
 
 let poll = 0.5e-3
 
-(* Crash one memnode, wait for the crash to land (it drains in-flight
-   requests first), hold the outage, then recover from the replica. *)
-let crash_cycle t rng =
+(* Bring memnode [i] back, retrying on the typed refusals of
+   {!Cluster.try_recover}: another nemesis process may crash the node's
+   backup (Replica_busy / No_replica, transiently) or the drain may not
+   have landed yet (Not_crashed while [crash_pending]). Loops until the
+   node is alive again — possibly recovered by a concurrent process. *)
+let recover_with_retry t i =
+  let rec loop () =
+    let mn = Cluster.memnode t.cluster i in
+    if Memnode.crashed mn || Memnode.crash_pending mn then begin
+      (match Cluster.try_recover t.cluster i with
+      | Ok () -> ()
+      | Error _ -> Sim.delay poll);
+      loop ()
+    end
+  in
+  loop ()
+
+(* Pick one memnode that is up and has a backup to fail over to. *)
+let pick_backed_node t rng =
   let candidates =
     List.filter
       (fun i ->
@@ -89,9 +123,15 @@ let crash_cycle t rng =
       (List.init (n t) Fun.id)
   in
   match candidates with
-  | [] -> ()
-  | _ :: _ ->
-      let i = List.nth candidates (Sim.Rng.int rng (List.length candidates)) in
+  | [] -> None
+  | _ :: _ -> Some (List.nth candidates (Sim.Rng.int rng (List.length candidates)))
+
+(* Crash one memnode, wait for the crash to land (it drains in-flight
+   requests first), hold the outage, then recover from the replica. *)
+let crash_cycle t rng =
+  match pick_backed_node t rng with
+  | None -> ()
+  | Some i ->
       let span = Obs.span_begin t.obs (Obs.Span.Fault "crash") in
       injected t;
       Obs.Counter.incr t.stats.Obs.crashes_injected;
@@ -100,10 +140,25 @@ let crash_cycle t rng =
         Sim.delay poll
       done;
       Sim.delay (0.02 +. Sim.Rng.float rng 0.08);
-      while not (Cluster.can_recover t.cluster i) do
-        Sim.delay poll
-      done;
-      Cluster.recover t.cluster i;
+      recover_with_retry t i;
+      Obs.span_end t.obs span
+
+(* Crash one memnode immediately — no drain, so the crash lands mid-2PC
+   whenever a minitransaction is in flight: yes votes already logged
+   stay in doubt until the recovery coordinator resolves them. Promotion
+   (redo replay + in-doubt relock on the replica) runs synchronously in
+   the crash hook, so the hold window exercises failover traffic against
+   the promoted replica. *)
+let mid_crash_cycle t rng =
+  match pick_backed_node t rng with
+  | None -> ()
+  | Some i ->
+      let span = Obs.span_begin t.obs (Obs.Span.Fault "midcrash") in
+      injected t;
+      Obs.Counter.incr t.stats.Obs.mid_crashes_injected;
+      Cluster.crash_now t.cluster i;
+      Sim.delay (0.02 +. Sim.Rng.float rng 0.08);
+      recover_with_retry t i;
       Obs.span_end t.obs span
 
 (* Block both directions between one client host and a subset of
@@ -188,6 +243,53 @@ let stall_cycle t rng =
         Obs.span_end t.obs span
       end
 
+(* Set a symmetric fault on the memnode<->backup mirror link of one
+   space, hold it, heal it. [mk_fault] installs whatever fault the
+   caller wants on each claimed direction. *)
+let mirror_link_cycle t rng ~name ~counter ~hold mk_fault =
+  let i = Sim.Rng.int rng (n t) in
+  match Cluster.backup_of t.cluster i with
+  | None -> ()
+  | Some b ->
+      let net = Cluster.net t.cluster in
+      let links = ref [] in
+      List.iter
+        (fun (src, dst) ->
+          if claim_link t ~src ~dst then begin
+            mk_fault net ~src ~dst;
+            links := (src, dst) :: !links
+          end)
+        [ (i, b); (b, i) ];
+      if !links <> [] then begin
+        let span = Obs.span_begin t.obs (Obs.Span.Fault name) in
+        injected t;
+        Obs.Counter.incr counter;
+        Sim.delay (hold rng);
+        heal_links t !links;
+        Obs.span_end t.obs span
+      end
+
+(* Cut the mirror link during phase two: commits succeed (the all-yes
+   rule binds once every participant voted) but their mirrors are
+   skipped, leaving committed-but-unmirrored redo entries that the flush
+   daemon — or a promotion replay, if the primary then crashes — must
+   deliver. *)
+let mirror_partition_cycle t rng =
+  mirror_link_cycle t rng ~name:"mpartition"
+    ~counter:t.stats.Obs.mirror_partitions_injected
+    ~hold:(fun rng -> 0.05 +. Sim.Rng.float rng 0.15)
+    (fun net ~src ~dst -> Sim.Net.set_fault net ~src ~dst ~blocked:true ())
+
+(* Loss and latency on the mirror link: replicas lag behind their
+   primary, so a crash during the window promotes a stale image that the
+   redo-log replay must roll forward. *)
+let replica_lag_cycle t rng =
+  let extra = 0.5e-3 +. Sim.Rng.float rng 2e-3 in
+  let drop = 0.2 +. Sim.Rng.float rng 0.5 in
+  mirror_link_cycle t rng ~name:"replag" ~counter:t.stats.Obs.replica_lags_injected
+    ~hold:(fun rng -> 0.05 +. Sim.Rng.float rng 0.15)
+    (fun net ~src ~dst -> Sim.Net.set_fault net ~src ~dst ~extra_latency:extra ~drop ())
+
 let scs_outage_cycle t rng =
   if Array.length t.scs = 0 then ()
   else begin
@@ -208,6 +310,9 @@ let cycle t kind rng =
   | Delay -> delay_cycle t rng
   | Stall -> stall_cycle t rng
   | Scs_outage -> scs_outage_cycle t rng
+  | Mid_crash -> mid_crash_cycle t rng
+  | Mirror_partition -> mirror_partition_cycle t rng
+  | Replica_lag -> replica_lag_cycle t rng
 
 (* ------------------------------------------------------------------ *)
 (* Storm control                                                        *)
@@ -251,11 +356,5 @@ let stop_and_drain t =
    stopped), polling for drain/failover quiescence. *)
 let recover_all t =
   for i = 0 to n t - 1 do
-    let mn = Cluster.memnode t.cluster i in
-    if Memnode.crashed mn || Memnode.crash_pending mn then begin
-      while not (Cluster.can_recover t.cluster i) do
-        Sim.delay poll
-      done;
-      Cluster.recover t.cluster i
-    end
+    recover_with_retry t i
   done

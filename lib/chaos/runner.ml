@@ -16,6 +16,14 @@ type config = {
   kinds : Nemesis.kind list;
   phases : int;
   broken : bool;  (** Enable [unsafe_dirty_leaf_reads] (checker must fail). *)
+  broken_recovery : bool;
+      (** Skip the redo-log replay on replica promotion and recovery
+          ({!Sinfonia.Config.broken_recovery}) — committed-but-unmirrored
+          writes are silently lost, and the checker must catch it. *)
+  scs_k : float;
+      (** Snapshot staleness bound [k] in seconds; [0] keeps strict SCS.
+          When positive, the checker's SCS rule is relaxed by exactly
+          [k] ([?scs_staleness]) instead of switched off. *)
 }
 
 let default =
@@ -30,6 +38,8 @@ let default =
     kinds = Nemesis.all_kinds;
     phases = 2;
     broken = false;
+    broken_recovery = false;
+    scs_k = 0.0;
   }
 
 type report = {
@@ -68,12 +78,27 @@ let audit_tip admin idx =
 
 let lease = 0.05
 
-let run cfg =
+let run_exn cfg =
   if cfg.phases <= 0 then invalid_arg "Chaos.Runner.run: phases must be positive";
   if cfg.clients <= 0 then invalid_arg "Chaos.Runner.run: need at least one client";
   let mconfig =
     Mconfig.small_tree
-      { Mconfig.default with Mconfig.hosts = cfg.hosts; unsafe_dirty_leaf_reads = cfg.broken }
+      {
+        Mconfig.default with
+        Mconfig.hosts = cfg.hosts;
+        unsafe_dirty_leaf_reads = cfg.broken;
+        scs_min_interval = cfg.scs_k;
+        sinfonia =
+          {
+            Sinfonia.Config.default with
+            Sinfonia.Config.broken_recovery = cfg.broken_recovery;
+            (* Short in-doubt grace so the resolver actually fires within
+               a chaos phase; infinite decision retention so the final
+               2PC-atomicity cross-check sees every decision record. *)
+            in_doubt_grace = 0.06;
+            decision_retention = infinity;
+          };
+      }
   in
   Harness.run ~seed:cfg.seed ~until:((cfg.duration *. 3.) +. 10.) ~config:mconfig @@ fun db ->
   let cluster = Db.cluster db in
@@ -124,15 +149,25 @@ let run cfg =
     Sim.delay phase_dur;
     Nemesis.stop_and_drain nemesis;
     Nemesis.recover_all nemesis;
-    (* Let the lease daemon reap any orphaned stall locks. *)
-    Sim.delay (lease +. 0.03);
+    (* Let the lease daemon reap any orphaned stall locks and the
+       in-doubt resolver pass its grace period (0.06s) at least once. *)
+    Sim.delay (lease +. 0.12);
     audit_all (fun idx -> audit_at_snapshot admin idx)
   done;
   while !remaining > 0 do
     Sim.delay 1e-3
   done;
   Nemesis.recover_all nemesis;
-  Sim.delay (lease +. 0.03);
+  Sim.delay (lease +. 0.12);
+  (* Quiesce the in-doubt set: every fault is healed, so the resolver
+     must drain it. Bounded wait; a nonzero residue fails the checker. *)
+  let rec drain tries =
+    if tries > 0 && Cluster.in_doubt_total cluster > 0 then begin
+      Sim.delay 0.05;
+      drain (tries - 1)
+    end
+  in
+  drain 40;
   let final =
     List.init (Db.n_trees db) (fun idx ->
         match audit_tip admin idx with
@@ -147,7 +182,13 @@ let run cfg =
   let creations =
     List.init (Db.n_trees db) (fun idx -> (idx, Mvcc.Scs.creations (Db.scs db ~index:idx)))
   in
-  let verdict = Check.Checker.check ~final ~creations ~events:(Check.History.events history) () in
+  let scs_staleness = if cfg.scs_k > 0.0 then Some cfg.scs_k else None in
+  let verdict =
+    Check.Checker.check ~final ?scs_staleness
+      ~twopc:(Cluster.redo_decisions cluster)
+      ~in_doubt:(Cluster.in_doubt_total cluster)
+      ~creations ~events:(Check.History.events history) ()
+  in
   let stats = Obs.chaos (Db.obs db) in
   let fault_counts =
     [
@@ -157,6 +198,9 @@ let run cfg =
       ("delay", Obs.Counter.value stats.Obs.delay_faults_injected);
       ("stall", Obs.Counter.value stats.Obs.stalls_injected);
       ("scs", Obs.Counter.value stats.Obs.scs_outages_injected);
+      ("midcrash", Obs.Counter.value stats.Obs.mid_crashes_injected);
+      ("mpartition", Obs.Counter.value stats.Obs.mirror_partitions_injected);
+      ("replag", Obs.Counter.value stats.Obs.replica_lags_injected);
     ]
   in
   {
@@ -168,3 +212,45 @@ let run cfg =
     fault_counts;
     sim_time = Sim.now ();
   }
+
+(* In the deliberately-broken falsifiability modes the injected bug can
+   corrupt the system badly enough that the run itself crashes (a lost
+   committed write can wedge a traversal or starve snapshot creation)
+   before the checker ever sees the history. That is still the bug being
+   caught — report it as a failure instead of escaping with a backtrace.
+   Honest configurations propagate exceptions unchanged: a crash there
+   is a harness bug we must not swallow. *)
+let run cfg =
+  if not (cfg.broken || cfg.broken_recovery) then run_exn cfg
+  else
+    match run_exn cfg with
+    | report -> report
+    | exception (Failure _ as e) ->
+        let msg = Printexc.to_string e in
+        {
+          verdict =
+            {
+              Check.Checker.violations =
+                [
+                  {
+                    Check.Checker.v_index = -1;
+                    v_message =
+                      Printf.sprintf
+                        "run crashed before the checker could complete: %s" msg;
+                    v_event = None;
+                    v_context = [];
+                  };
+                ];
+              inconclusive = [];
+              ops_checked = 0;
+              snapshot_reads_checked = 0;
+              candidates_resolved = 0;
+              twopc_checked = 0;
+            };
+          totals = Workload.totals ();
+          events = 0;
+          audits = 0;
+          audit_failures = [];
+          fault_counts = [];
+          sim_time = 0.0;
+        }

@@ -18,6 +18,7 @@ type verdict = {
   ops_checked : int;
   snapshot_reads_checked : int;
   candidates_resolved : int;
+  twopc_checked : int;
 }
 
 let ok v = v.violations = []
@@ -53,6 +54,8 @@ let pp_verdict fmt v =
   if v.candidates_resolved > 0 then
     Format.fprintf fmt "@,%d ambiguous operation(s) resolved from later reads"
       v.candidates_resolved;
+  if v.twopc_checked > 0 then
+    Format.fprintf fmt "@,%d two-phase-commit decision record(s) cross-checked" v.twopc_checked;
   List.iter (fun msg -> Format.fprintf fmt "@,inconclusive: %s" msg) v.inconclusive;
   Format.fprintf fmt "@]"
 
@@ -230,7 +233,8 @@ let apply_committed st ev =
 (* The checker                                                           *)
 (* -------------------------------------------------------------------- *)
 
-let check ?(final = []) ?(strict_scs = true) ~creations ~events () =
+let check ?(final = []) ?(strict_scs = true) ?scs_staleness ?(twopc = []) ?(in_doubt = 0)
+    ~creations ~events () =
   let indexes =
     List.sort_uniq compare
       (List.map (fun ev -> ev.Event.index) events
@@ -415,7 +419,14 @@ let check ?(final = []) ?(strict_scs = true) ~creations ~events () =
          that returned before the request started. *)
       let clog_tbl = Hashtbl.create 64 in
       List.iter (fun (sid, cstamp) -> Hashtbl.replace clog_tbl sid cstamp) clog;
-      if strict_scs then
+      (* With a staleness bound k > 0, a granted snapshot may legally be
+         a reused one, missing commits that completed up to
+         [scs_staleness] seconds before the request — the rule then only
+         fires for commits older than that horizon. *)
+      let scs_slack = match scs_staleness with Some s -> Some s | None -> if strict_scs then Some 0.0 else None in
+      (match scs_slack with
+      | None -> ()
+      | Some slack ->
       List.iter
         (fun ev ->
           match (ev.Event.op, ev.Event.sid) with
@@ -426,19 +437,20 @@ let check ?(final = []) ?(strict_scs = true) ~creations ~events () =
                   List.iter
                     (fun a ->
                       if
-                        a.Event.returned_at < ev.Event.invoked_at
+                        a.Event.returned_at < ev.Event.invoked_at -. slack
                         && Int64.compare (Option.get a.Event.stamp) cstamp > 0
                       then
                         violate st ~event:ev ?key:(op_key a)
                           "snapshot sid %Ld (creation stamp %Ld) misses a commit with stamp \
-                           %Ld that returned at %.6f, before the request at %.6f"
-                          sid cstamp (Option.get a.Event.stamp) a.Event.returned_at
+                           %Ld that returned at %.6f, more than %.3fs before the request at \
+                           %.6f"
+                          sid cstamp (Option.get a.Event.stamp) a.Event.returned_at slack
                           ev.Event.invoked_at)
                     committed)
           | Event.Snapshot_taken, None ->
               violate st ~event:ev "snapshot request event carries no sid"
           | _ -> ())
-        evs;
+        evs);
       (* Final audit: the surviving state must match the model exactly,
          modulo unresolved ambiguous writes. *)
       List.iter
@@ -494,6 +506,42 @@ let check ?(final = []) ?(strict_scs = true) ~creations ~events () =
     | _ -> ()
   in
   dup_check stamps;
+  let global fmt =
+    Format.kasprintf
+      (fun v_message ->
+        all_violations :=
+          !all_violations @ [ { v_index = -1; v_message; v_event = None; v_context = [] } ])
+      fmt
+  in
+  (* 2PC atomicity: the participants' redo logs must agree on every
+     transaction's fate — a tid committed at one address space and
+     aborted at another is a torn transaction. The same tid carrying
+     both records at a single space (a decide_commit racing a recovery
+     force-abort) is the same violation. *)
+  let twopc_checked = List.length twopc in
+  let by_tid = Hashtbl.create 64 in
+  List.iter
+    (fun (space, tid, d) ->
+      let cs, abs = Option.value (Hashtbl.find_opt by_tid tid) ~default:([], []) in
+      Hashtbl.replace by_tid tid
+        (match d with `Committed -> (space :: cs, abs) | `Aborted -> (cs, space :: abs)))
+    twopc;
+  Hashtbl.fold (fun tid v acc -> (tid, v) :: acc) by_tid []
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+  |> List.iter (fun (tid, (cs, abs)) ->
+         if cs <> [] && abs <> [] then
+           global
+             "2PC atomicity violated: transaction %Ld committed at space(s) %s but aborted at \
+              space(s) %s"
+             tid
+             (String.concat "," (List.map string_of_int (List.sort compare cs)))
+             (String.concat "," (List.map string_of_int (List.sort compare abs))));
+  (* Every in-doubt transaction must be resolved by the time the run
+     quiesces: a leftover means the recovery coordinator wedged (or was
+     never run) and its locks block the ranges forever. *)
+  if in_doubt > 0 then
+    global "%d transaction(s) still in doubt after the run quiesced (recovery never resolved them)"
+      in_doubt;
   let ops_checked, snapshot_reads_checked, candidates_resolved = !totals in
   {
     violations = !all_violations;
@@ -501,4 +549,5 @@ let check ?(final = []) ?(strict_scs = true) ~creations ~events () =
     ops_checked;
     snapshot_reads_checked;
     candidates_resolved;
+    twopc_checked;
   }

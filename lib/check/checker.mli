@@ -47,11 +47,15 @@ type verdict = {
   ops_checked : int;
   snapshot_reads_checked : int;
   candidates_resolved : int;
+  twopc_checked : int;  (** 2PC decision records cross-checked. *)
 }
 
 val check :
   ?final:(int * (string * string) list) list ->
   ?strict_scs:bool ->
+  ?scs_staleness:float ->
+  ?twopc:(int * int64 * [ `Committed | `Aborted ]) list ->
+  ?in_doubt:int ->
   creations:(int * (int64 * int64) list) list ->
   events:Event.t list ->
   unit ->
@@ -59,9 +63,24 @@ val check :
 (** [check ~creations ~events ()] verifies the history. [creations]
     maps each index to its snapshot creation log ([(sid, stamp)]
     pairs, any order). [final] maps an index to the entries of a
-    post-run {!Btree.Ops.audit} at the tip. [strict_scs] (default
-    true) enforces that granted snapshots reflect all previously
-    completed commits — turn off for staleness-bound SCS configs. *)
+    post-run {!Btree.Ops.audit} at the tip.
+
+    SCS strictness: with [strict_scs] (default true) a granted snapshot
+    must reflect every commit that completed before the request
+    started. [scs_staleness] replaces the all-or-nothing switch with a
+    time bound for staleness-bound configs ([k > 0]): the snapshot may
+    miss commits that completed within the last [scs_staleness]
+    seconds, but nothing older. When [scs_staleness] is given it takes
+    precedence over [strict_scs].
+
+    2PC atomicity: [twopc] is the dump of every address space's redo-log
+    decision records ({!Sinfonia.Cluster.redo_decisions}); a transaction
+    committed at one space and aborted at another — or carrying both
+    records at one space — is reported as a global violation (index
+    [-1]). [in_doubt] is the count of transactions still undecided at
+    the end of the run ({!Sinfonia.Cluster.in_doubt_total}); any
+    nonzero value is a violation, since a quiesced run with recovery
+    active must have drained them. *)
 
 val ok : verdict -> bool
 (** No violations (inconclusive notes allowed). *)

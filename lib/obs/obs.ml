@@ -144,6 +144,18 @@ type chaos_stats = {
   delay_faults_injected : Counter.t;
   stalls_injected : Counter.t;
   scs_outages_injected : Counter.t;
+  mid_crashes_injected : Counter.t;
+  mirror_partitions_injected : Counter.t;
+  replica_lags_injected : Counter.t;
+}
+
+type recovery_stats = {
+  in_doubt_found : Counter.t;
+  resolved_commit : Counter.t;
+  resolved_abort : Counter.t;
+  redo_replayed : Counter.t;
+  mirror_skipped : Counter.t;
+  promotions : Counter.t;
 }
 
 module Span = struct
@@ -159,6 +171,7 @@ module Span = struct
     | Snapshot_create
     | Scs_request
     | Fault of string
+    | Recovery_sweep
 
   let kind_to_string = function
     | Op (op, path) -> "op." ^ Op.label op path
@@ -172,6 +185,7 @@ module Span = struct
     | Snapshot_create -> "scs.create_snapshot"
     | Scs_request -> "scs.request"
     | Fault kind -> "chaos.fault." ^ kind
+    | Recovery_sweep -> "recovery.sweep"
 
   type outcome = Completed | Aborted of Abort.reason | Failed of string
 
@@ -195,6 +209,7 @@ type t = {
   gc_stats : gc_stats;
   scs_stats : scs_stats;
   chaos_stats : chaos_stats;
+  recovery_stats : recovery_stats;
   aborts : Counter.t array array; (* [layer][reason] *)
   op_hists : Hist.t array array; (* [op][path] *)
   span_hists : (Span.kind, Hist.t) Hashtbl.t;
@@ -275,6 +290,19 @@ let create ?(span_capacity = 65536) () =
       delay_faults_injected = c "chaos.delay_faults";
       stalls_injected = c "chaos.stalls";
       scs_outages_injected = c "chaos.scs_outages";
+      mid_crashes_injected = c "chaos.mid_crashes";
+      mirror_partitions_injected = c "chaos.mirror_partitions";
+      replica_lags_injected = c "chaos.replica_lags";
+    }
+  in
+  let recovery_stats =
+    {
+      in_doubt_found = c "recovery.in_doubt";
+      resolved_commit = c "recovery.resolved_commit";
+      resolved_abort = c "recovery.resolved_abort";
+      redo_replayed = c "redo.replayed";
+      mirror_skipped = c "replication.mirror_skipped";
+      promotions = c "recovery.promotions";
     }
   in
   let aborts =
@@ -304,6 +332,7 @@ let create ?(span_capacity = 65536) () =
     gc_stats;
     scs_stats;
     chaos_stats;
+    recovery_stats;
     aborts;
     op_hists;
     span_hists = Hashtbl.create 16;
@@ -324,6 +353,8 @@ let gc t = t.gc_stats
 let scs t = t.scs_stats
 
 let chaos t = t.chaos_stats
+
+let recovery t = t.recovery_stats
 
 (* ------------------------------------------------------------------ *)
 (* Aborts                                                               *)

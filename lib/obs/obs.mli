@@ -113,6 +113,25 @@ type chaos_stats = {
   delay_faults_injected : Counter.t;
   stalls_injected : Counter.t;
   scs_outages_injected : Counter.t;
+  mid_crashes_injected : Counter.t;  (** Immediate crashes landing mid-2PC. *)
+  mirror_partitions_injected : Counter.t;  (** memnode<->backup link partitions. *)
+  replica_lags_injected : Counter.t;  (** Latency/loss injected on mirror links. *)
+}
+
+(** Redo-log and in-doubt recovery accounting (the Sinfonia recovery
+    coordinator, {!Sinfonia.Cluster.start_recovery}). *)
+type recovery_stats = {
+  in_doubt_found : Counter.t;
+      (** Distinct transactions that aged past the in-doubt grace. *)
+  resolved_commit : Counter.t;  (** In-doubt transactions driven to commit. *)
+  resolved_abort : Counter.t;  (** In-doubt transactions driven to abort. *)
+  redo_replayed : Counter.t;
+      (** Committed redo entries replayed into a replica image or a
+          restored primary. *)
+  mirror_skipped : Counter.t;
+      (** Mirrors skipped (backup down, link partitioned, or source
+          crashed mid-mirror); the redo log retains the entry. *)
+  promotions : Counter.t;  (** Replica promotions that rolled the image forward. *)
 }
 
 val mtx : t -> mtx_stats
@@ -126,6 +145,8 @@ val gc : t -> gc_stats
 val scs : t -> scs_stats
 
 val chaos : t -> chaos_stats
+
+val recovery : t -> recovery_stats
 
 val counter : t -> name:string -> Counter.t
 (** Ad-hoc counter by name, resolved once at construction time by the
@@ -195,6 +216,9 @@ module Span : sig
     | Fault of string
         (** One injected chaos fault ("crash", "partition", ...); the
             span covers injection through heal. *)
+    | Recovery_sweep
+        (** One pass of the in-doubt resolver over every space's redo
+            log. *)
 
   val kind_to_string : kind -> string
 

@@ -45,6 +45,14 @@ let set_fault t ~src ~dst ?(drop = 0.0) ?(extra_latency = 0.0) ?(blocked = false
 
 let clear_fault t ~src ~dst = Hashtbl.remove t.faults (src, dst)
 
+let set_fault_pair t ~a ~b ?drop ?extra_latency ?blocked () =
+  set_fault t ~src:a ~dst:b ?drop ?extra_latency ?blocked ();
+  set_fault t ~src:b ~dst:a ?drop ?extra_latency ?blocked ()
+
+let clear_fault_pair t ~a ~b =
+  clear_fault t ~src:a ~dst:b;
+  clear_fault t ~src:b ~dst:a
+
 let clear_all_faults t = Hashtbl.reset t.faults
 
 let active_faults t = Hashtbl.length t.faults

@@ -56,6 +56,15 @@ val set_fault :
 
 val clear_fault : t -> src:int -> dst:int -> unit
 
+val set_fault_pair :
+  t -> a:int -> b:int -> ?drop:float -> ?extra_latency:float -> ?blocked:bool -> unit -> unit
+(** {!set_fault} in both directions of the [a <-> b] link — the natural
+    shape for symmetric faults such as memnode-to-memnode mirror
+    partitions and replica-lag injection, where a one-directional fault
+    would let acks or votes leak around the failure. *)
+
+val clear_fault_pair : t -> a:int -> b:int -> unit
+
 val clear_all_faults : t -> unit
 
 val reachable : t -> src:int -> dst:int -> bool

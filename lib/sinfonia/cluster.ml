@@ -1,6 +1,7 @@
 type t = {
   config : Config.t;
   memnodes : Memnode.t array;
+  redo_logs : Redo_log.t array; (* one per address space, shared primary/replica *)
   net : Sim.Net.t;
   obs : Obs.t;
   rng : Sim.Rng.t;
@@ -12,6 +13,31 @@ exception Unavailable of int
 
 exception Partitioned of int
 
+let backup_index ~config ~n i =
+  if config.Config.replication && n > 1 then Some ((i + 1) mod n) else None
+
+(* Replica promotion, run synchronously from the crash hook: the instant
+   a primary dies, its replica image is rolled forward through the redo
+   log (mirrors that never arrived) and the write ranges of in-doubt
+   transactions are re-locked under their tids — before any failover
+   request can reach the stale image. [broken_recovery] skips the
+   replay; the history checker must then see lost updates. *)
+let promote t i =
+  match backup_index ~config:t.config ~n:(Array.length t.memnodes) i with
+  | None -> ()
+  | Some b -> (
+      match Memnode.replica t.memnodes.(b) ~of_node:i with
+      | None -> ()
+      | Some store ->
+          let redo = Memnode.store_redo store in
+          if not t.config.broken_recovery then begin
+            let replayed = Redo_log.replay redo ~heap:(Memnode.store_heap store) in
+            if replayed > 0 then
+              Obs.Counter.add (Obs.recovery t.obs).Obs.redo_replayed replayed
+          end;
+          Memnode.relock_in_doubt store;
+          Obs.Counter.incr (Obs.recovery t.obs).Obs.promotions)
+
 let create ?(config = Config.default) ?(seed = 0xC1057E4) ~n () =
   if n <= 0 then invalid_arg "Cluster.create: need at least one memnode";
   let rng = Sim.Rng.create seed in
@@ -19,24 +45,33 @@ let create ?(config = Config.default) ?(seed = 0xC1057E4) ~n () =
     Sim.Net.create ~one_way:config.net_one_way ~per_byte:config.net_per_byte
       ~jitter:config.net_jitter ~rng:(Sim.Rng.split rng) ()
   in
+  let redo_logs = Array.init n (fun _ -> Redo_log.create ~retention:config.decision_retention ()) in
   let memnodes =
     Array.init n (fun id ->
-        Memnode.create ~id ~cores:config.memnode_cores ~heap_capacity:config.heap_capacity)
+        Memnode.create ~redo:redo_logs.(id) ~id ~cores:config.memnode_cores
+          ~heap_capacity:config.heap_capacity ())
   in
   if config.replication && n > 1 then
     Array.iteri
       (fun i _ ->
         let backup = (i + 1) mod n in
         ignore
-          (Memnode.add_replica memnodes.(backup) ~of_node:i ~heap_capacity:config.heap_capacity))
+          (Memnode.add_replica memnodes.(backup) ~of_node:i ~heap_capacity:config.heap_capacity
+             ~redo:redo_logs.(i)))
       memnodes;
-  { config; memnodes; net; obs = Obs.create (); rng; next_owner = 1L; next_stamp = 1L }
+  let t =
+    { config; memnodes; redo_logs; net; obs = Obs.create (); rng; next_owner = 1L; next_stamp = 1L }
+  in
+  Array.iteri (fun i mn -> Memnode.set_crash_hook mn (fun () -> promote t i)) memnodes;
+  t
 
 let config t = t.config
 
 let n_memnodes t = Array.length t.memnodes
 
 let memnode t i = t.memnodes.(i)
+
+let redo_log t i = t.redo_logs.(i)
 
 let net t = t.net
 
@@ -64,10 +99,7 @@ let take_stamp t =
 
 let stamp_watermark t = t.next_stamp
 
-let backup_of t i =
-  if t.config.replication && Array.length t.memnodes > 1 then
-    Some ((i + 1) mod Array.length t.memnodes)
-  else None
+let backup_of t i = backup_index ~config:t.config ~n:(Array.length t.memnodes) i
 
 let route t i =
   let mn = t.memnodes.(i) in
@@ -92,41 +124,100 @@ let serving_host t i =
   let mn, _ = route t i in
   Memnode.id mn
 
-let mirror t i writes =
-  if writes <> [] then
+(* Synchronous primary-backup mirror of one committed minitransaction's
+   writes. Outcomes are recorded honestly in the redo log: only a mirror
+   that actually reached the replica image marks the entry mirrored
+   (allowing truncation); a skipped mirror — backup down, link
+   partitioned, either end crashing mid-transfer — leaves the entry
+   committed-but-unmirrored, and the recovery daemon's flush (or a
+   promotion replay) delivers it later. *)
+let mirror t i ~owner writes =
+  let redo = t.redo_logs.(i) in
+  if writes = [] then () (* decide_commit already auto-marked the entry *)
+  else
     match backup_of t i with
-    | None -> ()
-    | Some b ->
+    | None ->
+        (* No replica to lag behind. *)
+        Redo_log.mark_mirrored redo ~tid:owner
+    | Some b -> (
         if Memnode.crashed t.memnodes.(i) then
-          (* Already serving from the replica; it is the only copy. *)
-          ()
-        else begin
+          (* Serving from the replica: the writes went straight into the
+             only live image. *)
+          Redo_log.mark_mirrored redo ~tid:owner
+        else
           let bn = t.memnodes.(b) in
           match Memnode.replica bn ~of_node:i with
-          | None -> ()
-          | Some store when Memnode.crashed bn ->
-              (* Backup down: Sinfonia's primary logs the update and the
-                 backup replays the log when it returns. We model the
-                 eventual catch-up by applying the writes to the replica
-                 image directly (no network or CPU cost — nothing is
-                 serving), so the replica is never silently stale if the
-                 primary crashes later. *)
-              Memnode.apply_writes store writes;
-              Obs.Counter.incr (Obs.mtx t.obs).Obs.mirrors
+          | None -> Redo_log.mark_mirrored redo ~tid:owner
           | Some store ->
-              let bytes =
-                List.fold_left (fun acc w -> acc + String.length w.Mtx.w_data) 64 writes
-              in
-              Sim.Net.transfer ~src:i ~dst:b t.net ~bytes;
-              let cost =
-                t.config.backup_factor
-                *. (t.config.svc_msg +. (t.config.svc_per_kb *. (float_of_int bytes /. 1024.0)))
-              in
-              Memnode.serve bn ~cost;
-              Memnode.apply_writes store writes;
-              Sim.Net.transfer ~src:b ~dst:i t.net ~bytes:32;
-              Obs.Counter.incr (Obs.mtx t.obs).Obs.mirrors
-        end
+              if
+                Memnode.crashed bn
+                || (not (Sim.Net.reachable t.net ~src:i ~dst:b))
+                || not (Sim.Net.reachable t.net ~src:b ~dst:i)
+              then Obs.Counter.incr (Obs.recovery t.obs).Obs.mirror_skipped
+              else begin
+                let ep = Memnode.epoch t.memnodes.(i) in
+                let bytes =
+                  List.fold_left (fun acc w -> acc + String.length w.Mtx.w_data) 64 writes
+                in
+                Sim.Net.transfer ~src:i ~dst:b t.net ~bytes;
+                let cost =
+                  t.config.backup_factor
+                  *. (t.config.svc_msg +. (t.config.svc_per_kb *. (float_of_int bytes /. 1024.0)))
+                in
+                Memnode.serve bn ~cost;
+                if Memnode.crashed bn || Memnode.epoch t.memnodes.(i) <> ep then
+                  (* One end died while the mirror was in flight. If it
+                     was the primary, its promotion already replayed this
+                     entry; either way the log keeps it until some image
+                     provably has it. *)
+                  Obs.Counter.incr (Obs.recovery t.obs).Obs.mirror_skipped
+                else begin
+                  Redo_log.apply_mirror redo ~tid:owner ~heap:(Memnode.store_heap store);
+                  Sim.Net.transfer ~src:b ~dst:i t.net ~bytes:32;
+                  Obs.Counter.incr (Obs.mtx t.obs).Obs.mirrors
+                end
+              end)
+
+(* Push aged committed-but-unmirrored redo entries to their replica
+   image: Sinfonia's primary replaying its log to a backup that was down
+   or partitioned when the mirror was first attempted. Age-gated so a
+   mirror still in flight is never raced. *)
+let flush_redo t ~grace =
+  Array.iteri
+    (fun i mn ->
+      match backup_of t i with
+      | None -> ()
+      | Some b -> (
+          match Memnode.replica t.memnodes.(b) ~of_node:i with
+          | None -> ()
+          | Some store ->
+              if
+                (not (Memnode.crashed mn))
+                && (not (Memnode.crashed t.memnodes.(b)))
+                && Sim.Net.reachable t.net ~src:i ~dst:b
+                && Sim.Net.reachable t.net ~src:b ~dst:i
+              then begin
+                let n =
+                  Redo_log.replay ~min_age:grace t.redo_logs.(i)
+                    ~heap:(Memnode.store_heap store)
+                in
+                if n > 0 then begin
+                  Sim.Net.transfer ~src:i ~dst:b t.net ~bytes:(256 * n);
+                  Obs.Counter.add (Obs.recovery t.obs).Obs.redo_replayed n
+                end
+              end))
+    t.memnodes
+
+let recovery_env t =
+  {
+    Recovery.n_spaces = Array.length t.memnodes;
+    serving = (fun i -> match route t i with s -> Some s | exception Unavailable _ -> None);
+    reachable = (fun ~src ~dst -> Sim.Net.reachable t.net ~src ~dst);
+    transfer = (fun ~src ~dst ~bytes -> Sim.Net.transfer ~src ~dst t.net ~bytes);
+    take_stamp = (fun () -> take_stamp t);
+    grace = t.config.in_doubt_grace;
+    obs = t.obs;
+  }
 
 let start_recovery ?(lease = 0.25) ?(interval = 1.0) t =
   Array.iter
@@ -140,10 +231,26 @@ let start_recovery ?(lease = 0.25) ?(interval = 1.0) t =
             loop ()
           in
           loop ()))
-    t.memnodes
+    t.memnodes;
+  (* The in-doubt resolver: one cluster-wide daemon sweeping every
+     space's redo log, plus the lagging-replica flush. *)
+  let env = recovery_env t in
+  Sim.spawn ~name:"sinfonia-in-doubt" (fun () ->
+      let rec loop () =
+        Sim.delay interval;
+        flush_redo t ~grace:t.config.in_doubt_grace;
+        Recovery.sweep env;
+        loop ()
+      in
+      loop ())
 
 let crash t i =
-  Memnode.crash t.memnodes.(i);
+  (if t.config.fail_stop_at_boundaries then Memnode.crash t.memnodes.(i)
+   else Memnode.crash_now t.memnodes.(i));
+  Obs.Counter.incr (Obs.mtx t.obs).Obs.crashes
+
+let crash_now t i =
+  Memnode.crash_now t.memnodes.(i);
   Obs.Counter.incr (Obs.mtx t.obs).Obs.crashes
 
 let can_recover t i =
@@ -160,16 +267,44 @@ let can_recover t i =
              primary would miss the in-flight writes. *)
           Memnode.store_serving store = 0)
 
+type recover_error = Not_crashed | No_replica | Replica_busy
+
+let recover_error_to_string = function
+  | Not_crashed -> "node is not crashed"
+  | No_replica -> "no replica to restore from"
+  | Replica_busy -> "replica is serving in-flight requests"
+
+let try_recover t i =
+  if not (Memnode.crashed t.memnodes.(i)) then Error Not_crashed
+  else
+    match backup_of t i with
+    | None -> Error No_replica
+    | Some b -> (
+        match Memnode.replica t.memnodes.(b) ~of_node:i with
+        | None -> Error No_replica
+        | Some store ->
+            if Memnode.store_serving store > 0 then Error Replica_busy
+            else begin
+              let replayed =
+                Memnode.recover ~broken:t.config.broken_recovery t.memnodes.(i)
+                  ~from_replica:store
+              in
+              if replayed > 0 then
+                Obs.Counter.add (Obs.recovery t.obs).Obs.redo_replayed replayed;
+              Obs.Counter.incr (Obs.mtx t.obs).Obs.recoveries;
+              Ok ()
+            end)
+
 let recover t i =
-  if not (Memnode.crashed t.memnodes.(i)) then
-    invalid_arg "Cluster.recover: node is not crashed";
-  match backup_of t i with
-  | None -> invalid_arg "Cluster.recover: replication disabled"
-  | Some b -> (
-      match Memnode.replica t.memnodes.(b) ~of_node:i with
-      | None -> invalid_arg "Cluster.recover: no replica"
-      | Some store ->
-          if Memnode.store_serving store > 0 then
-            invalid_arg "Cluster.recover: replica is serving in-flight requests";
-          Memnode.recover t.memnodes.(i) ~from_replica:store;
-          Obs.Counter.incr (Obs.mtx t.obs).Obs.recoveries)
+  match try_recover t i with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Printf.sprintf "Cluster.recover: %s" (recover_error_to_string e))
+
+let redo_decisions t =
+  Array.to_list t.redo_logs
+  |> List.mapi (fun space log ->
+         List.map (fun (tid, d) -> (space, tid, d)) (Redo_log.decisions log))
+  |> List.concat
+
+let in_doubt_total t =
+  Array.fold_left (fun acc log -> acc + Redo_log.in_doubt_count log) 0 t.redo_logs

@@ -1,18 +1,27 @@
 (** A simulated Sinfonia deployment: a set of memnodes, the network
     between them, and shared bookkeeping (metrics, owner-id generator,
-    replication wiring). *)
+    replication wiring, per-space redo logs and the recovery
+    daemons). *)
 
 type t
 
 val create : ?config:Config.t -> ?seed:int -> n:int -> unit -> t
 (** [create ~n ()] builds [n] memnodes. With replication enabled and
-    [n > 1], memnode [i] is backed up on memnode [(i+1) mod n]. *)
+    [n > 1], memnode [i] is backed up on memnode [(i+1) mod n]; the two
+    share address space [i]'s redo log (stable storage). A crash hook on
+    every node promotes its replica the instant a crash lands: the
+    replica image is rolled forward through the redo log and in-doubt
+    write ranges are re-locked (see {!Memnode.set_crash_hook}). *)
 
 val config : t -> Config.t
 
 val n_memnodes : t -> int
 
 val memnode : t -> int -> Memnode.t
+
+val redo_log : t -> int -> Redo_log.t
+(** Address space [i]'s redo log (shared by its primary and replica
+    stores). *)
 
 val net : t -> Sim.Net.t
 
@@ -70,38 +79,76 @@ val serving_host : t -> int -> int
     address space — the endpoint used for per-link fault lookups.
     Raises {!Unavailable} like {!route}. *)
 
-val mirror : t -> int -> Mtx.write_item list -> unit
-(** Synchronously apply [writes] (addressed to memnode [i]) to [i]'s
-    replica, paying network and backup CPU costs. No-op when replication
-    is off, the write list is empty, or node [i] is being served from its
-    replica already. If the backup host is {e crashed}, the writes are
-    applied to the replica image for free — modelling Sinfonia's primary
-    redo log being replayed when the backup returns — so the replica is
-    never silently stale. *)
+val mirror : t -> int -> owner:int64 -> Mtx.write_item list -> unit
+(** Synchronously apply [owner]'s committed [writes] (addressed to
+    memnode [i]) to [i]'s replica, paying network and backup CPU costs.
+    The outcome is recorded honestly in [i]'s redo log: a mirror that
+    reached the replica image marks the entry mirrored (truncating it);
+    a mirror skipped because the backup is down, the link is
+    partitioned, or either end crashed mid-transfer leaves the entry
+    committed-but-unmirrored — {!start_recovery}'s flush daemon (or a
+    promotion replay) delivers it later. No-op recorded as mirrored when
+    replication is off or node [i] is already served from its
+    replica. *)
 
 val start_recovery : ?lease:float -> ?interval:float -> t -> unit
-(** Spawn Sinfonia's recovery daemon: every [interval] (default 1 s)
-    each memnode releases locks held longer than [lease] (default
-    250 ms of simulated time) — their coordinators are presumed crashed,
-    and their minitransactions resolve as aborted. Healthy
-    minitransactions hold locks for microseconds, far below the
+(** Spawn Sinfonia's recovery daemons. Every [interval] (default 1 s):
+
+    - each memnode releases locks held longer than [lease] (default
+      250 ms of simulated time) whose owner never logged a vote — their
+      coordinators are presumed crashed before preparing, and their
+      minitransactions resolve as aborted;
+    - a cluster-wide resolver flushes aged committed-but-unmirrored redo
+      entries to lagging replicas and runs {!Recovery.sweep} over every
+      space's in-doubt transactions, committing or aborting them per
+      the all-yes rule.
+
+    Healthy minitransactions hold locks for microseconds, far below the
     lease. *)
 
 val crash : t -> int -> unit
-(** Request a crash of memnode [i]: immediate if the node is idle,
-    otherwise it lands once in-flight requests drain
-    ({!Memnode.crash}). Either way the node refuses new requests from
-    this call on; once {!Memnode.crashed} flips, operations are served
-    by its backup replica (if any). *)
+(** Crash memnode [i]. With {!Config.fail_stop_at_boundaries} (default)
+    the node drains in-flight requests first and the crash lands at a
+    minitransaction boundary ({!Memnode.crash}); otherwise this is
+    {!crash_now}. Either way the node refuses new requests from this
+    call on; once {!Memnode.crashed} flips, operations are served by its
+    backup replica (if any). *)
+
+val crash_now : t -> int -> unit
+(** Crash memnode [i] immediately, mid-request ({!Memnode.crash_now}):
+    in-flight participant operations die at their next service-time
+    boundary, leaving any yes votes in doubt in the redo log for the
+    recovery coordinator. Replica promotion runs synchronously via the
+    crash hook. *)
 
 val can_recover : t -> int -> bool
 (** True iff memnode [i] has actually crashed (not merely draining), has
     a replica to restore from, and that replica is not mid-request as a
-    failover target — i.e. {!recover} would succeed right now. *)
+    failover target — i.e. {!try_recover} would succeed right now. *)
+
+(** Why a recovery attempt was refused; see {!try_recover}. *)
+type recover_error = Not_crashed | No_replica | Replica_busy
+
+val recover_error_to_string : recover_error -> string
+
+val try_recover : t -> int -> (unit, recover_error) result
+(** Bring memnode [i] back, restoring state from its replica image —
+    first rolled forward through the redo log (committed writes whose
+    mirror never arrived), with in-doubt write ranges re-locked on the
+    restored primary. Returns [Error] (leaving all state untouched)
+    instead of raising when the node is not crashed, has no replica, or
+    the replica is mid-request — the chaos nemesis races recovery
+    against crashes and retries on [Error]. *)
 
 val recover : t -> int -> unit
-(** Bring memnode [i] back, restoring state from its replica. Raises
-    [Invalid_argument] if the node is not crashed, there is no replica
-    to restore from, or the replica is serving in-flight failover
-    requests (see {!can_recover}; poll it first when recovering under
-    load). *)
+(** {!try_recover}, raising [Invalid_argument] on [Error] (legacy
+    interface; prefer {!try_recover} under concurrency). *)
+
+val redo_decisions : t -> (int * int64 * [ `Committed | `Aborted ]) list
+(** Every retained (space, tid, decision) record across all redo logs —
+    the input to the checker's 2PC-atomicity rule. Chaos runs set
+    {!Config.decision_retention} to [infinity] so nothing is pruned. *)
+
+val in_doubt_total : t -> int
+(** Transactions still in doubt across all spaces (should be 0 after a
+    quiesced run with recovery running). *)

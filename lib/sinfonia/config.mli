@@ -23,6 +23,28 @@ type t = {
   retry_backoff : float;  (** Initial retry backoff after Busy, seconds. *)
   retry_backoff_max : float;
   max_retries : int;  (** Busy retries before giving up (safety valve). *)
+  fail_stop_at_boundaries : bool;
+      (** When true (default), {!Cluster.crash} drains in-flight
+          requests so a crash lands at a minitransaction boundary — the
+          original drain model, kept for tests that depend on it. When
+          false, crashes land immediately mid-request, leaving in-doubt
+          redo-log entries for the recovery coordinator to resolve. *)
+  in_doubt_grace : float;
+      (** How long (simulated seconds) a prepared redo-log entry must be
+          in doubt before the recovery coordinator resolves it. Must
+          comfortably exceed a worst-case prepare-to-commit gap
+          (blocking-lock waits plus lossy-link retransmits) so recovery
+          rarely races a live coordinator; the force-abort handshake
+          keeps the race safe regardless. *)
+  decision_retention : float;
+      (** How long commit/abort decision records are kept in each redo
+          log for late-arriving participants (simulated seconds;
+          [infinity] keeps them all — used by chaos runs, which dump
+          them into the checker's 2PC-atomicity rule). *)
+  broken_recovery : bool;
+      (** Falsifiability hook: skip redo-log replay when promoting a
+          replica or restoring a crashed primary, so committed writes
+          can be silently lost. The history checker must catch this. *)
 }
 
 val default : t

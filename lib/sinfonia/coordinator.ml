@@ -105,7 +105,7 @@ let exec_single cluster ~client ~mode (mtx : Mtx.t) node =
         in
         (match result with
         | Memnode.Prepared _, _ when part.p_writes <> [] ->
-            Cluster.mirror cluster node part.p_writes
+            Cluster.mirror cluster node ~owner part.p_writes
         | _ -> ());
         result
       in
@@ -113,24 +113,39 @@ let exec_single cluster ~client ~mode (mtx : Mtx.t) node =
         | Memnode.Prepared reads, _ -> read_bytes_of_result reads
         | (Memnode.Busy_locks | Memnode.Compare_failed _), _ -> response_overhead
       in
-      let result =
+      match
         Obs.with_span obs Obs.Span.Mtx_exec (fun () ->
             round_trip cluster ~client node ~bytes_out ~resp_bytes run)
-      in
-      match result with
-      | Memnode.Prepared reads, Some stamp ->
-          Obs.Counter.incr stats.Obs.committed_1pc;
-          outcome_of_reads mtx ~stamp (merge_reads [ reads ])
-      | Memnode.Prepared _, None -> assert false
-      | Memnode.Busy_locks, _ ->
-          Obs.Counter.incr stats.Obs.busy_retries;
-          Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Lock_busy;
-          backoff_delay cluster n;
-          attempt (n + 1)
-      | Memnode.Compare_failed idxs, _ ->
-          Obs.Counter.incr stats.Obs.compare_failed;
-          Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Validation_failed;
-          Mtx.Failed_compare idxs
+      with
+      | exception Memnode.Crashed ->
+          (* The node died mid-request. Whether the 1PC commit happened
+             is decided by the redo log: a recorded commit decision means
+             the write is durable (promotion replays it), so the client
+             must treat the operation as possibly applied. *)
+          let redo = Cluster.redo_log cluster node in
+          let applied =
+            match Redo_log.decision redo ~tid:owner with
+            | Some (Redo_log.Committed _) -> true
+            | _ -> false
+          in
+          Obs.Counter.incr stats.Obs.mtx_unavailable;
+          Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Crashed_host;
+          Mtx.Unavailable { maybe_applied = applied; partitioned = false }
+      | result -> (
+          match result with
+          | Memnode.Prepared reads, Some stamp ->
+              Obs.Counter.incr stats.Obs.committed_1pc;
+              outcome_of_reads mtx ~stamp (merge_reads [ reads ])
+          | Memnode.Prepared _, None -> assert false
+          | Memnode.Busy_locks, _ ->
+              Obs.Counter.incr stats.Obs.busy_retries;
+              Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Lock_busy;
+              backoff_delay cluster n;
+              attempt (n + 1)
+          | Memnode.Compare_failed idxs, _ ->
+              Obs.Counter.incr stats.Obs.compare_failed;
+              Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Validation_failed;
+              Mtx.Failed_compare idxs)
     end
   in
   attempt 0
@@ -197,9 +212,9 @@ let exec_multi cluster ~client ~mode (mtx : Mtx.t) nodes =
           let result =
             match
               match mode with
-              | Normal -> Memnode.prepare_timed mn store ~owner part ~cost
+              | Normal -> Memnode.prepare_timed mn store ~owner ~participants:nodes part ~cost
               | Blocking ->
-                  Memnode.prepare_blocking_timed mn store ~owner part ~cost
+                  Memnode.prepare_blocking_timed mn store ~owner ~participants:nodes part ~cost
                     ~timeout:cfg.Config.blocking_timeout
             with
             | Memnode.Prepared reads -> P_prepared (mn, store, reads)
@@ -209,6 +224,12 @@ let exec_multi cluster ~client ~mode (mtx : Mtx.t) nodes =
             | Memnode.Compare_failed idxs ->
                 Memnode.end_serving mn store;
                 P_compare idxs
+            | exception Memnode.Crashed ->
+                (* Crashed mid-prepare: no vote was logged (the append is
+                   the last step before a successful return), so the
+                   transaction can still only abort. *)
+                Memnode.end_serving mn store;
+                P_unreachable false
           in
           Sim.Net.transfer ?src:dst ?dst:client net ~bytes:(resp_bytes result);
           result
@@ -233,7 +254,11 @@ let exec_multi cluster ~client ~mode (mtx : Mtx.t) nodes =
                round_trip_pinned cluster ~client mn ~bytes_out:request_overhead
                  ~resp_bytes:(fun () -> response_overhead)
                  (fun () ->
-                   Memnode.abort_timed mn store ~owner ~cost:cfg.Config.svc_msg;
+                   (* A crash under the abort leaves the vote in doubt;
+                      the recovery coordinator aborts it (some other
+                      participant of this failed attempt never voted). *)
+                   (try Memnode.abort_timed mn store ~owner ~cost:cfg.Config.svc_msg
+                    with Memnode.Crashed -> ());
                    Memnode.end_serving mn store)))
       in
       let failed_compares =
@@ -277,9 +302,16 @@ let exec_multi cluster ~client ~mode (mtx : Mtx.t) nodes =
                      ~bytes_out:(Memnode.part_bytes part + request_overhead)
                      ~resp_bytes:(fun () -> response_overhead)
                      (fun () ->
-                       Memnode.commit_timed mn store ~owner part
-                         ~cost:(Memnode.part_cost cfg part);
-                       if part.p_writes <> [] then Cluster.mirror cluster node part.p_writes;
+                       (* A crash under phase two is survivable: the vote
+                          is logged at every participant, so recovery
+                          drives this commit to completion (all-yes
+                          rule). The outcome below is still Committed. *)
+                       (try
+                          Memnode.commit_timed mn store ~owner part ~stamp
+                            ~cost:(Memnode.part_cost cfg part);
+                          if part.p_writes <> [] then
+                            Cluster.mirror cluster node ~owner part.p_writes
+                        with Memnode.Crashed -> ());
                        Memnode.end_serving mn store))));
         Obs.Counter.incr stats.Obs.committed_2pc;
         let reads = List.concat_map (fun (_, _, _, reads) -> reads) prepared in

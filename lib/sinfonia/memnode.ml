@@ -1,10 +1,22 @@
-type store = { heap : Heap.t; mutable locks : Lock_table.t; mutable store_serving : int }
+type store = {
+  heap : Heap.t;
+  mutable locks : Lock_table.t;
+  mutable store_serving : int;
+  space : int; (* the address space this store is an image of *)
+  redo : Redo_log.t; (* stable storage, shared with the space's other image *)
+}
 
 let store_heap s = s.heap
 
 let store_locks s = s.locks
 
 let store_serving s = s.store_serving
+
+let store_space s = s.space
+
+let store_redo s = s.redo
+
+exception Crashed
 
 type t = {
   id : int;
@@ -14,21 +26,26 @@ type t = {
   mutable crashed : bool;
   mutable crash_pending : bool;
   mutable serving : int;
+  mutable epoch : int; (* bumped on every crash; in-flight ops compare *)
+  mutable crash_hook : (unit -> unit) option;
   heap_capacity : int;
 }
 
-let make_store capacity =
-  { heap = Heap.create ~capacity (); locks = Lock_table.create (); store_serving = 0 }
+let make_store ?redo ~space capacity =
+  let redo = match redo with Some r -> r | None -> Redo_log.create () in
+  { heap = Heap.create ~capacity (); locks = Lock_table.create (); store_serving = 0; space; redo }
 
-let create ~id ~cores ~heap_capacity =
+let create ?redo ~id ~cores ~heap_capacity () =
   {
     id;
     cpu = Sim.Resource.create ~name:(Printf.sprintf "memnode-%d" id) ~servers:cores ();
-    primary_store = make_store heap_capacity;
+    primary_store = make_store ?redo ~space:id heap_capacity;
     replicas = Hashtbl.create 4;
     crashed = false;
     crash_pending = false;
     serving = 0;
+    epoch = 0;
+    crash_hook = None;
     heap_capacity;
   }
 
@@ -44,42 +61,75 @@ let crash_pending t = t.crash_pending
 
 let available t = not (t.crashed || t.crash_pending)
 
+let epoch t = t.epoch
+
+let set_crash_hook t f = t.crash_hook <- Some f
+
 let do_crash t =
   t.crashed <- true;
   t.crash_pending <- false;
-  (* Volatile lock state dies with the node. *)
-  t.primary_store.locks <- Lock_table.create ()
+  t.epoch <- t.epoch + 1;
+  (* Volatile lock state dies with the node; the redo log does not. *)
+  t.primary_store.locks <- Lock_table.create ();
+  match t.crash_hook with None -> () | Some f -> f ()
 
 (* Fail-stop at minitransaction boundaries: a node asked to crash while
    it is mid-exchange (locks possibly held, writes possibly half
    mirrored) first drains its in-flight requests. New requests are
    refused immediately ([available] is already false), so the drain
-   window is bounded by one service time. This is what lets the
-   consistency checker treat every committed minitransaction as either
-   fully applied or not applied at all. *)
+   window is bounded by one service time. Kept behind
+   [Config.fail_stop_at_boundaries] for tests that depend on it. *)
 let crash t = if t.serving = 0 then do_crash t else t.crash_pending <- true
 
+(* True mid-request crash: lands immediately, even with requests in
+   flight. In-flight participant operations observe the epoch bump at
+   their next service-time boundary and raise {!Crashed}; whatever they
+   had voted survives in the redo log for the recovery coordinator. *)
+let crash_now t = if not t.crashed then do_crash t
+
 let begin_serving t store =
-  if t.crashed then invalid_arg "Memnode.begin_serving: node is crashed";
+  if t.crashed then raise Crashed;
   t.serving <- t.serving + 1;
   store.store_serving <- store.store_serving + 1
 
 let end_serving t store =
-  t.serving <- t.serving - 1;
-  store.store_serving <- store.store_serving - 1;
+  t.serving <- max 0 (t.serving - 1);
+  store.store_serving <- max 0 (store.store_serving - 1);
   if t.serving = 0 && t.crash_pending then do_crash t
 
-let recover t ~from_replica =
+let check_alive t ~epoch = if t.crashed || t.epoch <> epoch then raise Crashed
+
+(* Re-acquire exclusive locks over the write set of every in-doubt
+   (voted, undecided) transaction in [store]'s log, under the
+   transaction's own tid. Called after a crash wipes the volatile lock
+   table: nothing may slip under an undecided transaction's writes
+   before the recovery coordinator resolves it. *)
+let relock_in_doubt store =
+  List.iter
+    (fun (e : Redo_log.entry) ->
+      ignore (Lock_table.try_acquire store.locks ~owner:e.e_tid (Redo_log.write_ranges e)))
+    (Redo_log.in_doubt store.redo)
+
+let recover ?(broken = false) t ~from_replica =
+  (* Roll the replica image forward first: committed-but-unmirrored redo
+     entries are exactly the writes the replica missed. Skipping this
+     ([broken] — the falsifiability hook) silently loses them. *)
+  let replayed = if broken then 0 else Redo_log.replay t.primary_store.redo ~heap:from_replica.heap in
   Heap.restore t.primary_store.heap (Heap.snapshot from_replica.heap);
   t.primary_store.locks <- Lock_table.create ();
+  relock_in_doubt t.primary_store;
+  (* The replica store carried the in-doubt locks while it was serving;
+     the restored primary holds them now. *)
+  from_replica.locks <- Lock_table.create ();
   t.crashed <- false;
-  t.crash_pending <- false
+  t.crash_pending <- false;
+  replayed
 
-let add_replica t ~of_node ~heap_capacity =
+let add_replica t ~of_node ~heap_capacity ~redo =
   match Hashtbl.find_opt t.replicas of_node with
   | Some s -> s
   | None ->
-      let s = make_store heap_capacity in
+      let s = make_store ~redo ~space:of_node heap_capacity in
       Hashtbl.add t.replicas of_node s;
       s
 
@@ -90,7 +140,14 @@ let recover_orphaned_locks t ~lease =
   let stores = t.primary_store :: Hashtbl.fold (fun _ s acc -> s :: acc) t.replicas [] in
   List.fold_left
     (fun count store ->
-      let orphans = Lock_table.owners_older_than store.locks cutoff in
+      (* Owners with a logged vote are not orphans: their transaction is
+         in doubt and belongs to the recovery coordinator, which will
+         commit or abort it — releasing here could let a conflicting
+         write slip under a transaction that later commits. *)
+      let orphans =
+        Lock_table.owners_older_than store.locks cutoff
+        |> List.filter (fun owner -> not (Redo_log.voted store.redo ~tid:owner))
+      in
       List.iter (fun owner -> Lock_table.release store.locks ~owner) orphans;
       count + List.length orphans)
     0 stores
@@ -198,6 +255,22 @@ let finish_single store ~owner ~stamp p = function
       (r, Some s)
   | (Busy_locks | Compare_failed _) as r -> (r, None)
 
+(* Coordinator-path variant: the 1PC commit goes through the redo log so
+   a crash after the commit but before the write reaches the replica
+   image cannot lose it (promotion replays the log). Stamp draw, log
+   append, decision and apply happen with no scheduler yield between
+   them, so the entry is never observable in the Prepared state. *)
+let finish_single_logged store ~owner ~stamp p = function
+  | Prepared _ as r ->
+      let s = stamp () in
+      Redo_log.append store.redo ~tid:owner ~participants:[ store.space ] ~writes:p.p_writes;
+      (match Redo_log.decide_commit store.redo ~tid:owner ~stamp:s with
+      | `Apply -> apply_writes store p.p_writes
+      | `Skip -> ());
+      Lock_table.release store.locks ~owner;
+      (r, Some s)
+  | (Busy_locks | Compare_failed _) as r -> (r, None)
+
 let execute_single store ~owner p =
   fst (finish_single store ~owner ~stamp:(fun () -> 0L) p (prepare store ~owner p))
 
@@ -205,35 +278,79 @@ let execute_single_blocking store ~owner p ~timeout =
   fst (finish_single store ~owner ~stamp:(fun () -> 0L) p (prepare_blocking store ~owner p ~timeout))
 
 (* Timed variants: a small reception cost decides lock acquisition; the
-   bulk of the service time is spent holding the locks. *)
+   bulk of the service time is spent holding the locks. Each service
+   window is followed by an epoch check: a mid-request crash
+   ([crash_now]) bumps the epoch and the operation raises {!Crashed} at
+   its next boundary instead of completing against wiped state. *)
 let reception_cost cost = Float.min cost 2e-6
 
-let prepare_timed t store ~owner p ~cost =
+(* Evaluate under held locks, then vote. The refusal re-check and the
+   vote append are adjacent (no scheduler yield between them): a
+   recovery force-abort either lands before — and the prepare votes no —
+   or after, in which case it sees the vote and resolves normally. *)
+let finish_prepare store ~owner ~participants p =
+  match evaluate_and_read store ~owner p with
+  | Prepared _ as r ->
+      if Redo_log.refused store.redo ~tid:owner then begin
+        (* Recovery force-aborted this tid while we held the CPU or
+           waited for locks; voting yes now would contradict the
+           recorded decision. *)
+        Lock_table.release store.locks ~owner;
+        Busy_locks
+      end
+      else begin
+        (match participants with
+        | Some ps -> Redo_log.append store.redo ~tid:owner ~participants:ps ~writes:p.p_writes
+        | None -> ());
+        r
+      end
+  | r -> r
+
+let prepare_timed t store ~owner ?participants p ~cost =
+  let ep = t.epoch in
   serve t ~cost:(reception_cost cost);
-  if Lock_table.try_acquire store.locks ~owner (ranges_of_part p) then begin
+  check_alive t ~epoch:ep;
+  if Redo_log.refused store.redo ~tid:owner then Busy_locks
+  else if Lock_table.try_acquire store.locks ~owner (ranges_of_part p) then begin
     serve t ~cost:(cost -. reception_cost cost);
-    evaluate_and_read store ~owner p
+    check_alive t ~epoch:ep;
+    finish_prepare store ~owner ~participants p
   end
   else Busy_locks
 
-let prepare_blocking_timed t store ~owner p ~cost ~timeout =
+let prepare_blocking_timed t store ~owner ?participants p ~cost ~timeout =
+  let ep = t.epoch in
   serve t ~cost:(reception_cost cost);
-  if Lock_table.acquire_blocking store.locks ~owner (ranges_of_part p) ~timeout then begin
+  check_alive t ~epoch:ep;
+  if Redo_log.refused store.redo ~tid:owner then Busy_locks
+  else if Lock_table.acquire_blocking store.locks ~owner (ranges_of_part p) ~timeout then begin
+    check_alive t ~epoch:ep;
     serve t ~cost:(cost -. reception_cost cost);
-    evaluate_and_read store ~owner p
+    check_alive t ~epoch:ep;
+    finish_prepare store ~owner ~participants p
   end
   else Busy_locks
 
-let commit_timed t store ~owner p ~cost =
+let commit_timed t store ~owner p ~stamp ~cost =
+  let ep = t.epoch in
   serve t ~cost;
-  commit store ~owner p
+  check_alive t ~epoch:ep;
+  match Redo_log.decide_commit store.redo ~tid:owner ~stamp with
+  | `Apply -> commit store ~owner p
+  | `Skip ->
+      (* The recovery coordinator resolved this transaction first; the
+         writes are already in place (possibly under later commits). *)
+      Lock_table.release store.locks ~owner
 
 let abort_timed t store ~owner ~cost =
+  let ep = t.epoch in
   serve t ~cost;
-  abort store ~owner
+  check_alive t ~epoch:ep;
+  Redo_log.decide_abort store.redo ~tid:owner;
+  Lock_table.release store.locks ~owner
 
 let execute_single_timed t store ~owner ~stamp p ~cost =
-  finish_single store ~owner ~stamp p (prepare_timed t store ~owner p ~cost)
+  finish_single_logged store ~owner ~stamp p (prepare_timed t store ~owner p ~cost)
 
 let execute_single_blocking_timed t store ~owner ~stamp p ~cost ~timeout =
-  finish_single store ~owner ~stamp p (prepare_blocking_timed t store ~owner p ~cost ~timeout)
+  finish_single_logged store ~owner ~stamp p (prepare_blocking_timed t store ~owner p ~cost ~timeout)

@@ -3,9 +3,16 @@
     A memnode owns a primary store (heap + lock table) and may host
     replica stores for other memnodes (primary-backup replication). The
     participant-side minitransaction logic lives here; message timing and
-    the commit protocol live in {!Coordinator}. *)
+    the commit protocol live in {!Coordinator}.
 
-(** One store: a heap plus its lock table. *)
+    Every store carries the {!Redo_log} of the address space it images;
+    a space's primary store and its replica store share one log (it
+    models stable storage, surviving crashes of either host). Timed
+    participant operations — the coordinator path — log yes votes and
+    decisions through it; the untimed variants below are log-free state
+    transitions for unit tests. *)
+
+(** One store: a heap plus its lock table plus the space's redo log. *)
 type store
 
 val store_heap : store -> Heap.t
@@ -17,9 +24,23 @@ val store_serving : store -> int
     (see {!begin_serving}). A store with in-flight requests must not be
     used as a recovery source — its heap may be mid-update. *)
 
+val store_space : store -> int
+(** The address space (memnode id) this store is an image of. *)
+
+val store_redo : store -> Redo_log.t
+
+exception Crashed
+(** Raised by timed participant operations (and {!begin_serving}) when
+    the node crashed under them mid-request. The coordinator maps it to
+    unavailability; the transaction's fate is whatever the redo log
+    says. *)
+
 type t
 
-val create : id:int -> cores:int -> heap_capacity:int -> t
+val create : ?redo:Redo_log.t -> id:int -> cores:int -> heap_capacity:int -> unit -> t
+(** [redo] is the stable redo log for this node's address space
+    (default: a fresh private log). {!Cluster} passes one it also hands
+    to the backup's {!add_replica}, making the log shared storage. *)
 
 val id : t -> int
 
@@ -30,46 +51,76 @@ val primary : t -> store
 val crashed : t -> bool
 
 val crash_pending : t -> bool
-(** True while a crash request drains in-flight requests (see
-    {!crash}). *)
+(** True while a drain-mode crash request waits for in-flight requests
+    (see {!crash}). *)
 
 val available : t -> bool
 (** True iff the node is neither crashed nor draining toward a crash;
     only available nodes accept new requests. *)
 
-val crash : t -> unit
-(** Ask the node to crash. If it is idle the crash is immediate: lock
-    state is wiped (as a real crash would) and {!crashed} flips. If
-    requests are in flight the node stops accepting new ones
-    ({!available} becomes false) and the crash lands when the last
-    in-flight request finishes — fail-stop at minitransaction
-    boundaries, so a committed minitransaction is never half-applied.
-    Poll {!crashed} to observe the flip. *)
+val epoch : t -> int
+(** Crash epoch: bumped once per crash. In-flight operations capture it
+    and compare at service-time boundaries to detect a crash landing
+    under them. *)
 
-val recover : t -> from_replica:store -> unit
+val set_crash_hook : t -> (unit -> unit) -> unit
+(** Install a hook run synchronously at the instant a crash lands
+    (after the epoch bump and lock wipe). {!Cluster} uses it to promote
+    the replica: replay the redo log forward and re-lock in-doubt write
+    ranges before any request can reach the stale image. *)
+
+val crash : t -> unit
+(** Ask the node to crash, draining in-flight requests first (fail-stop
+    at minitransaction boundaries — the pre-redo-log model, selected by
+    {!Config.fail_stop_at_boundaries}). If the node is idle the crash
+    is immediate; otherwise it lands when the last in-flight request
+    finishes. Poll {!crashed} to observe the flip. *)
+
+val crash_now : t -> unit
+(** Crash immediately, mid-request: volatile lock state is wiped, the
+    epoch is bumped, and in-flight participant operations raise
+    {!Crashed} at their next service boundary. Transactions they had
+    voted yes on remain in the redo log, in doubt, for the recovery
+    coordinator. No-op on an already-crashed node. *)
+
+val recover : ?broken:bool -> t -> from_replica:store -> int
 (** Restore the primary store's contents from a replica image and mark
-    the node alive. *)
+    the node alive. The replica image is first rolled forward through
+    the redo log (committed writes whose mirror never arrived), then
+    in-doubt write ranges are re-locked under their tids so undecided
+    transactions stay isolated until recovery resolves them. Returns
+    the number of un-mirrored commits replayed. [broken] skips the
+    replay — the falsifiability hook behind
+    {!Config.broken_recovery}. *)
+
+val relock_in_doubt : store -> unit
+(** Re-acquire exclusive locks over every in-doubt transaction's write
+    set, under the transaction's tid (used after a crash wipes volatile
+    lock state, and by replica promotion). *)
 
 val begin_serving : t -> store -> unit
 (** Pin the node (and one of its stores) as serving one in-flight
-    request; a pending crash will not land until the matching
-    {!end_serving}. Raises [Invalid_argument] on a crashed node —
-    callers must route first. *)
+    request; a drain-mode crash will not land until the matching
+    {!end_serving}. Raises {!Crashed} on a crashed node — callers must
+    route first. *)
 
 val end_serving : t -> store -> unit
-(** Release one {!begin_serving} pin, landing any pending crash once
-    the node goes idle. *)
+(** Release one {!begin_serving} pin, landing any pending drain-mode
+    crash once the node goes idle. *)
 
-val add_replica : t -> of_node:int -> heap_capacity:int -> store
-(** Host a replica store for memnode [of_node] on this node. *)
+val add_replica : t -> of_node:int -> heap_capacity:int -> redo:Redo_log.t -> store
+(** Host a replica store for memnode [of_node] on this node, sharing
+    [of_node]'s redo log (one log per address space). *)
 
 val replica : t -> of_node:int -> store option
 
 val recover_orphaned_locks : t -> lease:float -> int
-(** Release every lock held longer than [lease] simulated seconds: the
-    owning coordinator is presumed crashed mid-protocol, and its
-    minitransaction is resolved as aborted (Sinfonia's recovery
-    decision for unprepared transactions). Returns the number of owners
+(** Release every lock held longer than [lease] simulated seconds whose
+    owner never logged a yes vote: the owning coordinator is presumed
+    crashed before preparing, and its minitransaction is resolved as
+    aborted (Sinfonia's recovery decision for unprepared transactions).
+    Owners with a logged vote are left alone — they are in doubt and
+    belong to the recovery coordinator. Returns the number of owners
     recovered. *)
 
 val serve : t -> cost:float -> unit
@@ -132,14 +183,35 @@ val execute_single_blocking :
     is spent {e while the locks are held}, which is what makes lock
     contention real: a concurrent minitransaction arriving during the
     service window sees busy locks (or waits, for blocking
-    minitransactions). Used by {!Coordinator}. *)
+    minitransactions). Used by {!Coordinator}.
 
-val prepare_timed : t -> store -> owner:int64 -> part -> cost:float -> prepare_result
+    These are also the logged operations. A prepare called with
+    [?participants] appends a yes-vote entry (tid, participants, write
+    set) to the store's redo log before returning [Prepared]; a prepare
+    for a tid the recovery coordinator already force-aborted votes no
+    ([Busy_locks]). [commit_timed]/[abort_timed] record the decision.
+    Every service window ends with an epoch check, so a mid-request
+    crash raises {!Crashed} instead of completing against wiped
+    state. *)
+
+val prepare_timed :
+  t -> store -> owner:int64 -> ?participants:int list -> part -> cost:float -> prepare_result
 
 val prepare_blocking_timed :
-  t -> store -> owner:int64 -> part -> cost:float -> timeout:float -> prepare_result
+  t ->
+  store ->
+  owner:int64 ->
+  ?participants:int list ->
+  part ->
+  cost:float ->
+  timeout:float ->
+  prepare_result
 
-val commit_timed : t -> store -> owner:int64 -> part -> cost:float -> unit
+val commit_timed : t -> store -> owner:int64 -> part -> stamp:int64 -> cost:float -> unit
+(** Phase two at one participant: records the commit decision (stamp
+    included) in the redo log, then applies and releases — unless the
+    recovery coordinator already committed this tid, in which case the
+    writes are left exactly as recovery applied them. *)
 
 val abort_timed : t -> store -> owner:int64 -> cost:float -> unit
 
@@ -149,7 +221,10 @@ val execute_single_timed :
 (** Like {!execute_single}, but on success draws a commit stamp from
     [stamp] {e between} prepare and commit — while the
     minitransaction's locks are held — and returns it. Stamp order of
-    two conflicting minitransactions is their serialization order. *)
+    two conflicting minitransactions is their serialization order. The
+    commit is routed through the redo log (append + decide, no
+    scheduler yield in between) so a crash after the 1PC commit but
+    before the mirror cannot lose it. *)
 
 val execute_single_blocking_timed :
   t -> store -> owner:int64 -> stamp:(unit -> int64) -> part -> cost:float -> timeout:float ->

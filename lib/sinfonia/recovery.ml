@@ -1,0 +1,181 @@
+(* The in-doubt resolver: Sinfonia's recovery coordinator (Sec. 2.3 of
+   the paper) for transactions whose participant voted yes but whose
+   coordinator went silent — typically because the participant crashed
+   mid-2PC and restarted with the vote still in its redo log.
+
+   The resolution rule is the classic presumed-abort one, made race-free
+   against a live coordinator by two invariants shared with {!Memnode}
+   and {!Redo_log}:
+
+   - Recovery only aborts a transaction after recording an [Aborted]
+     decision at a participant that has NOT voted ({!Redo_log.refused});
+     a prepare arriving there later must vote no, so the live
+     coordinator can never assemble the all-yes it needs to commit.
+   - The live coordinator only commits when every participant voted
+     yes, and {!Redo_log.decide_commit} deduplicates whoever gets to a
+     participant second. Recovery commits either with the stamp found in
+     some participant's decision record, or — when no decision exists
+     anywhere — with a fresh stamp, which is safe because every write
+     range involved is still locked under the transaction's tid. *)
+
+type env = {
+  n_spaces : int;
+  serving : int -> (Memnode.t * Memnode.store) option;
+      (** The node/store currently serving a space, [None] if the space
+          is entirely down (or mid-drain). *)
+  reachable : src:int -> dst:int -> bool;
+  transfer : src:int -> dst:int -> bytes:int -> unit;
+  take_stamp : unit -> int64;
+  grace : float;  (** Minimum in-doubt age before resolution. *)
+  obs : Obs.t;
+}
+
+let poll_bytes = 96
+
+(* What one round-trip to a participant reveals about [tid] there. *)
+type probe = Unreachable | Voted | Not_voted | Decided of Redo_log.decision
+
+let probe env ~from ~tid p =
+  match env.serving p with
+  | None -> Unreachable
+  | Some (mn, store) ->
+      let host = Memnode.id mn in
+      if host <> from && not (env.reachable ~src:from ~dst:host && env.reachable ~src:host ~dst:from)
+      then Unreachable
+      else begin
+        if host <> from then begin
+          env.transfer ~src:from ~dst:host ~bytes:poll_bytes;
+          env.transfer ~src:host ~dst:from ~bytes:poll_bytes
+        end;
+        (* The serving store may have changed while the poll was in
+           flight; answer from whoever serves the space now. *)
+        match env.serving p with
+        | None -> Unreachable
+        | Some (_, store') ->
+            let redo = Memnode.store_redo store' in
+            ignore store;
+            (match Redo_log.decision redo ~tid with
+            | Some d -> Decided d
+            | None -> if Redo_log.voted redo ~tid then Voted else Not_voted)
+      end
+
+(* Drive the commit of [tid] at participant [p]: record the decision,
+   apply the logged writes, release the tid's locks. [`Skip] means the
+   other side of the race (live coordinator or an earlier sweep) already
+   applied them. *)
+let commit_at env ~tid ~stamp p =
+  match env.serving p with
+  | None -> ()
+  | Some (mn, store) -> (
+      let redo = Memnode.store_redo store in
+      match Redo_log.entry redo ~tid with
+      | None -> () (* decided and already flushed here *)
+      | Some e -> (
+          match Redo_log.decide_commit redo ~tid ~stamp with
+          | `Apply ->
+              Memnode.apply_writes store e.Redo_log.e_writes;
+              Lock_table.release (Memnode.store_locks store) ~owner:tid;
+              (* Serving from the replica: the only live image now has
+                 the writes, so the entry needs no further mirror. *)
+              if Memnode.store_space store <> Memnode.id mn then
+                Redo_log.mark_mirrored redo ~tid
+          | `Skip -> Lock_table.release (Memnode.store_locks store) ~owner:tid))
+
+let abort_at env ~tid p =
+  match env.serving p with
+  | None -> ()
+  | Some (_, store) ->
+      Redo_log.decide_abort (Memnode.store_redo store) ~tid;
+      Lock_table.release (Memnode.store_locks store) ~owner:tid
+
+(* Record the blocking [Aborted] decision at one participant that has
+   not voted. The no-vote re-check and the decision record are adjacent
+   (no scheduler yield), so either the refusal lands before any vote —
+   and blocks it — or the vote is seen here and we defer. *)
+let place_refusal env ~tid unvoted =
+  let rec go = function
+    | [] -> false
+    | p :: rest -> (
+        match env.serving p with
+        | None -> go rest
+        | Some (_, store) ->
+            let redo = Memnode.store_redo store in
+            if Redo_log.voted redo ~tid then false
+            else begin
+              Redo_log.decide_abort redo ~tid;
+              true
+            end)
+  in
+  go unvoted
+
+let resolve env ~from (e : Redo_log.entry) =
+  let tid = e.Redo_log.e_tid in
+  let probes = List.map (fun p -> (p, probe env ~from ~tid p)) e.Redo_log.e_participants in
+  let committed_stamp =
+    List.find_map (function _, Decided (Redo_log.Committed s) -> Some s | _ -> None) probes
+  in
+  let aborted = List.exists (function _, Decided Redo_log.Aborted -> true | _ -> false) probes in
+  let any_unreachable = List.exists (function _, Unreachable -> true | _ -> false) probes in
+  let unvoted = List.filter_map (function p, Not_voted -> Some p | _ -> None) probes in
+  match committed_stamp with
+  | Some stamp ->
+      (* Some participant saw the commit decision; finish it everywhere
+         we can reach. *)
+      List.iter (fun (p, pr) -> if pr <> Unreachable then commit_at env ~tid ~stamp p) probes;
+      `Commit
+  | None ->
+      if aborted then begin
+        List.iter (fun (p, pr) -> if pr <> Unreachable then abort_at env ~tid p) probes;
+        `Abort
+      end
+      else if unvoted <> [] then
+        (* Some reachable participant never voted: the transaction
+           cannot have committed. Block its commit path first, then
+           release the voters. Unreachable participants pick the
+           decision up from the others when they return. *)
+        if place_refusal env ~tid unvoted then begin
+          List.iter
+            (fun (p, pr) -> if pr = Voted || pr = Not_voted then abort_at env ~tid p)
+            probes;
+          `Abort
+        end
+        else `Defer (* a vote landed under us; re-evaluate next sweep *)
+      else if any_unreachable then
+        (* Every reachable participant voted yes but some participant
+           cannot be polled: its vote (or a recorded decision) could go
+           either way. Block — Sinfonia recovers such transactions only
+           once the participant is back. *)
+        `Defer
+      else begin
+        (* All participants voted yes and none saw a decision: commit.
+           A fresh stamp is safe — the write ranges are still locked
+           under [tid] everywhere, so nothing serialized between the
+           coordinator's stamp draw and now conflicts with them. *)
+        let stamp = env.take_stamp () in
+        List.iter (fun (p, _) -> commit_at env ~tid ~stamp p) probes;
+        `Commit
+      end
+
+let sweep env =
+  let stats = Obs.recovery env.obs in
+  Obs.with_span env.obs Obs.Span.Recovery_sweep (fun () ->
+      for s = 0 to env.n_spaces - 1 do
+        match env.serving s with
+        | None -> ()
+        | Some (mn, store) ->
+            let from = Memnode.id mn in
+            let redo = Memnode.store_redo store in
+            List.iter
+              (fun (e : Redo_log.entry) ->
+                (* An earlier resolution this sweep (shared participant)
+                   may have settled this entry already. *)
+                if e.Redo_log.e_state = `Prepared && Redo_log.decision redo ~tid:e.Redo_log.e_tid = None
+                then begin
+                  if Redo_log.note_reported e then Obs.Counter.incr stats.Obs.in_doubt_found;
+                  match resolve env ~from e with
+                  | `Commit -> Obs.Counter.incr stats.Obs.resolved_commit
+                  | `Abort -> Obs.Counter.incr stats.Obs.resolved_abort
+                  | `Defer -> ()
+                end)
+              (Redo_log.in_doubt ~min_age:env.grace redo)
+      done)

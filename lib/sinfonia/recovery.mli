@@ -1,0 +1,39 @@
+(** Sinfonia's recovery coordinator for in-doubt minitransactions
+    (Sec. 2.3 of the paper): transactions whose yes vote survived a
+    participant crash in the redo log, with the decision unknown.
+
+    Each {!sweep} walks every address space's redo log, polls the other
+    participants of each in-doubt transaction and drives the outcome:
+
+    - a decision recorded anywhere wins and is propagated;
+    - a reachable participant without a vote forces an abort — but only
+      after an [Aborted] decision is recorded {e at that participant},
+      so a late prepare there votes no and a live coordinator can never
+      assemble all-yes concurrently;
+    - all-yes with no decision commits (with the decided stamp if one
+      is found, else a fresh one — safe because the write ranges remain
+      locked under the transaction's tid throughout);
+    - an unreachable participant with every reachable one voting yes
+      blocks the transaction until the partition heals.
+
+    The environment is a record of closures so this module stays below
+    {!Cluster} (which owns routing and the network). *)
+
+type env = {
+  n_spaces : int;
+  serving : int -> (Memnode.t * Memnode.store) option;
+      (** Node/store currently serving a space; [None] while the space
+          is entirely down or mid-drain. *)
+  reachable : src:int -> dst:int -> bool;
+  transfer : src:int -> dst:int -> bytes:int -> unit;
+      (** Pay the network cost of one recovery message. *)
+  take_stamp : unit -> int64;
+  grace : float;
+      (** Minimum age (simulated seconds) before a prepared entry is
+          treated as in doubt; see {!Config.in_doubt_grace}. *)
+  obs : Obs.t;
+}
+
+val sweep : env -> unit
+(** One resolution pass over all spaces. Emits [recovery.*] counters
+    and a [recovery.sweep] trace span. *)

@@ -10,6 +10,8 @@ module Config = Config
 module Lock_table = Lock_table
 module Heap = Heap
 module Mtx = Mtx
+module Redo_log = Redo_log
 module Memnode = Memnode
+module Recovery = Recovery
 module Cluster = Cluster
 module Coordinator = Coordinator

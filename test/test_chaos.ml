@@ -8,7 +8,8 @@ module Nemesis = Chaos.Nemesis
 
 let check = Alcotest.check
 
-let small ?(seed = 11) ?(duration = 0.3) ?(kinds = Nemesis.all_kinds) ?(broken = false) () =
+let small ?(seed = 11) ?(duration = 0.3) ?(kinds = Nemesis.all_kinds) ?(broken = false)
+    ?(broken_recovery = false) ?(scs_k = 0.0) () =
   {
     Runner.default with
     Runner.seed;
@@ -20,6 +21,8 @@ let small ?(seed = 11) ?(duration = 0.3) ?(kinds = Nemesis.all_kinds) ?(broken =
     phases = 1;
     kinds;
     broken;
+    broken_recovery;
+    scs_k;
   }
 
 let report_string r = Format.asprintf "%a" Runner.pp_report r
@@ -74,6 +77,35 @@ let test_broken_mode_caught () =
   check Alcotest.bool "counterexample has the event" true
     (first.Check.Checker.v_event <> None)
 
+let test_broken_recovery_caught () =
+  (* broken_recovery skips the redo-log replay when a replica is
+     promoted or a crashed primary is restored, so committed writes
+     whose mirror never arrived are silently lost. Under mid-2PC
+     crashes the run must fail — either the checker reports lost
+     updates, a structural audit catches a torn tree, or the corruption
+     crashes the run outright (also reported as a failure). *)
+  let r =
+    Runner.run
+      (small ~seed:7 ~duration:0.5
+         ~kinds:[ Nemesis.Mid_crash; Nemesis.Replica_lag ]
+         ~broken_recovery:true ())
+  in
+  check Alcotest.bool "broken recovery caught" false (Runner.passed r)
+
+let test_staleness_bound_passes () =
+  (* With a staleness bound k > 0 the checker relaxes the SCS rule by
+     exactly k rather than dropping it; a clean run must still pass. *)
+  let r = Runner.run (small ~seed:5 ~scs_k:0.02 ()) in
+  if not (Runner.passed r) then Alcotest.failf "staleness run failed:@.%a" Runner.pp_report r
+
+let test_twopc_records_checked () =
+  (* Chaos runs retain every 2PC decision record; the final verdict
+     must actually cross-check them. *)
+  let r = Runner.run (small ~kinds:[ Nemesis.Mid_crash ] ()) in
+  if not (Runner.passed r) then Alcotest.failf "midcrash run failed:@.%a" Runner.pp_report r;
+  check Alcotest.bool "2pc records checked" true
+    (r.Runner.verdict.Check.Checker.twopc_checked > 0)
+
 let test_kind_names_roundtrip () =
   List.iter
     (fun kind ->
@@ -89,7 +121,7 @@ let test_kind_names_roundtrip () =
    yielding a minimal failing configuration. *)
 let prop_any_schedule_passes =
   QCheck.Test.make ~name:"any chaos schedule passes the checker" ~count:6
-    QCheck.(pair (int_bound 999) (int_bound 31))
+    QCheck.(pair (int_bound 999) (int_bound 255))
     (fun (seed, mask) ->
       let kinds =
         List.filteri (fun i _ -> mask land (1 lsl i) <> 0) Nemesis.all_kinds
@@ -108,6 +140,9 @@ let () =
           Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
           Alcotest.test_case "each kind alone" `Quick test_each_kind_alone;
           Alcotest.test_case "broken mode caught" `Quick test_broken_mode_caught;
+          Alcotest.test_case "broken recovery caught" `Quick test_broken_recovery_caught;
+          Alcotest.test_case "staleness bound passes" `Quick test_staleness_bound_passes;
+          Alcotest.test_case "2pc records checked" `Quick test_twopc_records_checked;
           Alcotest.test_case "kind names roundtrip" `Quick test_kind_names_roundtrip;
         ] );
       ( "schedules",

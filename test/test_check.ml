@@ -36,8 +36,8 @@ let scan ?client ?index ?stamp ?sid ?ambiguous ~invoked ~returned from count res
 let snapshot ?client ?index ~sid ~invoked ~returned () =
   ev ?client ?index ~sid ~invoked ~returned Event.Snapshot_taken
 
-let run ?final ?strict_scs ?(creations = [ (0, []) ]) events =
-  Checker.check ?final ?strict_scs ~creations ~events ()
+let run ?final ?strict_scs ?scs_staleness ?twopc ?in_doubt ?(creations = [ (0, []) ]) events =
+  Checker.check ?final ?strict_scs ?scs_staleness ?twopc ?in_doubt ~creations ~events ()
 
 let assert_ok ?(msg = "verdict ok") v =
   if not (Checker.ok v) then
@@ -198,6 +198,46 @@ let test_scs_strictness () =
   (* With a staleness bound (k > 0) the same history is legal. *)
   assert_ok ~msg:"non-strict mode accepts" (run ~strict_scs:false ~creations events)
 
+let test_scs_staleness_bound () =
+  (* Same history as {!test_scs_strictness}: the missed commit completed
+     0.10s before the snapshot request. A staleness bound k relaxes the
+     rule by exactly k — legal under k = 0.15, still a violation under
+     k = 0.05. *)
+  let creations = [ (0, [ (100L, 2L) ]) ] in
+  let events =
+    [
+      put ~stamp:5L ~invoked:0.00 ~returned:0.10 "a" "1";
+      snapshot ~sid:100L ~invoked:0.20 ~returned:0.30 ();
+    ]
+  in
+  assert_ok ~msg:"inside the staleness bound" (run ~scs_staleness:0.15 ~creations events);
+  let v = run ~scs_staleness:0.05 ~creations events in
+  check Alcotest.bool "outside the bound rejected" false (Checker.ok v);
+  assert_violation ~mentioning:"misses a commit" v
+
+(* ------------------------------------------------------------------ *)
+(* 2PC atomicity and in-doubt residue                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_twopc_consistent () =
+  let twopc = [ (0, 7L, `Committed); (1, 7L, `Committed); (0, 9L, `Aborted); (1, 9L, `Aborted) ] in
+  let v = run ~twopc [] in
+  assert_ok ~msg:"consistent decisions" v;
+  check Alcotest.int "records checked" 4 v.Checker.twopc_checked
+
+let test_twopc_split_decision_caught () =
+  let v = run ~twopc:[ (0, 7L, `Committed); (1, 7L, `Aborted) ] [] in
+  check Alcotest.bool "split decision rejected" false (Checker.ok v);
+  assert_violation ~mentioning:"2PC atomicity" v;
+  let first = List.hd v.Checker.violations in
+  check Alcotest.int "global violation" (-1) first.Checker.v_index
+
+let test_in_doubt_residue_caught () =
+  assert_ok ~msg:"zero in doubt" (run ~in_doubt:0 []);
+  let v = run ~in_doubt:2 [] in
+  check Alcotest.bool "in-doubt residue rejected" false (Checker.ok v);
+  assert_violation ~mentioning:"in doubt" v
+
 (* ------------------------------------------------------------------ *)
 (* Ambiguous operations                                                *)
 (* ------------------------------------------------------------------ *)
@@ -353,6 +393,13 @@ let () =
           Alcotest.test_case "missing creation record" `Quick
             test_snapshot_without_creation_record;
           Alcotest.test_case "scs strictness" `Quick test_scs_strictness;
+          Alcotest.test_case "scs staleness bound" `Quick test_scs_staleness_bound;
+        ] );
+      ( "twopc",
+        [
+          Alcotest.test_case "consistent decisions" `Quick test_twopc_consistent;
+          Alcotest.test_case "split decision caught" `Quick test_twopc_split_decision_caught;
+          Alcotest.test_case "in-doubt residue caught" `Quick test_in_doubt_residue_caught;
         ] );
       ( "ambiguity",
         [

@@ -553,7 +553,7 @@ let test_lease_exact_boundary_not_stolen () =
      within its lease and must not be stolen. Only strictly older locks
      are orphan candidates. *)
   Sim.run (fun () ->
-      let mn = Memnode.create ~id:0 ~cores:1 ~heap_capacity:4096 in
+      let mn = Memnode.create ~id:0 ~cores:1 ~heap_capacity:4096 () in
       let locks = Memnode.store_locks (Memnode.primary mn) in
       check Alcotest.bool "acquired" true
         (Lock_table.try_acquire locks ~owner:1L [ range 0 16 Lock_table.Exclusive ]);
@@ -571,7 +571,7 @@ let test_lease_reacquire_after_release () =
   (* An owner whose locks were reaped can come back: a fresh acquisition
      under the same owner id starts a fresh lease. *)
   Sim.run (fun () ->
-      let mn = Memnode.create ~id:0 ~cores:1 ~heap_capacity:4096 in
+      let mn = Memnode.create ~id:0 ~cores:1 ~heap_capacity:4096 () in
       let locks = Memnode.store_locks (Memnode.primary mn) in
       check Alcotest.bool "first acquire" true
         (Lock_table.try_acquire locks ~owner:9L [ range 0 16 Lock_table.Exclusive ]);
@@ -588,7 +588,7 @@ let test_lease_live_coordinator_not_stolen () =
      live coordinator (fresh locks, even overlapping key space on other
      ranges) keeps everything. *)
   Sim.run (fun () ->
-      let mn = Memnode.create ~id:0 ~cores:1 ~heap_capacity:4096 in
+      let mn = Memnode.create ~id:0 ~cores:1 ~heap_capacity:4096 () in
       let locks = Memnode.store_locks (Memnode.primary mn) in
       check Alcotest.bool "stale owner" true
         (Lock_table.try_acquire locks ~owner:100L [ range 0 16 Lock_table.Exclusive ]);
@@ -601,6 +601,181 @@ let test_lease_live_coordinator_not_stolen () =
         (Memnode.recover_orphaned_locks mn ~lease:0.25);
       check Alcotest.bool "stale released" false (Lock_table.holds locks ~owner:100L);
       check Alcotest.bool "live untouched" true (Lock_table.holds locks ~owner:200L))
+
+(* ------------------------------------------------------------------ *)
+(* Redo log and crash recovery                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_redo_replay_idempotent () =
+  Sim.run (fun () ->
+      let log = Redo_log.create () in
+      Redo_log.append log ~tid:7L ~participants:[ 0 ]
+        ~writes:[ Mtx.write_at (addr 0 0) "abcd" ];
+      check Alcotest.bool "in doubt after prepare" true (Redo_log.voted log ~tid:7L);
+      (match Redo_log.decide_commit log ~tid:7L ~stamp:10L with
+      | `Apply -> ()
+      | `Skip -> Alcotest.fail "first decision must apply");
+      (* Duplicate decision — a live coordinator racing the recovery
+         coordinator — must not re-apply over later state. *)
+      (match Redo_log.decide_commit log ~tid:7L ~stamp:10L with
+      | `Skip -> ()
+      | `Apply -> Alcotest.fail "duplicate decision must not re-apply");
+      let heap = Heap.create ~capacity:1024 () in
+      check Alcotest.int "one commit replayed" 1 (Redo_log.replay log ~heap);
+      check Alcotest.string "writes applied" "abcd" (Heap.read heap ~off:0 ~len:4);
+      (* Replay is idempotent: a second pass finds nothing new and
+         leaves the heap untouched. *)
+      check Alcotest.int "second replay empty" 0 (Redo_log.replay log ~heap);
+      check Alcotest.string "heap unchanged" "abcd" (Heap.read heap ~off:0 ~len:4))
+
+let test_mid_crash_raises () =
+  (* crash_now lands under an in-flight timed operation: the operation
+     raises Crashed at its next service boundary, before it could log a
+     vote against wiped lock state. *)
+  Sim.run (fun () ->
+      let mn = Memnode.create ~id:0 ~cores:1 ~heap_capacity:4096 () in
+      let store = Memnode.primary mn in
+      let part =
+        Memnode.part_of_mtx (Mtx.make ~writes:[ Mtx.write_at (addr 0 0) "torn" ] ()) ~node:0
+      in
+      let raised = ref false in
+      Sim.spawn (fun () ->
+          match Memnode.prepare_timed mn store ~owner:1L ~participants:[ 0 ] part ~cost:0.01 with
+          | (_ : Memnode.prepare_result) -> ()
+          | exception Memnode.Crashed -> raised := true);
+      Sim.delay 0.005;
+      Memnode.crash_now mn;
+      Sim.delay 0.1;
+      check Alcotest.bool "raised mid-request" true !raised;
+      check Alcotest.bool "epoch bumped" true (Memnode.epoch mn > 0);
+      check Alcotest.bool "no vote logged" false (Redo_log.voted (Memnode.store_redo store) ~tid:1L))
+
+let test_try_recover_typed_errors () =
+  with_cluster (fun cluster ->
+      (match Cluster.try_recover cluster 0 with
+      | Error Cluster.Not_crashed -> ()
+      | Ok () -> Alcotest.fail "recovered an alive node"
+      | Error e -> Alcotest.failf "wrong error: %s" (Cluster.recover_error_to_string e));
+      (* The legacy interface still raises. *)
+      (match Cluster.recover cluster 0 with
+      | () -> Alcotest.fail "legacy recover must raise"
+      | exception Invalid_argument _ -> ());
+      Cluster.crash cluster 0;
+      let rec wait () =
+        if not (Memnode.crashed (Cluster.memnode cluster 0)) then begin
+          Sim.delay 1e-3;
+          wait ()
+        end
+      in
+      wait ();
+      (match Cluster.try_recover cluster 0 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "recovery refused: %s" (Cluster.recover_error_to_string e));
+      check Alcotest.bool "alive again" true (Memnode.available (Cluster.memnode cluster 0)))
+
+let test_try_recover_no_replica () =
+  let config = { Config.default with replication = false } in
+  with_cluster ~config (fun cluster ->
+      Cluster.crash cluster 0;
+      let rec wait () =
+        if not (Memnode.crashed (Cluster.memnode cluster 0)) then begin
+          Sim.delay 1e-3;
+          wait ()
+        end
+      in
+      wait ();
+      match Cluster.try_recover cluster 0 with
+      | Error Cluster.No_replica -> ()
+      | Ok () -> Alcotest.fail "recovered without a replica"
+      | Error e -> Alcotest.failf "wrong error: %s" (Cluster.recover_error_to_string e))
+
+let test_blocking_race_crash_drain () =
+  (* A blocking minitransaction waiting on a busy lock pins the node as
+     serving; a drain-mode crash requested meanwhile stays pending until
+     the blocking wait resolves (here: times out), then lands. The
+     waiter gets a clean outcome either way — served by the replica
+     after failover or reported unavailable — never a torn one. *)
+  with_cluster (fun cluster ->
+      let store = Memnode.primary (Cluster.memnode cluster 0) in
+      let locks = Memnode.store_locks store in
+      assert
+        (Lock_table.try_acquire locks ~owner:777L [ range 0 16 Lock_table.Exclusive ]);
+      let outcome = ref None in
+      Sim.spawn (fun () ->
+          outcome :=
+            Some
+              (exec cluster ~mode:Coordinator.Blocking
+                 (Mtx.make ~writes:[ Mtx.write_at (addr 0 0) "blocked!" ] ())));
+      Sim.delay 1e-3;
+      Cluster.crash cluster 0;
+      check Alcotest.bool "drain pending behind blocking wait" true
+        (Memnode.crash_pending (Cluster.memnode cluster 0));
+      let rec wait n =
+        if n = 0 then Alcotest.fail "blocking wait never resolved against the drain";
+        if !outcome = None || not (Memnode.crashed (Cluster.memnode cluster 0)) then begin
+          Sim.delay 0.01;
+          wait (n - 1)
+        end
+      in
+      wait 10_000;
+      check Alcotest.bool "crash landed" true (Memnode.crashed (Cluster.memnode cluster 0)))
+
+let test_mid_crash_in_doubt_resolved () =
+  (* End to end: 2PC traffic over two spaces, a mid-2PC crash of node 0,
+     retried recovery, then quiescence. The in-doubt set must drain and
+     both cells of the pair — always written under one lock set — must
+     agree, whatever subset of transactions the crash cut short. *)
+  with_cluster (fun cluster ->
+      Cluster.start_recovery ~lease:0.05 ~interval:0.01 cluster;
+      let pair data =
+        Mtx.make ~writes:[ Mtx.write_at (addr 0 0) data; Mtx.write_at (addr 1 0) data ] ()
+      in
+      let (_ : (Address.t * string) list) = expect_committed (exec cluster (pair "0000")) in
+      let finished = ref 0 in
+      for w = 1 to 6 do
+        Sim.spawn (fun () ->
+            for i = 1 to 5 do
+              let (_ : Mtx.outcome) = exec cluster (pair (Printf.sprintf "%d%03d" w i)) in
+              ()
+            done;
+            incr finished)
+      done;
+      Sim.delay 0.01;
+      Cluster.crash_now cluster 0;
+      Sim.delay 0.05;
+      let rec recover_retry () =
+        match Cluster.try_recover cluster 0 with
+        | Ok () -> ()
+        | Error _ ->
+            Sim.delay 0.01;
+            recover_retry ()
+      in
+      recover_retry ();
+      while !finished < 6 do
+        Sim.delay 0.01
+      done;
+      (* Let the resolver pass the in-doubt grace period. *)
+      Sim.delay 1.0;
+      check Alcotest.int "in-doubt drained" 0 (Cluster.in_doubt_total cluster);
+      (match
+         expect_committed
+           (exec cluster
+              (Mtx.make ~reads:[ Mtx.read_at (addr 0 0) 4; Mtx.read_at (addr 1 0) 4 ] ()))
+       with
+      | [ (_, a); (_, b) ] -> check Alcotest.string "atomic pair" a b
+      | _ -> Alcotest.fail "final read failed");
+      (* Decision records must agree across the two spaces. *)
+      let by_tid = Hashtbl.create 64 in
+      List.iter
+        (fun (_, tid, d) ->
+          match Hashtbl.find_opt by_tid tid with
+          | None -> Hashtbl.replace by_tid tid d
+          | Some d' ->
+              if d <> d' then
+                Alcotest.failf "split decision for tid %Ld" tid)
+        (Cluster.redo_decisions cluster);
+      (* The recovery daemon loops forever; end the simulation. *)
+      Sim.stop ())
 
 let () =
   Alcotest.run "sinfonia"
@@ -658,5 +833,15 @@ let () =
           Alcotest.test_case "failover" `Quick test_failover_serves_from_backup;
           Alcotest.test_case "unavailable without replication" `Quick
             test_unavailable_without_replication;
+        ] );
+      ( "crash recovery",
+        [
+          Alcotest.test_case "redo replay idempotent" `Quick test_redo_replay_idempotent;
+          Alcotest.test_case "mid-crash raises" `Quick test_mid_crash_raises;
+          Alcotest.test_case "try_recover typed errors" `Quick test_try_recover_typed_errors;
+          Alcotest.test_case "try_recover no replica" `Quick test_try_recover_no_replica;
+          Alcotest.test_case "blocking vs crash drain" `Quick test_blocking_race_crash_drain;
+          Alcotest.test_case "mid-crash in-doubt resolved" `Quick
+            test_mid_crash_in_doubt_resolved;
         ] );
     ]
