@@ -26,10 +26,23 @@ trap 'rm -rf "$smoke_dir"' EXIT
 dune exec bin/minuet_bench.exe -- smoke --dir "$smoke_dir"
 dune exec bin/minuet_bench.exe -- check-report "$smoke_dir/BENCH_smoke.json"
 
+echo "== scan benchmark smoke =="
+# Batched leaf scans vs the per-leaf baseline plus a crash storm; fails
+# the build unless batching clears its speedup floor and post-crash
+# caches recover by epoch revalidation (never by a bulk flush). Emits
+# BENCH_scan.json (ops/s, leaves per round trip, cache hit rate).
+dune exec bin/minuet_bench.exe -- scan --dir "$smoke_dir"
+
 echo "== chaos + serializability check =="
 # Deterministic fault-injection storm with the history checker; fails
 # the build on any serializability/snapshot violation or audit failure.
 dune exec bin/minuet_bench.exe -- chaos --seed 42 --duration 2
+
+echo "== scan-heavy chaos (both concurrency-control modes) =="
+# Scan-dominated mix: long batched range scans over splitting/merging
+# leaves, every snapshot scan double-checked against the per-leaf path.
+dune exec bin/minuet_bench.exe -- chaos --seed 11 --duration 1 --scan-heavy --cc dirty
+dune exec bin/minuet_bench.exe -- chaos --seed 11 --duration 1 --scan-heavy --cc validated
 
 echo "== mid-2PC crash storm (3 seeds) =="
 # Mid-transaction crashes, mirror-link partitions and replica lag: the

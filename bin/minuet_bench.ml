@@ -215,7 +215,23 @@ let chaos_cmd =
     in
     Arg.(value & opt float 0.0 & info [ "scs-k" ] ~docv:"SECONDS" ~doc)
   in
-  let action seed duration hosts clients keys phases faults broken broken_recovery scs_k =
+  let cc_arg =
+    let doc =
+      "Concurrency-control mode the trees run under: 'dirty' (optimistic dirty traversal, \
+       the default) or 'validated' (every traversal step validated in the minitransaction)."
+    in
+    Arg.(value & opt string "dirty" & info [ "cc" ] ~docv:"MODE" ~doc)
+  in
+  let scan_heavy_arg =
+    let doc =
+      "Scan-dominated op mix: long range scans on tips and snapshots with enough writes to \
+       split and move leaves under them; every snapshot scan is double-checked against the \
+       per-leaf scan path."
+    in
+    Arg.(value & flag & info [ "scan-heavy" ] ~doc)
+  in
+  let action seed duration hosts clients keys phases faults broken broken_recovery scs_k cc
+      scan_heavy =
     let kinds =
       match faults with
       | "all" -> Chaos.Nemesis.all_kinds
@@ -230,6 +246,14 @@ let chaos_cmd =
                   exit 2)
             (String.split_on_char ',' s)
     in
+    let mode =
+      match cc with
+      | "dirty" -> Btree.Ops.Dirty_traversal
+      | "validated" -> Btree.Ops.Validated_traversal
+      | other ->
+          prerr_endline ("unknown concurrency-control mode: " ^ other);
+          exit 2
+    in
     let cfg =
       {
         Chaos.Runner.default with
@@ -240,6 +264,8 @@ let chaos_cmd =
         keys;
         phases;
         kinds;
+        mode;
+        scan_heavy;
         broken;
         broken_recovery;
         scs_k;
@@ -252,12 +278,46 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const action $ seed_arg $ duration_arg $ hosts_arg $ clients_arg $ keys_arg $ phases_arg
-      $ faults_arg $ broken_arg $ broken_recovery_arg $ scs_k_arg)
+      $ faults_arg $ broken_arg $ broken_recovery_arg $ scs_k_arg $ cc_arg $ scan_heavy_arg)
+
+(* Scan benchmark: batched leaf scans (scan_batch=16) vs the per-leaf
+   baseline (scan_batch=1) on the same seed, plus a crash storm proving
+   caches recover by epoch revalidation rather than bulk flushes.
+   Writes BENCH_scan.json; exits 1 if the speedup floor is missed, the
+   storm exercised no epoch revalidation, or any bulk eviction ran. *)
+let scan_cmd =
+  let doc =
+    "Benchmark batched leaf scans against the per-leaf baseline under contended 100-leaf \
+     range scans, run a crash storm to exercise epoch-based cache revalidation, and write \
+     BENCH_scan.json (ops/s both sides, leaves per round trip, cache hit rate, epoch \
+     revalidation and bulk-eviction counts). Exits 1 when any acceptance gate fails."
+  in
+  let seed_arg =
+    Arg.(value & opt int 0x5ca9 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 0.5
+        & info [ "duration" ] ~docv:"SECONDS" ~doc:"Measured simulated seconds per side.")
+  in
+  let dir_arg =
+    Arg.(value & opt string "." & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let min_speedup_arg =
+    Arg.(value & opt float 2.0
+        & info [ "min-speedup" ] ~docv:"X"
+            ~doc:"Required batched-over-per-leaf throughput ratio.")
+  in
+  let action seed duration dir min_speedup =
+    if not (Experiments.Scan_bench.run ~seed ~duration ~dir ~min_speedup ()) then exit 1
+  in
+  Cmd.v (Cmd.info "scan" ~doc)
+    Term.(const action $ seed_arg $ duration_arg $ dir_arg $ min_speedup_arg)
 
 let () =
   let doc = "Reproduce the evaluation of 'Minuet: A Scalable Distributed Multiversion B-Tree'" in
   let info = Cmd.info "minuet-bench" ~version:"1.0" ~doc in
   let cmds =
-    all_cmd :: smoke_cmd :: check_report_cmd :: chaos_cmd :: List.map figure_cmd Experiments.all
+    all_cmd :: smoke_cmd :: check_report_cmd :: chaos_cmd :: scan_cmd
+    :: List.map figure_cmd Experiments.all
   in
   exit (Cmd.eval (Cmd.group info cmds))

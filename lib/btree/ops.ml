@@ -9,12 +9,16 @@ type tree = {
   cluster : Cluster.t;
   obs : Obs.t;
   stats : Obs.btree_stats; (* typed counter handles, resolved once *)
+  sstats : Obs.scan_stats;
   layout : Layout.t;
   tree_id : int;
   mode : mode;
   max_keys_leaf : int;
   max_keys_internal : int;
   max_op_retries : int;
+  (* Leaves fetched per minitransaction round trip by batched scans;
+     1 disables batching (per-leaf re-traversal, the old behaviour). *)
+  scan_batch : int;
   home : int;
   client : int option;
   (* Deliberately broken mode for checker validation: leaf reads of
@@ -51,8 +55,8 @@ let leaf_entry_bytes = 40
 let internal_entry_bytes = 40
 
 let make_tree ?(mode = Dirty_traversal) ?max_keys_leaf ?max_keys_internal ?(max_op_retries = 64)
-    ?(home = 0) ?client ?(unsafe_dirty_leaf_reads = false) ~cluster ~layout ~tree_id ~alloc ~cache
-    () =
+    ?(scan_batch = 16) ?(home = 0) ?client ?(unsafe_dirty_leaf_reads = false) ~cluster ~layout
+    ~tree_id ~alloc ~cache () =
   let budget = layout.Layout.node_size - 128 in
   let derived_leaf = max 4 (budget / leaf_entry_bytes) in
   let derived_internal = max 4 (budget / internal_entry_bytes) in
@@ -61,12 +65,14 @@ let make_tree ?(mode = Dirty_traversal) ?max_keys_leaf ?max_keys_internal ?(max_
     cluster;
     obs;
     stats = Obs.btree obs;
+    sstats = Obs.scan obs;
     layout;
     tree_id;
     mode;
     max_keys_leaf = Option.value max_keys_leaf ~default:derived_leaf;
     max_keys_internal = Option.value max_keys_internal ~default:derived_internal;
     max_op_retries;
+    scan_batch = max 1 scan_batch;
     home;
     client;
     unsafe_dirty_leaf_reads;
@@ -461,14 +467,19 @@ let with_retries tree op_name f =
             Obs.span_end tree.obs span ~outcome:(Obs.Span.Aborted Obs.Abort.Crashed_host);
             raise (Ambiguous (Printf.sprintf "%s: commit outcome unknown" op_name))
         | Txn.Unavailable { maybe_applied = false } ->
+            (* An outage says nothing about the freshness of what was
+               dirty-read: keep the cache. Entries that really are stale
+               (from a promoted backup's older image) carry a pre-crash
+               epoch tag and are lazily revalidated on next use instead
+               of being flushed here — the old behaviour turned every
+               crash into an invalidation storm. *)
             Obs.span_end tree.obs span ~outcome:(Obs.Span.Aborted Obs.Abort.Crashed_host);
-            Txn.evict_dirty txn;
             outage_backoff tree attempt;
             go (attempt + 1))
     | exception Txn.Aborted msg ->
         Obs.span_end tree.obs span ~outcome:(Obs.Span.Failed msg);
-        Txn.evict_dirty txn;
-        if outage_abort_msg msg then outage_backoff tree attempt;
+        if outage_abort_msg msg then outage_backoff tree attempt
+        else Txn.evict_dirty txn;
         go (attempt + 1)
     | exception e ->
         Obs.span_end tree.obs span ~outcome:(Obs.Span.Failed (Printexc.to_string e));
@@ -507,30 +518,180 @@ let put tree ~vctx_of k v =
 let remove tree ~vctx_of k =
   with_retries tree "remove" (fun txn -> remove_in_txn tree txn (vctx_of txn) k)
 
-let scan_in_txn tree txn vctx ~from ~count =
-  if count <= 0 then []
-  else begin
-    let rec collect acc remaining cursor =
-      let _, _, leaf = traverse ~read_only:true tree txn vctx cursor in
-      let entries = Bnode.leaf_entries_from leaf cursor in
-      let rec take acc remaining = function
-        | [] -> (acc, remaining, None)
-        | e :: tl -> if remaining = 0 then (acc, 0, Some ()) else take (e :: acc) (remaining - 1) tl
-      in
-      let acc, remaining, stopped = take acc remaining entries in
-      if remaining = 0 || stopped <> None then List.rev acc
-      else
-        match leaf.Bnode.high with
-        | Bkey.Pos_inf -> List.rev acc
-        | Bkey.Key next -> collect acc remaining next
-        | Bkey.Neg_inf -> assert false
-    in
-    collect [] count from
-  end
+(* Take up to [remaining] scan entries; [stopped] reports hitting the
+   count limit with entries left over. *)
+let rec take_entries acc remaining = function
+  | [] -> (acc, remaining, false)
+  | e :: tl ->
+      if remaining = 0 then (acc, 0, true) else take_entries (e :: acc) (remaining - 1) tl
 
-let scan tree ~vctx_of ~from ~count =
+(* Per-leaf scan: re-traverse root-to-leaf for every leaf, following the
+   high fence key. The pre-batching behaviour — kept as the [batch <= 1]
+   path and as the oracle batched scans are checked against. *)
+let scan_per_leaf tree txn vctx ~from ~count =
+  let rec collect acc remaining cursor =
+    let _, _, leaf = traverse ~read_only:true tree txn vctx cursor in
+    let acc, remaining, stopped = take_entries acc remaining (Bnode.leaf_entries_from leaf cursor) in
+    if remaining = 0 || stopped then List.rev acc
+    else
+      match leaf.Bnode.high with
+      | Bkey.Pos_inf -> List.rev acc
+      | Bkey.Key next -> collect acc remaining next
+      | Bkey.Neg_inf -> assert false
+  in
+  collect [] count from
+
+(* Batched scan (the leaf-chaining fast path): traverse once, then chase
+   fence keys sideways, fetching up to [batch] sibling leaves per
+   minitransaction round trip (items coalesced per memnode by the
+   Txn/Coordinator machinery) instead of re-walking the tree per leaf.
+   Only the fetched leaves are validated — not the full path — so each
+   batched leaf re-runs the Fig. 5 safety checks itself: it must be a
+   leaf (height 0), its low fence must continue exactly where the
+   previous leaf ended, and its version must pass [check_node] for the
+   probe key at its low fence. Any violation aborts the attempt and the
+   retry re-traverses. A one-group prefetch window overlaps the next
+   group's round trip with consumption of the current one. *)
+let scan_batched tree txn vctx ~from ~count ~batch =
+  let s = tree.sstats in
+  let fetch_group ptrs =
+    Obs.with_span tree.obs
+      ~outcome_of_exn:(function
+        | Txn.Aborted msg -> Some (Obs.Span.Failed msg) | _ -> None)
+      Obs.Span.Scan_batch
+    @@ fun () ->
+    (* Same safety/validation posture as [read_leaf]. *)
+    let unsafe = tree.unsafe_dirty_leaf_reads in
+    let results =
+      if vctx.writable && not unsafe then Txn.read_many_with_seq txn ptrs
+      else Txn.dirty_read_many_with_seq ~use_cache:false txn ptrs
+    in
+    Obs.Counter.incr s.Obs.scan_batches;
+    List.iter (fun _ -> Obs.Counter.incr s.Obs.scan_batched_leaves) ptrs;
+    results
+  in
+  let spawn_fetch ptrs =
+    let iv = Sim.Ivar.create () in
+    Sim.spawn (fun () ->
+        let r = try Ok (fetch_group ptrs) with e -> Error e in
+        Sim.Ivar.fill iv r);
+    (ptrs, iv)
+  in
+  let await (ptrs, iv) =
+    match Sim.Ivar.read iv with Ok results -> List.combine ptrs results | Error e -> raise e
+  in
+  let rec chunk = function
+    | [] -> []
+    | l ->
+        let rec split i acc = function
+          | tl when i = batch -> (List.rev acc, tl)
+          | [] -> (List.rev acc, [])
+          | x :: tl -> split (i + 1) (x :: acc) tl
+        in
+        let g, rest = split 0 [] l in
+        g :: chunk rest
+  in
+  (* Validate one batched leaf against the fence chain, then run the
+     standard per-node checks with the probe key at its low fence. *)
+  let check_leaf (node : Bnode.t) expected_low =
+    if node.Bnode.height <> 0 then begin
+      Obs.Counter.incr s.Obs.scan_batch_aborts;
+      Obs.Counter.incr tree.stats.Obs.abort_height;
+      Obs.abort tree.obs ~layer:Obs.Abort.Btree Obs.Abort.Height_mismatch;
+      Txn.abort txn
+    end;
+    if not (Bkey.fence_equal node.Bnode.low expected_low) then begin
+      (* The leaf no longer starts where its left neighbour ended: it
+         split, merged or moved since the parent was read. *)
+      Obs.Counter.incr s.Obs.scan_batch_aborts;
+      Obs.Counter.incr tree.stats.Obs.abort_fence;
+      Obs.abort tree.obs ~layer:Obs.Abort.Btree Obs.Abort.Fence_violation;
+      Txn.abort txn
+    end;
+    let probe =
+      match expected_low with
+      | Bkey.Key k -> k
+      | Bkey.Neg_inf -> ""
+      | Bkey.Pos_inf -> assert false
+    in
+    (match check_node tree txn vctx node probe with
+    | () -> ()
+    | exception (Txn.Aborted _ as e) ->
+        Obs.Counter.incr s.Obs.scan_batch_aborts;
+        raise e);
+    probe
+  in
+  let rec collect acc remaining cursor =
+    let path, _, leaf = traverse ~read_only:true tree txn vctx cursor in
+    let acc, remaining, stopped = take_entries acc remaining (Bnode.leaf_entries_from leaf cursor) in
+    if remaining = 0 || stopped then List.rev acc
+    else begin
+      (* Leaf pointers to the right of the leaf just consumed, under its
+         (already checked) deepest parent. *)
+      let siblings =
+        match List.rev path with
+        | [] -> [] (* the root is the leaf: nothing beside it *)
+        | { s_node; s_child; _ } :: _ -> (
+            match s_node.Bnode.body with
+            | Bnode.Internal { children; _ } ->
+                List.init
+                  (Array.length children - s_child - 1)
+                  (fun i -> Bnode.child_at s_node (s_child + 1 + i))
+            | Bnode.Leaf _ -> assert false)
+      in
+      match chunk siblings with
+      | [] -> continue_after acc remaining leaf.Bnode.high
+      | g :: rest -> consume_groups acc remaining leaf.Bnode.high (spawn_fetch g) rest
+    end
+  and consume_groups acc remaining expected_low pending rest =
+    (* Kick off the next group's fetch before consuming the current one
+       so its round trip overlaps consumption (the prefetch window). *)
+    let next =
+      match rest with
+      | [] -> None
+      | g :: tl ->
+          Obs.Counter.incr s.Obs.scan_prefetches;
+          Some (spawn_fetch g, tl)
+    in
+    let results = await pending in
+    let rec eat acc remaining expected_low = function
+      | [] -> `More (acc, remaining, expected_low)
+      | (ptr, (seq, payload)) :: tl ->
+          let node = decode_node_memo tree txn ptr seq payload in
+          let probe = check_leaf node expected_low in
+          let acc, remaining, stopped =
+            take_entries acc remaining (Bnode.leaf_entries_from node probe)
+          in
+          if remaining = 0 || stopped then `Done acc
+          else eat acc remaining node.Bnode.high tl
+    in
+    match eat acc remaining expected_low results with
+    | `Done acc -> List.rev acc
+    | `More (acc, remaining, expected_low) -> (
+        match next with
+        | Some (pending, tl) -> consume_groups acc remaining expected_low pending tl
+        | None -> continue_after acc remaining expected_low)
+  and continue_after acc remaining expected_low =
+    (* The deepest parent's children are exhausted: continue the scan at
+       the last leaf's high fence with a fresh traversal. *)
+    match expected_low with
+    | Bkey.Pos_inf -> List.rev acc
+    | Bkey.Key next ->
+        Obs.Counter.incr s.Obs.scan_continuations;
+        collect acc remaining next
+    | Bkey.Neg_inf -> assert false
+  in
+  collect [] count from
+
+let scan_in_txn ?batch tree txn vctx ~from ~count =
+  let batch = match batch with Some b -> max 1 b | None -> tree.scan_batch in
   if count <= 0 then []
-  else with_retries tree "scan" (fun txn -> scan_in_txn tree txn (vctx_of txn) ~from ~count)
+  else if batch <= 1 then scan_per_leaf tree txn vctx ~from ~count
+  else scan_batched tree txn vctx ~from ~count ~batch
+
+let scan ?batch tree ~vctx_of ~from ~count =
+  if count <= 0 then []
+  else with_retries tree "scan" (fun txn -> scan_in_txn ?batch tree txn (vctx_of txn) ~from ~count)
 
 (* -------------------------------------------------------------------- *)
 (* Multi-tree transactions                                                *)

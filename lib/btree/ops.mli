@@ -39,6 +39,7 @@ val make_tree :
   ?max_keys_leaf:int ->
   ?max_keys_internal:int ->
   ?max_op_retries:int ->
+  ?scan_batch:int ->
   ?home:int ->
   ?client:int ->
   ?unsafe_dirty_leaf_reads:bool ->
@@ -52,6 +53,10 @@ val make_tree :
 (** Key capacities default to values derived from [layout.node_size]
     assuming short keys and values (the YCSB schema: 14-byte keys,
     8-byte values).
+
+    [scan_batch] is the number of leaves fetched per minitransaction
+    round trip by batched scans (default 16; clamped to >= 1, where 1
+    disables batching and scans re-traverse per leaf).
 
     [client] is this proxy's host id for the network fault model: all
     transactions the tree runs carry it, so injected per-link faults
@@ -135,14 +140,29 @@ val remove : tree -> vctx_of:(Txn.t -> vctx) -> Bkey.t -> bool
 (** [true] if the key was present. *)
 
 val scan :
-  tree -> vctx_of:(Txn.t -> vctx) -> from:Bkey.t -> count:int -> (Bkey.t * string) list
+  ?batch:int ->
+  tree ->
+  vctx_of:(Txn.t -> vctx) ->
+  from:Bkey.t ->
+  count:int ->
+  (Bkey.t * string) list
 (** Up to [count] consecutive entries starting at the smallest key
     >= [from], in key order. Runs as a single transaction: against a
     read-only snapshot this commits for free (leaves are fetched
     directly and guarded by safety checks only); against a writable tip
     every leaf joins the read set and the scan may abort under
     concurrent updates (Sec. 6.3 explains why tip scans are
-    impractical). *)
+    impractical).
+
+    After the first root-to-leaf traversal the scan chases fence keys
+    sideways, fetching up to [batch] (default: the tree's [scan_batch])
+    sibling leaves per minitransaction round trip and overlapping the
+    next batch's fetch with consumption of the current one. Batched
+    leaves are validated individually — fence-key continuity, height,
+    and the Fig. 5 version checks — rather than through a re-traversal;
+    any violation aborts the attempt. [~batch:1] forces the per-leaf
+    path (the oracle the chaos checker compares batched scans
+    against). *)
 
 val run_txn : tree -> (Txn.t -> 'a) -> 'a
 (** Run [f] in a retrying dynamic transaction (the same wrapper the
@@ -158,7 +178,7 @@ val put_in_txn : tree -> Txn.t -> vctx -> Bkey.t -> string -> unit
 val remove_in_txn : tree -> Txn.t -> vctx -> Bkey.t -> bool
 
 val scan_in_txn :
-  tree -> Txn.t -> vctx -> from:Bkey.t -> count:int -> (Bkey.t * string) list
+  ?batch:int -> tree -> Txn.t -> vctx -> from:Bkey.t -> count:int -> (Bkey.t * string) list
 
 (** {1 Multi-tree transactions} *)
 

@@ -15,6 +15,11 @@ type config = {
   think : float;
   kinds : Nemesis.kind list;
   phases : int;
+  mode : Ops.mode;  (** Concurrency-control mode the trees run under. *)
+  scan_heavy : bool;
+      (** Scan-dominated op mix (long ranges, batched-scan stress);
+        every snapshot scan is double-checked against the per-leaf
+        path. *)
   broken : bool;  (** Enable [unsafe_dirty_leaf_reads] (checker must fail). *)
   broken_recovery : bool;
       (** Skip the redo-log replay on replica promotion and recovery
@@ -37,6 +42,8 @@ let default =
     think = 1e-3;
     kinds = Nemesis.all_kinds;
     phases = 2;
+    mode = Ops.Dirty_traversal;
+    scan_heavy = false;
     broken = false;
     broken_recovery = false;
     scs_k = 0.0;
@@ -86,6 +93,7 @@ let run_exn cfg =
       {
         Mconfig.default with
         Mconfig.hosts = cfg.hosts;
+        mode = cfg.mode;
         unsafe_dirty_leaf_reads = cfg.broken;
         scs_min_interval = cfg.scs_k;
         sinfonia =
@@ -127,8 +135,8 @@ let run_exn cfg =
       let crng = Sim.Rng.split rng in
       Sim.spawn
         ~name:(Printf.sprintf "client-%d" k)
-        (Workload.run_client ~session ~rng:crng ~client_id:k ~keys:cfg.keys
-           ~hot_keys:cfg.hot_keys ~think:cfg.think ~deadline ~stats:totals
+        (Workload.run_client ~scan_heavy:cfg.scan_heavy ~session ~rng:crng ~client_id:k
+           ~keys:cfg.keys ~hot_keys:cfg.hot_keys ~think:cfg.think ~deadline ~stats:totals
            ~on_done:(fun () -> decr remaining)))
     sessions;
   let scs = Array.init (Db.n_trees db) (fun i -> Db.scs db ~index:i) in
@@ -189,6 +197,15 @@ let run_exn cfg =
       ~in_doubt:(Cluster.in_doubt_total cluster)
       ~creations ~events:(Check.History.events history) ()
   in
+  (* Batched-vs-per-leaf scan equivalence: any snapshot scan whose two
+     paths disagreed is as fatal as a structural audit failure. *)
+  if totals.Workload.scan_mismatches > 0 then
+    audit_failures :=
+      !audit_failures
+      @ [
+          Printf.sprintf "%d of %d dual scans: batched result differed from per-leaf scan"
+            totals.Workload.scan_mismatches totals.Workload.dual_scans;
+        ];
   let stats = Obs.chaos (Db.obs db) in
   let fault_counts =
     [

@@ -9,6 +9,8 @@ type totals = {
   mutable scans : int;
   mutable snapshots : int;
   mutable snapshot_reads : int;
+  mutable dual_scans : int;
+  mutable scan_mismatches : int;
   mutable too_contended : int;
   mutable ambiguous : int;
 }
@@ -22,6 +24,8 @@ let totals () =
     scans = 0;
     snapshots = 0;
     snapshot_reads = 0;
+    dual_scans = 0;
+    scan_mismatches = 0;
     too_contended = 0;
     ambiguous = 0;
   }
@@ -29,9 +33,9 @@ let totals () =
 let pp_totals fmt t =
   Format.fprintf fmt
     "@[<h>%d ops (%d get, %d put, %d remove, %d scan, %d snapshot + %d snapshot reads); %d \
-     too-contended, %d ambiguous@]"
-    t.ops t.gets t.puts t.removes t.scans t.snapshots t.snapshot_reads t.too_contended
-    t.ambiguous
+     dual scans (%d mismatches); %d too-contended, %d ambiguous@]"
+    t.ops t.gets t.puts t.removes t.scans t.snapshots t.snapshot_reads t.dual_scans
+    t.scan_mismatches t.too_contended t.ambiguous
 
 let key_of i = Printf.sprintf "k%05d" i
 
@@ -41,38 +45,86 @@ let pick_key rng ~keys ~hot_keys =
   if hot_keys > 0 && Sim.Rng.int rng 4 = 0 then key_of (Sim.Rng.int rng hot_keys)
   else key_of (Sim.Rng.int rng keys)
 
+(* Oracle comparison for the batched scan: re-run the same snapshot scan
+   through the per-leaf path ([~batch:1]) and require the identical
+   entry sequence. Snapshots are immutable, so the two paths see the
+   same history; any difference is a batching bug and fails the run
+   (the runner turns [scan_mismatches] into an audit failure). Linear
+   snapshots only: the branching version context cannot be rebuilt from
+   a [Session.snapshot] alone. *)
+let dual_scan_check session (snap : Session.snapshot) ~from ~count batched stats =
+  if not (Minuet.Db.config (Session.db session)).Minuet.Config.branching then begin
+    stats.dual_scans <- stats.dual_scans + 1;
+    let index = Session.index (Session.db session) snap.Session.index in
+    let tree = Session.tree_of session index in
+    let vctx_of _txn =
+      Ops.Linear.at_snapshot tree ~sid:snap.Session.sid ~root:snap.Session.root
+    in
+    let per_leaf = Ops.scan ~batch:1 tree ~vctx_of ~from ~count in
+    let same =
+      List.equal
+        (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && String.equal v1 v2)
+        batched per_leaf
+    in
+    if not same then stats.scan_mismatches <- stats.scan_mismatches + 1
+  end
+
 (* One client loop: mixed reads, updates, inserts/removes, scans and
    snapshot reads against [session], with unique values so the checker
-   can identify every write. Runs until [deadline]; [on_done] is called
-   exactly once afterwards. *)
-let run_client ~session ~rng ~client_id ~keys ~hot_keys ~think ~deadline ~stats ~on_done () =
+   can identify every write. [scan_heavy] shifts the mix toward long
+   range scans (the batched-scan stress profile). Runs until
+   [deadline]; [on_done] is called exactly once afterwards. *)
+let run_client ?(scan_heavy = false) ~session ~rng ~client_id ~keys ~hot_keys ~think ~deadline
+    ~stats ~on_done () =
   let opid = ref 0 in
   let value () =
     incr opid;
     Printf.sprintf "c%d-%d" client_id !opid
   in
+  let scan_count = if scan_heavy then 32 else 8 in
+  let snapshot_reads k =
+    stats.snapshots <- stats.snapshots + 1;
+    let snap = Session.snapshot session in
+    stats.snapshot_reads <- stats.snapshot_reads + 3;
+    ignore (Session.get_at session snap k : string option);
+    ignore (Session.get_at session snap (pick_key rng ~keys ~hot_keys) : string option);
+    let batched = Session.scan_at session snap ~from:k ~count:scan_count in
+    dual_scan_check session snap ~from:k ~count:scan_count batched stats
+  in
   let one_op () =
     let k = pick_key rng ~keys ~hot_keys in
-    match Sim.Rng.int rng 100 with
-    | r when r < 35 ->
-        stats.gets <- stats.gets + 1;
-        ignore (Session.get session k : string option)
-    | r when r < 65 ->
-        stats.puts <- stats.puts + 1;
-        Session.put session k (value ())
-    | r when r < 75 ->
-        stats.removes <- stats.removes + 1;
-        ignore (Session.remove session k : bool)
-    | r when r < 85 ->
-        stats.scans <- stats.scans + 1;
-        ignore (Session.scan session ~from:k ~count:8 : (string * string) list)
-    | _ ->
-        stats.snapshots <- stats.snapshots + 1;
-        let snap = Session.snapshot session in
-        stats.snapshot_reads <- stats.snapshot_reads + 3;
-        ignore (Session.get_at session snap k : string option);
-        ignore (Session.get_at session snap (pick_key rng ~keys ~hot_keys) : string option);
-        ignore (Session.scan_at session snap ~from:k ~count:8 : (string * string) list)
+    if scan_heavy then
+      (* Scan-dominated: long ranges on tip and snapshots, enough writes
+         to keep splitting/moving leaves under the scans' feet. *)
+      match Sim.Rng.int rng 100 with
+      | r when r < 10 ->
+          stats.gets <- stats.gets + 1;
+          ignore (Session.get session k : string option)
+      | r when r < 35 ->
+          stats.puts <- stats.puts + 1;
+          Session.put session k (value ())
+      | r when r < 42 ->
+          stats.removes <- stats.removes + 1;
+          ignore (Session.remove session k : bool)
+      | r when r < 75 ->
+          stats.scans <- stats.scans + 1;
+          ignore (Session.scan session ~from:k ~count:scan_count : (string * string) list)
+      | _ -> snapshot_reads k
+    else
+      match Sim.Rng.int rng 100 with
+      | r when r < 35 ->
+          stats.gets <- stats.gets + 1;
+          ignore (Session.get session k : string option)
+      | r when r < 65 ->
+          stats.puts <- stats.puts + 1;
+          Session.put session k (value ())
+      | r when r < 75 ->
+          stats.removes <- stats.removes + 1;
+          ignore (Session.remove session k : bool)
+      | r when r < 85 ->
+          stats.scans <- stats.scans + 1;
+          ignore (Session.scan session ~from:k ~count:scan_count : (string * string) list)
+      | _ -> snapshot_reads k
   in
   let rec loop () =
     if Sim.now () < deadline then begin

@@ -14,6 +14,10 @@ type t = {
   scs_min_interval : float;  (** Snapshot staleness bound k, seconds (Sec. 6.3). *)
   cache_capacity : int;  (** Proxy object-cache entries. *)
   alloc_chunk : int;  (** Slots reserved per allocator refill. *)
+  scan_batch : int;
+      (** Leaves fetched per minitransaction round trip by batched
+          scans (default 16); 1 re-traverses per leaf (pre-batching
+          behaviour). *)
   unsafe_dirty_leaf_reads : bool;
       (** Deliberately broken concurrency control for checker
           validation: up-to-date leaf reads skip commit-time validation,

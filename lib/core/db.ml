@@ -19,8 +19,8 @@ let make_tree_handle ?client ~config ~cluster ~shared_alloc ~cache ~home ~tree_i
       ~layout:config.Config.layout ~shared:shared_alloc ()
   in
   Ops.make_tree ~mode:config.Config.mode ?max_keys_leaf:config.Config.max_keys_leaf
-    ?max_keys_internal:config.Config.max_keys_internal ~home ?client
-    ~unsafe_dirty_leaf_reads:config.Config.unsafe_dirty_leaf_reads ~cluster
+    ?max_keys_internal:config.Config.max_keys_internal ~scan_batch:config.Config.scan_batch ~home
+    ?client ~unsafe_dirty_leaf_reads:config.Config.unsafe_dirty_leaf_reads ~cluster
     ~layout:config.Config.layout ~tree_id ~alloc ~cache ()
 
 let start ?(config = Config.default) () =
@@ -39,7 +39,10 @@ let start ?(config = Config.default) () =
   let cluster = Cluster.create ~config:sinfonia ~seed ~n:config.Config.hosts () in
   let shared_alloc = Node_alloc.Shared.create ~n_memnodes:config.Config.hosts in
   (* Admin handles used for initialization and the SCS. *)
-  let admin_cache = Dyntxn.Objcache.create ~capacity:config.Config.cache_capacity () in
+  let admin_cache =
+    Dyntxn.Objcache.create ~capacity:config.Config.cache_capacity
+      ~stats:(Obs.cache (Cluster.obs cluster)) ()
+  in
   let gc_trees =
     Array.init config.Config.n_trees (fun tree_id ->
         let tree =

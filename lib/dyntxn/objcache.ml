@@ -1,10 +1,16 @@
 type entry = { seq : int64; payload : string }
 
+type status = Fresh of entry | Stale of entry | Miss
+
 (* LRU: hashtable keyed by address paired with an intrusive
-   doubly-linked recency list. *)
+   doubly-linked recency list. Every node is tagged with the crash
+   epoch of its object's address space at insertion time; a crash bumps
+   the space's epoch (observed from minitransaction replies), turning
+   all older entries Stale without touching them. *)
 type lru_node = {
   key : Objref.t;
   mutable value : entry;
+  mutable epoch : int;
   mutable prev : lru_node option;
   mutable next : lru_node option;
 }
@@ -12,15 +18,44 @@ type lru_node = {
 type t = {
   table : (Objref.t, lru_node) Hashtbl.t;
   capacity : int;
+  stats : Obs.cache_stats option; (* typed Obs mirror, when attached *)
+  space_epochs : (int, int) Hashtbl.t; (* current crash epoch per space *)
   mutable head : lru_node option; (* most recently used *)
   mutable tail : lru_node option; (* least recently used *)
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
+  mutable bulk_evictions : int;
+  mutable stale_hits : int;
+  mutable epoch_revalidations : int;
+  mutable epoch_survived : int;
 }
 
-let create ?(capacity = 65536) () =
+let create ?(capacity = 65536) ?stats () =
   if capacity <= 0 then invalid_arg "Objcache.create: capacity must be positive";
-  { table = Hashtbl.create 1024; capacity; head = None; tail = None; hits = 0; misses = 0 }
+  {
+    table = Hashtbl.create 1024;
+    capacity;
+    stats;
+    space_epochs = Hashtbl.create 8;
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    bulk_evictions = 0;
+    stale_hits = 0;
+    epoch_revalidations = 0;
+    epoch_survived = 0;
+  }
+
+let mirror t f = match t.stats with None -> () | Some s -> Obs.Counter.incr (f s)
+
+let space_epoch t space =
+  match Hashtbl.find_opt t.space_epochs space with Some e -> e | None -> 0
+
+let observe_epoch t ~space ~epoch =
+  if epoch > space_epoch t space then Hashtbl.replace t.space_epochs space epoch
 
 let unlink t node =
   (match node.prev with
@@ -38,33 +73,59 @@ let push_front t node =
   (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
   t.head <- Some node
 
-let find t key =
+let find_status t key =
   match Hashtbl.find_opt t.table key with
   | None ->
       t.misses <- t.misses + 1;
-      None
+      mirror t (fun s -> s.Obs.cache_misses);
+      Miss
   | Some node ->
-      t.hits <- t.hits + 1;
       unlink t node;
       push_front t node;
-      Some node.value
+      if node.epoch = space_epoch t (Objref.node key) then begin
+        t.hits <- t.hits + 1;
+        mirror t (fun s -> s.Obs.cache_hits);
+        Fresh node.value
+      end
+      else begin
+        (* The entry predates a crash of its space. Not counted as a
+           hit: the caller must revalidate it before trusting it. *)
+        t.stale_hits <- t.stale_hits + 1;
+        mirror t (fun s -> s.Obs.cache_stale_hits);
+        Stale node.value
+      end
+
+let find t key =
+  match find_status t key with Fresh e -> Some e | Stale _ | Miss -> None
+
+let note_revalidation t ~survived =
+  t.epoch_revalidations <- t.epoch_revalidations + 1;
+  mirror t (fun s -> s.Obs.cache_epoch_revalidations);
+  if survived then begin
+    t.epoch_survived <- t.epoch_survived + 1;
+    mirror t (fun s -> s.Obs.cache_epoch_survived)
+  end
 
 let evict_lru t =
   match t.tail with
   | None -> ()
   | Some node ->
       unlink t node;
-      Hashtbl.remove t.table node.key
+      Hashtbl.remove t.table node.key;
+      t.evictions <- t.evictions + 1;
+      mirror t (fun s -> s.Obs.cache_evictions)
 
 let insert t key value =
+  let epoch = space_epoch t (Objref.node key) in
   match Hashtbl.find_opt t.table key with
   | Some node ->
       node.value <- value;
+      node.epoch <- epoch;
       unlink t node;
       push_front t node
   | None ->
       if Hashtbl.length t.table >= t.capacity then evict_lru t;
-      let node = { key; value; prev = None; next = None } in
+      let node = { key; value; epoch; prev = None; next = None } in
       Hashtbl.add t.table key node;
       push_front t node
 
@@ -73,15 +134,29 @@ let invalidate t key =
   | None -> ()
   | Some node ->
       unlink t node;
-      Hashtbl.remove t.table key
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1;
+      mirror t (fun s -> s.Obs.cache_evictions)
 
 let clear t =
   Hashtbl.reset t.table;
   t.head <- None;
-  t.tail <- None
+  t.tail <- None;
+  t.bulk_evictions <- t.bulk_evictions + 1;
+  mirror t (fun s -> s.Obs.cache_bulk_evictions)
 
 let size t = Hashtbl.length t.table
 
 let hits t = t.hits
 
 let misses t = t.misses
+
+let evictions t = t.evictions
+
+let bulk_evictions t = t.bulk_evictions
+
+let stale_hits t = t.stale_hits
+
+let epoch_revalidations t = t.epoch_revalidations
+
+let epoch_survived t = t.epoch_survived

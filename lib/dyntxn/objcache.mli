@@ -3,28 +3,74 @@
     The cache is deliberately {e incoherent}: it is never invalidated by
     remote writes (Sec. 2.3). Stale entries are detected later by OCC
     validation or by the fence-key / copied-to safety checks of dirty
-    traversals, which then evict them. LRU eviction bounds memory. *)
+    traversals, which then evict them. LRU eviction bounds memory.
+
+    {b Crash epochs.} Every entry is tagged with the crash epoch of its
+    object's address space at insertion time ({!observe_epoch} keeps the
+    per-space view current from minitransaction replies). After a
+    memnode crash/promotion bumps a space's epoch, that space's older
+    entries turn {!Stale}: lookups report them distinctly and callers
+    lazily revalidate them (re-fetch; the piggy-backed sequence number
+    tells whether the entry survived) instead of flushing the cache
+    wholesale — a crash costs amortized misses, not an invalidation
+    storm. *)
 
 type t
 
 type entry = { seq : int64; payload : string }
 
-val create : ?capacity:int -> unit -> t
-(** [capacity] is the maximum number of cached objects (default 65536). *)
+(** Lookup result: [Fresh] entries are usable as before; [Stale] entries
+    predate a crash of their address space and must be revalidated
+    before use (their [seq] is the comparison point). *)
+type status = Fresh of entry | Stale of entry | Miss
+
+val create : ?capacity:int -> ?stats:Obs.cache_stats -> unit -> t
+(** [capacity] is the maximum number of cached objects (default 65536).
+    [stats] mirrors every counter below into typed {!Obs} metrics (and
+    therefore into [Obs.Report.to_json]). *)
 
 val find : t -> Objref.t -> entry option
-(** Refreshes LRU position on hit. *)
+(** Refreshes LRU position on hit. Stale-epoch entries count as misses
+    here; use {!find_status} to revalidate them instead. *)
+
+val find_status : t -> Objref.t -> status
+(** Like {!find} but distinguishing stale-epoch entries from true
+    misses. *)
 
 val insert : t -> Objref.t -> entry -> unit
-(** Insert or overwrite; may evict the least-recently-used entry. *)
+(** Insert or overwrite (tagging with the space's current epoch); may
+    evict the least-recently-used entry. *)
 
 val invalidate : t -> Objref.t -> unit
 
+val observe_epoch : t -> space:int -> epoch:int -> unit
+(** Record that address space [space] is at crash epoch [epoch] (from a
+    minitransaction reply). Monotonic: older observations are ignored. *)
+
+val note_revalidation : t -> survived:bool -> unit
+(** Account one lazy revalidation of a stale-epoch entry; [survived]
+    when the re-fetch returned the same sequence number (the cached
+    payload was still good). *)
+
 val clear : t -> unit
+(** Drop everything (a bulk eviction — production code paths avoid
+    this; the counter proves it). *)
 
 val size : t -> int
 
 val hits : t -> int
 
 val misses : t -> int
-(** {!find} misses (for reporting cache effectiveness). *)
+(** {!find}/{!find_status} misses (for reporting cache effectiveness). *)
+
+val evictions : t -> int
+(** Entries dropped individually: LRU pressure plus {!invalidate}. *)
+
+val bulk_evictions : t -> int
+(** Number of {!clear} calls. *)
+
+val stale_hits : t -> int
+
+val epoch_revalidations : t -> int
+
+val epoch_survived : t -> int

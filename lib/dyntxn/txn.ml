@@ -97,18 +97,28 @@ let repl_addr t off = Address.make ~node:t.home ~off
 let cache_key_of_repl t off len =
   Objref.make ~addr:(repl_addr t off) ~len
 
+(* Keep the proxy cache's view of per-space crash epochs current from
+   every reply that carries them. *)
+let observe_epochs t epochs =
+  match t.cache with
+  | None -> ()
+  | Some cache ->
+      List.iter (fun (space, epoch) -> Objcache.observe_epoch cache ~space ~epoch) epochs
+
 (* Compare items that re-validate the current read set, restricted to
-   what can be checked at memnode [node]: regular entries stored there
-   plus replicated entries (present on every memnode). Returns the
-   compares, the entries they cover, and whether they cover the whole
-   read set. *)
-let piggyback_compares t ~node =
+   what can be checked at the memnodes in [nodes]: regular entries
+   stored on one of them plus replicated entries (present on every
+   memnode, attached to the first participant to avoid duplicates).
+   Returns the compares, the entries they cover, and whether they cover
+   the whole read set. *)
+let piggyback_compares t ~nodes =
   let compares = ref [] in
   let covered = ref [] in
   let all_covered = ref true in
+  let repl_node = List.hd nodes in
   Hashtbl.iter
     (fun _ entry ->
-      if Objref.node entry.ref_ = node then begin
+      if List.mem (Objref.node entry.ref_) nodes then begin
         compares := seq_compare_at entry.ref_.Objref.addr entry.seq :: !compares;
         covered := `Read entry :: !covered
       end
@@ -116,36 +126,39 @@ let piggyback_compares t ~node =
     t.reads;
   Hashtbl.iter
     (fun off rr ->
-      compares := seq_compare_at (Address.make ~node ~off) rr.rr_seq :: !compares)
+      compares := seq_compare_at (Address.make ~node:repl_node ~off) rr.rr_seq :: !compares)
     t.repl_reads;
   Hashtbl.iter
     (fun off seq ->
       if not (Hashtbl.mem t.repl_reads off) then
-        compares := seq_compare_at (Address.make ~node ~off) seq :: !compares)
+        compares := seq_compare_at (Address.make ~node:repl_node ~off) seq :: !compares)
     t.repl_validates;
   (!compares, !covered, !all_covered)
 
-(* One-object fetch minitransaction, optionally piggy-backing read-set
-   validation (Sec. 2.2). Raises [Aborted] when a piggy-backed
-   comparison fails: the read set is stale and the transaction cannot
-   commit. *)
-let fetch_slot t ~validate (addr : Address.t) ~len =
+(* Multi-object fetch minitransaction, optionally piggy-backing read-set
+   validation (Sec. 2.2). Items are coalesced per memnode by the
+   Mtx/Coordinator machinery: one round trip for a single participant,
+   one parallel 2PC for several. Results are in the order of [refs].
+   Raises [Aborted] when a piggy-backed comparison fails: the read set
+   is stale and the transaction cannot commit. *)
+let fetch_refs t ~validate (refs : Objref.t list) =
   check_live t;
-  let node = addr.Address.node in
+  let nodes = List.sort_uniq Int.compare (List.map Objref.node refs) in
   let compares, covered, all_covered =
-    if validate then piggyback_compares t ~node else ([], [], false)
+    if validate then piggyback_compares t ~nodes else ([], [], false)
   in
-  let mtx = Mtx.make ~compares ~reads:[ Mtx.read_at addr len ] () in
+  let reads = List.map (fun (r : Objref.t) -> Mtx.read_at r.Objref.addr r.Objref.len) refs in
+  let mtx = Mtx.make ~compares ~reads () in
   t.fetches <- t.fetches + 1;
   match Coordinator.exec t.cluster ?client:t.client mtx with
-  | Mtx.Committed { stamp; reads = [ (_, slot) ] } ->
+  | Mtx.Committed { stamp; reads = results; epochs } ->
+      observe_epochs t epochs;
       if validate then begin
         List.iter (fun (`Read entry) -> entry.validated <- true) covered;
         t.fully_validated <- all_covered;
         t.last_validated_stamp <- Some stamp
       end;
-      (Objref.seq_of_slot slot, Objref.payload_of_slot slot)
-  | Mtx.Committed _ -> assert false
+      List.map (fun (_, slot) -> (Objref.seq_of_slot slot, Objref.payload_of_slot slot)) results
   | Mtx.Failed_compare _ ->
       (* Some read-set entry changed under us. Evict what we can from
          the cache and abort. *)
@@ -166,6 +179,11 @@ let fetch_slot t ~validate (addr : Address.t) ~len =
       Obs.abort t.obs ~layer:Obs.Abort.Txn reason;
       fail t (if partitioned then "memnode partitioned" else "memnode unavailable")
 
+let fetch_slot t ~validate (addr : Address.t) ~len =
+  match fetch_refs t ~validate [ Objref.make ~addr ~len ] with
+  | [ r ] -> r
+  | _ -> assert false
+
 let in_write_set t ref_ = Hashtbl.mem t.writes ref_
 
 let read_with_seq t (ref_ : Objref.t) =
@@ -184,6 +202,34 @@ let read_with_seq t (ref_ : Objref.t) =
 
 let read t ref_ = snd (read_with_seq t ref_)
 
+(* Cache lookup distinguishing fresh entries from stale-epoch ones
+   (their space crashed since insertion; the caller re-fetches and
+   reports the revalidation) and true misses. *)
+let cache_lookup t ref_ =
+  match t.cache with
+  | None -> `Absent
+  | Some cache -> (
+      match Objcache.find_status cache ref_ with
+      | Objcache.Fresh { seq; payload } -> `Fresh (seq, payload)
+      | Objcache.Stale { seq; _ } -> `Stale seq
+      | Objcache.Miss -> `Absent)
+
+(* Store a freshly fetched copy back into the cache, closing out a
+   stale-epoch revalidation when [st] says the lookup found one. Empty
+   payloads (deleted/unallocated slots) are never cached: a negative
+   entry served after the slot is reused would be indistinguishable
+   from a live object. *)
+let cache_store t ref_ ~seq ~payload st =
+  match t.cache with
+  | None -> ()
+  | Some cache ->
+      (match st with
+      | `Stale stale_seq ->
+          Objcache.note_revalidation cache ~survived:(Int64.equal stale_seq seq)
+      | `Absent -> ());
+      if String.length payload > 0 then Objcache.insert cache ref_ { Objcache.seq; payload }
+      else Objcache.invalidate cache ref_
+
 let dirty_read_with_seq ?(use_cache = true) t (ref_ : Objref.t) =
   check_live t;
   match Hashtbl.find_opt t.writes ref_ with
@@ -201,27 +247,104 @@ let dirty_read_with_seq ?(use_cache = true) t (ref_ : Objref.t) =
           match Hashtbl.find_opt t.dirty_seen ref_ with
           | Some (seq, payload) -> (seq, payload)
           | None -> (
-              let cached =
-                if use_cache then
-                  match t.cache with None -> None | Some cache -> Objcache.find cache ref_
-                else None
-              in
-              match cached with
-              | Some { Objcache.seq; payload } ->
+              let status = if use_cache then cache_lookup t ref_ else `Absent in
+              match status with
+              | `Fresh (seq, payload) ->
                   Hashtbl.replace t.dirty_seen ref_ (seq, payload);
                   (seq, payload)
-              | None ->
+              | (`Stale _ | `Absent) as st ->
                   let seq, payload =
                     fetch_slot t ~validate:false ref_.Objref.addr ~len:ref_.Objref.len
                   in
                   Hashtbl.replace t.dirty_seen ref_ (seq, payload);
-                  (match t.cache with
-                  | None -> ()
-                  | Some cache ->
-                      if use_cache then Objcache.insert cache ref_ { Objcache.seq; payload });
+                  if use_cache then cache_store t ref_ ~seq ~payload st;
                   (seq, payload))))
 
 let dirty_read ?use_cache t ref_ = snd (dirty_read_with_seq ?use_cache t ref_)
+
+(* De-duplicate while preserving first-occurrence order. *)
+let dedup_refs refs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun r ->
+      if Hashtbl.mem seen r then false
+      else begin
+        Hashtbl.add seen r ();
+        true
+      end)
+    refs
+
+let read_many_with_seq t refs =
+  check_live t;
+  let missing =
+    dedup_refs refs
+    |> List.filter (fun r -> not (Hashtbl.mem t.writes r || Hashtbl.mem t.reads r))
+  in
+  (match missing with
+  | [] -> ()
+  | _ ->
+      (* One minitransaction for every missing object (coalesced per
+         memnode by the coordinator), piggy-backing read-set validation
+         so the batch joins the read set atomically validated. *)
+      let fetched = fetch_refs t ~validate:true missing in
+      List.iter2
+        (fun ref_ (seq, payload) ->
+          Hashtbl.replace t.reads ref_ { ref_; seq; payload; validated = true })
+        missing fetched);
+  List.map (fun r -> read_with_seq t r) refs
+
+let dirty_read_many_with_seq ?(use_cache = true) t refs =
+  check_live t;
+  let resolved = Hashtbl.create 16 in
+  let local r =
+    match Hashtbl.find_opt t.writes r with
+    | Some (payload, _) ->
+        let seq = match Hashtbl.find_opt t.reads r with Some e -> e.seq | None -> 0L in
+        Some (seq, payload)
+    | None -> (
+        match Hashtbl.find_opt t.reads r with
+        | Some e -> Some (e.seq, e.payload)
+        | None -> Hashtbl.find_opt t.dirty_seen r)
+  in
+  (* Resolve from local state / the cache first; whatever remains is
+     fetched in one batched minitransaction. Stale-epoch cache entries
+     are fetched too and accounted as lazy revalidations. *)
+  let missing = ref [] in
+  List.iter
+    (fun r ->
+      if not (Hashtbl.mem resolved r) then
+        match local r with
+        | Some v -> Hashtbl.add resolved r (`Done v)
+        | None -> (
+            let status = if use_cache then cache_lookup t r else `Absent in
+            match status with
+            | `Fresh (seq, payload) ->
+                Hashtbl.replace t.dirty_seen r (seq, payload);
+                Hashtbl.add resolved r (`Done (seq, payload))
+            | `Stale stale_seq ->
+                Hashtbl.add resolved r (`Fetch (`Stale stale_seq));
+                missing := r :: !missing
+            | `Absent ->
+                Hashtbl.add resolved r (`Fetch `Absent);
+                missing := r :: !missing))
+    refs;
+  let missing = List.rev !missing in
+  (match missing with
+  | [] -> ()
+  | _ ->
+      let fetched = fetch_refs t ~validate:false missing in
+      List.iter2
+        (fun r (seq, payload) ->
+          Hashtbl.replace t.dirty_seen r (seq, payload);
+          (match Hashtbl.find_opt resolved r with
+          | Some (`Fetch st) -> if use_cache then cache_store t r ~seq ~payload st
+          | _ -> ());
+          Hashtbl.replace resolved r (`Done (seq, payload)))
+        missing fetched);
+  List.map
+    (fun r ->
+      match Hashtbl.find_opt resolved r with Some (`Done v) -> v | _ -> assert false)
+    refs
 
 let write_gen t (ref_ : Objref.t) payload ~echo =
   check_live t;
@@ -265,47 +388,31 @@ let read_replicated t ~off ~len =
       match Hashtbl.find_opt t.repl_reads off with
       | Some rr -> rr.rr_payload
       | None -> (
-          let cached =
-            match t.cache with
-            | None -> None
-            | Some cache -> Objcache.find cache (cache_key_of_repl t off len)
-          in
-          match cached with
-          | Some { Objcache.seq; payload } ->
+          let key = cache_key_of_repl t off len in
+          match cache_lookup t key with
+          | `Fresh (seq, payload) ->
               Hashtbl.replace t.repl_reads off { rr_len = len; rr_seq = seq; rr_payload = payload };
               (* Served from the (incoherent) cache: the read set is no
                  longer known-consistent until the next validating fetch
                  or commit. *)
               t.fully_validated <- false;
               payload
-          | None ->
+          | (`Stale _ | `Absent) as st ->
               let seq, payload = fetch_slot t ~validate:true (repl_addr t off) ~len in
               Hashtbl.replace t.repl_reads off { rr_len = len; rr_seq = seq; rr_payload = payload };
-              (match t.cache with
-              | None -> ()
-              | Some cache ->
-                  Objcache.insert cache (cache_key_of_repl t off len) { Objcache.seq; payload });
+              cache_store t key ~seq ~payload st;
               payload))
 
 let dirty_read_replicated ?(use_cache = true) t ~off ~len =
   check_live t;
   Hashtbl.replace t.dirty_repl_seen off len;
-  let cached =
-    if use_cache then
-      match t.cache with
-      | None -> None
-      | Some cache -> Objcache.find cache (cache_key_of_repl t off len)
-    else None
-  in
-  match cached with
-  | Some { Objcache.payload; _ } -> payload
-  | None ->
+  let key = cache_key_of_repl t off len in
+  let status = if use_cache then cache_lookup t key else `Absent in
+  match status with
+  | `Fresh (_, payload) -> payload
+  | (`Stale _ | `Absent) as st ->
       let seq, payload = fetch_slot t ~validate:false (repl_addr t off) ~len in
-      (match t.cache with
-      | None -> ()
-      | Some cache ->
-          if use_cache then
-            Objcache.insert cache (cache_key_of_repl t off len) { Objcache.seq; payload });
+      if use_cache then cache_store t key ~seq ~payload st;
       payload
 
 let write_replicated t ~off ~len payload =
@@ -319,6 +426,13 @@ let evict_dirty t =
   | None -> ()
   | Some cache ->
       Hashtbl.iter (fun ref_ _ -> Objcache.invalidate cache ref_) t.dirty_seen;
+      (* Negative entries: a read-set entry observed with an empty
+         payload names a deleted or unallocated slot. Drop any cached
+         copy so a post-abort retry cannot dirty-read the dead node out
+         of the cache and traverse into freed space. *)
+      Hashtbl.iter
+        (fun ref_ e -> if String.length e.payload = 0 then Objcache.invalidate cache ref_)
+        t.reads;
       (* Replicated reads may also have come from the cache. *)
       Hashtbl.iter
         (fun off rr -> Objcache.invalidate cache (cache_key_of_repl t off rr.rr_len))
@@ -442,8 +556,9 @@ let commit ?(blocking = false) t =
     in
     let mode = if blocking then Coordinator.Blocking else Coordinator.Normal in
     match Coordinator.exec t.cluster ?client:t.client ~mode mtx with
-    | Mtx.Committed { stamp; _ } ->
+    | Mtx.Committed { stamp; epochs; _ } ->
         t.commit_stamp_ <- Some stamp;
+        observe_epochs t epochs;
         refresh_cache t written;
         (* Keep the proxy's view of replicated objects it just updated
            fresh (tip pointers, catalog entries). *)

@@ -64,6 +64,20 @@ val dirty_read_with_seq : ?use_cache:bool -> t -> Objref.t -> int64 * string
     validate internal nodes against the replicated sequence-number
     table). *)
 
+val read_many_with_seq : t -> Objref.t list -> (int64 * string) list
+(** Batched {!read_with_seq}: objects not already served locally are
+    fetched by {e one} minitransaction (items coalesced per memnode —
+    one round trip for a single participant, one parallel 2PC for
+    several) that piggy-backs read-set validation, so the whole batch
+    joins the read set atomically validated. Results are in argument
+    order; duplicates are served from the first fetch. The batched
+    leaf scan ({!Btree.Ops.scan}) rides on this. *)
+
+val dirty_read_many_with_seq : ?use_cache:bool -> t -> Objref.t list -> (int64 * string) list
+(** Batched {!dirty_read_with_seq}: objects not resolvable from local
+    state (or the cache, unless [~use_cache:false]) are fetched by one
+    unvalidated minitransaction, coalesced per memnode. *)
+
 val write : t -> Objref.t -> string -> unit
 (** Buffer a write. If the object was previously dirty-read (and is not
     yet in the read set), its observed sequence number is added to the

@@ -14,6 +14,7 @@ module Fig16 = Fig16
 module Fig17 = Fig17
 module Fig18 = Fig18
 module Ablations = Ablations
+module Scan_bench = Scan_bench
 
 let all :
     (string * string * (?params:Exp_common.params -> unit -> Exp_common.row list)) list =

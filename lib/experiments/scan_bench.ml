@@ -1,0 +1,227 @@
+(* Scan-throughput benchmark: batched leaf scans against the per-leaf
+   baseline on the same seed and workload, plus a crash storm proving
+   that proxy caches survive memnode crashes through epoch revalidation
+   rather than bulk flushes. Drives bin/ci.sh's BENCH_scan.json gate. *)
+
+module Session = Minuet.Session
+module Db = Minuet.Db
+module Cluster = Sinfonia.Cluster
+
+type side = {
+  s_scan_batch : int;
+  s_scans : int;  (** Scans completed inside the measurement window. *)
+  s_elapsed : float;  (** Simulated seconds of the measurement window. *)
+  s_scan_batches : int;
+  s_batched_leaves : int;
+  s_continuations : int;
+  s_prefetches : int;
+  s_batch_aborts : int;
+  s_cache_hits : int;
+  s_cache_misses : int;
+  s_stale_hits : int;
+  s_epoch_revalidations : int;
+  s_epoch_survived : int;
+  s_bulk_evictions : int;
+}
+
+let key_of i = Printf.sprintf "k%05d" i
+
+(* One deployment: preload a small-leaf tree, then run contended traffic —
+   writers splitting and moving leaves under 100-leaf range scans —
+   and measure scan completions over a storm-free window. When [storm]
+   is set, a crash/recover storm follows the measurement window with
+   traffic still running, to exercise post-crash cache behaviour. *)
+let run_side ~seed ~scan_batch ~storm ~duration ~keys ~scan_count =
+  (* Tiny leaves under a wide internal fanout: [keys] keys spread over
+     ~keys/3 leaves whose parents hold dozens of children, so one
+     traversal exposes enough right-siblings to fill full batches. *)
+  let config =
+    {
+      Minuet.Config.default with
+      Minuet.Config.hosts = 4;
+      scan_batch;
+      max_keys_leaf = Some 4;
+      max_keys_internal = Some 64;
+    }
+  in
+  Minuet.Harness.run ~seed ~until:((duration *. 8.) +. 60.) ~config @@ fun db ->
+  let cluster = Db.cluster db in
+  let n = Cluster.n_memnodes cluster in
+  let n_sessions = 4 in
+  let sessions =
+    Array.init n_sessions (fun h -> Session.attach ~home:(h mod n) ~client:(n + h) db)
+  in
+  for i = 0 to keys - 1 do
+    Session.put sessions.(i mod n_sessions) (key_of i) (Printf.sprintf "v%d" i)
+  done;
+  let stop = ref false in
+  let measuring = ref false in
+  let scans = ref 0 in
+  let rng = Sim.Rng.create (seed lxor 0x5ca9) in
+  (* Writers keep the tip moving (splits, COW, removals) so scans are
+     contended rather than read-only-idle. *)
+  for w = 0 to 1 do
+    let wrng = Sim.Rng.split rng in
+    Sim.spawn ~name:(Printf.sprintf "scan-bench-writer-%d" w) (fun () ->
+        let i = ref 0 in
+        while not !stop do
+          let k = key_of (Sim.Rng.int wrng keys) in
+          (try
+             if Sim.Rng.int wrng 10 = 0 then ignore (Session.remove sessions.(w) k : bool)
+             else Session.put sessions.(w) k (Printf.sprintf "w%d-%d" w !i)
+           with Btree.Ops.Too_contended _ | Btree.Ops.Ambiguous _ -> ());
+          incr i;
+          Sim.delay 2e-4
+        done)
+  done;
+  (* Scanners: snapshot range scans spanning ~scan_count/4 leaves. *)
+  for c = 0 to n_sessions - 1 do
+    let srng = Sim.Rng.split rng in
+    Sim.spawn ~name:(Printf.sprintf "scan-bench-scanner-%d" c) (fun () ->
+        while not !stop do
+          let start = Sim.Rng.int srng (max 1 (keys - scan_count)) in
+          (try
+             let s = sessions.(c) in
+             let snap = Session.snapshot s in
+             ignore
+               (Session.scan_at s snap ~from:(key_of start) ~count:scan_count
+                 : (string * string) list);
+             if !measuring then incr scans
+           with Btree.Ops.Too_contended _ | Btree.Ops.Ambiguous _ -> ());
+          Sim.delay 1e-4
+        done)
+  done;
+  (* Warmup, then a storm-free measurement window. *)
+  Sim.delay (duration *. 0.25);
+  measuring := true;
+  let t0 = Sim.now () in
+  Sim.delay duration;
+  measuring := false;
+  let elapsed = Sim.now () -. t0 in
+  let measured = !scans in
+  if storm then begin
+    (* Crash storm with traffic still running: each crash promotes the
+       victim's replica and bumps the space's epoch, turning that
+       space's cached entries stale at every proxy. Recovery must then
+       happen by lazy revalidation — never by a bulk flush. *)
+    for cycle = 0 to 5 do
+      let victim = 1 + (cycle mod (n - 1)) in
+      Cluster.crash cluster victim;
+      Sim.delay 0.05;
+      (match Cluster.try_recover cluster victim with Ok () -> () | Error _ -> ());
+      Sim.delay 0.05
+    done;
+    Sim.delay (duration *. 0.5)
+  end;
+  stop := true;
+  Sim.delay 0.05;
+  let obs = Db.obs db in
+  let v = Obs.Counter.value in
+  let cs = Obs.cache obs in
+  let ss = Obs.scan obs in
+  {
+    s_scan_batch = scan_batch;
+    s_scans = measured;
+    s_elapsed = elapsed;
+    s_scan_batches = v ss.Obs.scan_batches;
+    s_batched_leaves = v ss.Obs.scan_batched_leaves;
+    s_continuations = v ss.Obs.scan_continuations;
+    s_prefetches = v ss.Obs.scan_prefetches;
+    s_batch_aborts = v ss.Obs.scan_batch_aborts;
+    s_cache_hits = v cs.Obs.cache_hits;
+    s_cache_misses = v cs.Obs.cache_misses;
+    s_stale_hits = v cs.Obs.cache_stale_hits;
+    s_epoch_revalidations = v cs.Obs.cache_epoch_revalidations;
+    s_epoch_survived = v cs.Obs.cache_epoch_survived;
+    s_bulk_evictions = v cs.Obs.cache_bulk_evictions;
+  }
+
+let ops_per_s side = float_of_int side.s_scans /. side.s_elapsed
+
+let side_json side =
+  Obs.Json.Obj
+    [
+      ("scan_batch", Obs.Json.Int side.s_scan_batch);
+      ("scans", Obs.Json.Int side.s_scans);
+      ("window_s", Obs.Json.Float side.s_elapsed);
+      ("ops_per_s", Obs.Json.Float (ops_per_s side));
+      ("scan_batches", Obs.Json.Int side.s_scan_batches);
+      ("scan_batched_leaves", Obs.Json.Int side.s_batched_leaves);
+      ("scan_continuations", Obs.Json.Int side.s_continuations);
+      ("scan_prefetches", Obs.Json.Int side.s_prefetches);
+      ("scan_batch_aborts", Obs.Json.Int side.s_batch_aborts);
+      ("cache_hits", Obs.Json.Int side.s_cache_hits);
+      ("cache_misses", Obs.Json.Int side.s_cache_misses);
+      ("cache_stale_hits", Obs.Json.Int side.s_stale_hits);
+      ("cache_epoch_revalidations", Obs.Json.Int side.s_epoch_revalidations);
+      ("cache_epoch_survived", Obs.Json.Int side.s_epoch_survived);
+      ("cache_bulk_evictions", Obs.Json.Int side.s_bulk_evictions);
+    ]
+
+(* Run both sides, write [dir]/BENCH_scan.json, and return whether the
+   acceptance gates hold: batched throughput at least [min_speedup] over
+   per-leaf, post-crash epoch revalidation actually exercised, and no
+   bulk eviction anywhere. *)
+let run ?(seed = 0x5ca9) ?(duration = 0.5) ?(keys = 600) ?(scan_count = 400) ?(dir = ".")
+    ?(min_speedup = 2.0) () =
+  (* 100-leaf ranges at 4 keys per leaf. *)
+  let batched = run_side ~seed ~scan_batch:16 ~storm:true ~duration ~keys ~scan_count in
+  let per_leaf = run_side ~seed ~scan_batch:1 ~storm:false ~duration ~keys ~scan_count in
+  let speedup = ops_per_s batched /. ops_per_s per_leaf in
+  let leaves_per_roundtrip =
+    if batched.s_scan_batches = 0 then 0.0
+    else float_of_int batched.s_batched_leaves /. float_of_int batched.s_scan_batches
+  in
+  let lookups =
+    batched.s_cache_hits + batched.s_cache_misses + batched.s_stale_hits
+  in
+  let hit_rate =
+    if lookups = 0 then 0.0 else float_of_int batched.s_cache_hits /. float_of_int lookups
+  in
+  let ok_speedup = speedup >= min_speedup in
+  let ok_epochs = batched.s_epoch_revalidations > 0 in
+  let ok_no_flush = batched.s_bulk_evictions = 0 && per_leaf.s_bulk_evictions = 0 in
+  let json =
+    Obs.Json.Obj
+      [
+        ("bench", Obs.Json.String "scan");
+        ("schema_version", Obs.Json.Int 1);
+        ("seed", Obs.Json.Int seed);
+        ("keys", Obs.Json.Int keys);
+        ("scan_count", Obs.Json.Int scan_count);
+        ("batched", side_json batched);
+        ("per_leaf", side_json per_leaf);
+        ("speedup", Obs.Json.Float speedup);
+        ("min_speedup", Obs.Json.Float min_speedup);
+        ("leaves_per_roundtrip", Obs.Json.Float leaves_per_roundtrip);
+        ("cache_hit_rate", Obs.Json.Float hit_rate);
+        ("epoch_revalidations", Obs.Json.Int batched.s_epoch_revalidations);
+        ("epoch_survival_rate",
+         Obs.Json.Float
+           (if batched.s_epoch_revalidations = 0 then 0.0
+            else
+              float_of_int batched.s_epoch_survived
+              /. float_of_int batched.s_epoch_revalidations));
+        ("bulk_evictions", Obs.Json.Int (batched.s_bulk_evictions + per_leaf.s_bulk_evictions));
+        ("pass", Obs.Json.Bool (ok_speedup && ok_epochs && ok_no_flush));
+      ]
+  in
+  let path = Filename.concat dir "BENCH_scan.json" in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf
+    "scan bench: batched %.0f scans/s vs per-leaf %.0f scans/s (speedup %.2fx, need %.2fx)\n"
+    (ops_per_s batched) (ops_per_s per_leaf) speedup min_speedup;
+  Printf.printf "  leaves/roundtrip %.1f, cache hit rate %.3f, prefetches %d, batch aborts %d\n"
+    leaves_per_roundtrip hit_rate batched.s_prefetches batched.s_batch_aborts;
+  Printf.printf "  crash storm: %d epoch revalidations (%d survived), %d bulk evictions\n"
+    batched.s_epoch_revalidations batched.s_epoch_survived
+    (batched.s_bulk_evictions + per_leaf.s_bulk_evictions);
+  if not ok_speedup then Printf.printf "  FAIL: speedup below %.2fx\n" min_speedup;
+  if not ok_epochs then
+    Printf.printf "  FAIL: crash storm exercised no epoch revalidation\n";
+  if not ok_no_flush then Printf.printf "  FAIL: bulk cache eviction occurred\n";
+  Printf.printf "  report written to %s\n%!" path;
+  ok_speedup && ok_epochs && ok_no_flush

@@ -129,6 +129,24 @@ type btree_stats = {
   chunk_reservations : Counter.t;
 }
 
+type cache_stats = {
+  cache_hits : Counter.t;
+  cache_misses : Counter.t;
+  cache_evictions : Counter.t;
+  cache_bulk_evictions : Counter.t;
+  cache_stale_hits : Counter.t;
+  cache_epoch_revalidations : Counter.t;
+  cache_epoch_survived : Counter.t;
+}
+
+type scan_stats = {
+  scan_batches : Counter.t;
+  scan_batched_leaves : Counter.t;
+  scan_continuations : Counter.t;
+  scan_prefetches : Counter.t;
+  scan_batch_aborts : Counter.t;
+}
+
 type gc_stats = { slots_reclaimed : Counter.t; branch_slots_reclaimed : Counter.t }
 
 type scs_stats = {
@@ -165,6 +183,7 @@ module Span = struct
     | Attempt
     | Commit
     | Traversal
+    | Scan_batch
     | Mtx_exec
     | Mtx_prepare
     | Mtx_commit
@@ -179,6 +198,7 @@ module Span = struct
     | Attempt -> "txn.attempt"
     | Commit -> "txn.commit"
     | Traversal -> "btree.traversal"
+    | Scan_batch -> "btree.scan_batch"
     | Mtx_exec -> "mtx.exec"
     | Mtx_prepare -> "mtx.prepare"
     | Mtx_commit -> "mtx.commit"
@@ -206,6 +226,8 @@ type t = {
   mtx_stats : mtx_stats;
   txn_stats : txn_stats;
   btree_stats : btree_stats;
+  cache_stats : cache_stats;
+  scan_stats : scan_stats;
   gc_stats : gc_stats;
   scs_stats : scs_stats;
   chaos_stats : chaos_stats;
@@ -269,6 +291,26 @@ let create ?(span_capacity = 65536) () =
       chunk_reservations = c "alloc.chunk_reservations";
     }
   in
+  let cache_stats =
+    {
+      cache_hits = c "cache.hits";
+      cache_misses = c "cache.misses";
+      cache_evictions = c "cache.evictions";
+      cache_bulk_evictions = c "cache.bulk_evictions";
+      cache_stale_hits = c "cache.stale_epoch_hits";
+      cache_epoch_revalidations = c "cache.epoch_revalidations";
+      cache_epoch_survived = c "cache.epoch_survived";
+    }
+  in
+  let scan_stats =
+    {
+      scan_batches = c "scan.batches";
+      scan_batched_leaves = c "scan.batched_leaves";
+      scan_continuations = c "scan.continuations";
+      scan_prefetches = c "scan.prefetches";
+      scan_batch_aborts = c "scan.batch_aborts";
+    }
+  in
   let gc_stats =
     {
       slots_reclaimed = c "gc.slots_reclaimed";
@@ -329,6 +371,8 @@ let create ?(span_capacity = 65536) () =
     mtx_stats;
     txn_stats;
     btree_stats;
+    cache_stats;
+    scan_stats;
     gc_stats;
     scs_stats;
     chaos_stats;
@@ -347,6 +391,10 @@ let mtx t = t.mtx_stats
 let txn t = t.txn_stats
 
 let btree t = t.btree_stats
+
+let cache t = t.cache_stats
+
+let scan t = t.scan_stats
 
 let gc t = t.gc_stats
 

@@ -98,6 +98,46 @@ type btree_stats = {
   chunk_reservations : Counter.t;
 }
 
+(** Proxy object-cache accounting ({!Dyntxn.Objcache}). Hits/misses were
+    the only cache signals before; evictions (LRU + explicit
+    invalidation), bulk evictions ({!Dyntxn.Objcache.clear} — a healthy
+    run after a crash keeps this at 0) and the epoch-revalidation
+    machinery are all first-class so crash-recovery cache behaviour
+    shows up in every report. *)
+type cache_stats = {
+  cache_hits : Counter.t;
+  cache_misses : Counter.t;
+  cache_evictions : Counter.t;
+      (** Entries dropped one at a time (LRU pressure or targeted
+          invalidation after an abort). *)
+  cache_bulk_evictions : Counter.t;
+      (** Whole-cache flushes. Stays 0 when crash recovery relies on
+          epoch revalidation instead of flushing. *)
+  cache_stale_hits : Counter.t;
+      (** Lookups that found an entry tagged with a pre-crash epoch. *)
+  cache_epoch_revalidations : Counter.t;
+      (** Stale-epoch entries lazily re-fetched and re-tagged. *)
+  cache_epoch_survived : Counter.t;
+      (** Revalidations whose sequence number was unchanged — the entry
+          was still good and a bulk flush would have wasted it. *)
+}
+
+(** Batched-scan accounting (the leaf-chaining fast path in
+    {!Btree.Ops}). *)
+type scan_stats = {
+  scan_batches : Counter.t;  (** Multi-leaf fetch rounds issued. *)
+  scan_batched_leaves : Counter.t;  (** Leaves fetched via batch rounds. *)
+  scan_continuations : Counter.t;
+      (** Fence-key continuations: re-traversals after exhausting a
+          parent's children. *)
+  scan_prefetches : Counter.t;
+      (** Batch fetches overlapped with consumption of the previous
+          batch. *)
+  scan_batch_aborts : Counter.t;
+      (** Batches whose safety checks (fence continuity, height,
+          version) failed, aborting the scan attempt. *)
+}
+
 type gc_stats = { slots_reclaimed : Counter.t; branch_slots_reclaimed : Counter.t }
 
 type scs_stats = {
@@ -139,6 +179,10 @@ val mtx : t -> mtx_stats
 val txn : t -> txn_stats
 
 val btree : t -> btree_stats
+
+val cache : t -> cache_stats
+
+val scan : t -> scan_stats
 
 val gc : t -> gc_stats
 
@@ -208,6 +252,7 @@ module Span : sig
     | Attempt  (** One optimistic attempt inside a {!Txn}. *)
     | Commit  (** Dynamic-transaction commit (validation + write-back). *)
     | Traversal  (** Root-to-leaf descent. *)
+    | Scan_batch  (** One multi-leaf fetch round of a batched scan. *)
     | Mtx_exec  (** Single-memnode minitransaction (1PC fast path). *)
     | Mtx_prepare  (** Prepare phase of a 2PC minitransaction. *)
     | Mtx_commit  (** Commit phase of a 2PC minitransaction. *)

@@ -71,6 +71,12 @@ let n_memnodes t = Array.length t.memnodes
 
 let memnode t i = t.memnodes.(i)
 
+(* Address space [i]'s crash epoch. The epoch lives on memnode [i]
+   itself (bumped by Memnode.crash / crash_now, i.e. at the same instant
+   its replica is promoted), so it is correct even while the space is
+   being served from a backup. *)
+let space_epoch t i = Memnode.epoch t.memnodes.(i)
+
 let redo_log t i = t.redo_logs.(i)
 
 let net t = t.net

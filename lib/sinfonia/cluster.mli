@@ -19,6 +19,12 @@ val n_memnodes : t -> int
 
 val memnode : t -> int -> Memnode.t
 
+val space_epoch : t -> int -> int
+(** Address space [i]'s crash epoch: bumped once per crash of its
+    primary (at the instant the replica is promoted). Carried on
+    minitransaction replies ({!Mtx.outcome}) so proxies can lazily
+    revalidate cache entries that predate a crash. *)
+
 val redo_log : t -> int -> Redo_log.t
 (** Address space [i]'s redo log (shared by its primary and replica
     stores). *)

@@ -70,12 +70,23 @@ let backoff_delay cluster attempt =
 let merge_reads parts_results =
   List.concat parts_results |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
+(* Crash epochs of the participating address spaces, sampled for the
+   reply. Sampled after execution: any crash that landed before the
+   participant served us is visible, so a proxy that sees epoch [e] on a
+   reply knows entries cached under [e' < e] predate a crash. *)
+let reply_epochs cluster (mtx : Mtx.t) =
+  List.map (fun node -> (node, Cluster.space_epoch cluster node)) (Mtx.memnodes mtx)
+
 (* Reads are tagged with their index into [mtx.reads]; translate back to
    (address, data) pairs in declaration order. *)
-let outcome_of_reads (mtx : Mtx.t) ~stamp indexed =
+let outcome_of_reads cluster (mtx : Mtx.t) ~stamp indexed =
   let arr = Array.of_list mtx.reads in
   Mtx.Committed
-    { stamp; reads = List.map (fun (i, data) -> ((arr.(i)).Mtx.r_addr, data)) indexed }
+    {
+      stamp;
+      reads = List.map (fun (i, data) -> ((arr.(i)).Mtx.r_addr, data)) indexed;
+      epochs = reply_epochs cluster mtx;
+    }
 
 let exec_single cluster ~client ~mode (mtx : Mtx.t) node =
   let cfg = Cluster.config cluster in
@@ -135,7 +146,7 @@ let exec_single cluster ~client ~mode (mtx : Mtx.t) node =
           match result with
           | Memnode.Prepared reads, Some stamp ->
               Obs.Counter.incr stats.Obs.committed_1pc;
-              outcome_of_reads mtx ~stamp (merge_reads [ reads ])
+              outcome_of_reads cluster mtx ~stamp (merge_reads [ reads ])
           | Memnode.Prepared _, None -> assert false
           | Memnode.Busy_locks, _ ->
               Obs.Counter.incr stats.Obs.busy_retries;
@@ -315,19 +326,20 @@ let exec_multi cluster ~client ~mode (mtx : Mtx.t) nodes =
                        Memnode.end_serving mn store))));
         Obs.Counter.incr stats.Obs.committed_2pc;
         let reads = List.concat_map (fun (_, _, _, reads) -> reads) prepared in
-        outcome_of_reads mtx ~stamp (merge_reads [ reads ])
+        outcome_of_reads cluster mtx ~stamp (merge_reads [ reads ])
       end
     end
   in
   attempt 0
 
 let exec cluster ?client ?(mode = Normal) mtx =
-  if Mtx.is_empty mtx then Mtx.Committed { stamp = Cluster.take_stamp cluster; reads = [] }
+  if Mtx.is_empty mtx then
+    Mtx.Committed { stamp = Cluster.take_stamp cluster; reads = []; epochs = [] }
   else
     let obs = Cluster.obs cluster in
     match
       match Mtx.memnodes mtx with
-      | [] -> Mtx.Committed { stamp = Cluster.take_stamp cluster; reads = [] }
+      | [] -> Mtx.Committed { stamp = Cluster.take_stamp cluster; reads = []; epochs = [] }
       | [ node ] -> exec_single cluster ~client ~mode mtx node
       | nodes -> exec_multi cluster ~client ~mode mtx nodes
     with

@@ -44,13 +44,21 @@ let byte_count t =
   + List.fold_left (fun acc w -> acc + String.length w.w_data) 0 t.writes
 
 type outcome =
-  | Committed of { stamp : int64; reads : (Address.t * string) list }
+  | Committed of {
+      stamp : int64;
+      reads : (Address.t * string) list;
+      epochs : (int * int) list;
+          (* (address space, crash epoch) for every participating
+             memnode, observed while its locks were held. Proxies use
+             these to lazily age out cache entries from before a crash
+             instead of flushing wholesale. *)
+    }
   | Failed_compare of int list
   | Busy
   | Unavailable of { maybe_applied : bool; partitioned : bool }
 
 let pp_outcome fmt = function
-  | Committed { stamp; reads } ->
+  | Committed { stamp; reads; _ } ->
       Format.fprintf fmt "Committed(stamp=%Ld, %d reads)" stamp (List.length reads)
   | Failed_compare idxs ->
       Format.fprintf fmt "Failed_compare[%a]"

@@ -46,13 +46,24 @@ val byte_count : t -> int
     modelling. *)
 
 type outcome =
-  | Committed of { stamp : int64; reads : (Address.t * string) list }
+  | Committed of {
+      stamp : int64;
+      reads : (Address.t * string) list;
+      epochs : (int * int) list;
+    }
       (** [reads] are the read results, in the order of the [reads]
           field. [stamp] is the minitransaction's commit stamp, drawn
           from a cluster-global counter {e while every participant's
           locks were held}: stamp order of two conflicting
           minitransactions is therefore their serialization order. The
-          checker ([minuet.check]) replays histories in stamp order. *)
+          checker ([minuet.check]) replays histories in stamp order.
+
+          [epochs] piggy-backs each participating address space's crash
+          epoch ({!Cluster.space_epoch}) on the reply: a crash or
+          replica promotion bumps the epoch, and proxies use the
+          observed values to lazily revalidate (rather than bulk-evict)
+          cache entries that predate a crash. Empty for the trivial
+          no-participant commit. *)
   | Failed_compare of int list
       (** Indices (into [compares]) of the comparisons that failed. *)
   | Busy  (** A lock could not be acquired; caller should retry. *)

@@ -675,6 +675,176 @@ let test_multi_tree_concurrent_atomicity () =
       check Alcotest.int "writers done" 2 !writers_done;
       check Alcotest.int "no torn multi-tree reads" 0 !violations)
 
+(* ------------------------------------------------------------------ *)
+(* Batched scans (fence-key continuation)                               *)
+(* ------------------------------------------------------------------ *)
+
+let scan_b tree ~batch ~from ~count = Ops.scan ~batch tree ~vctx_of:(tip tree) ~from ~count
+
+let scan_counters env = Obs.scan (Cluster.obs env.cluster)
+
+let test_batched_scan_matches_per_leaf mode () =
+  (* Every batch size must return exactly the per-leaf sequence, and the
+     batched path must actually run (batch rounds + continuations). *)
+  Sim.run (fun () ->
+      let env = make_env ~n:3 () in
+      let tree = make_tree env ~mode ~max_keys:4 in
+      Ops.Linear.init_tree tree;
+      let rng = Sim.Rng.create 17 in
+      for i = 0 to 249 do
+        put tree (key (Sim.Rng.int rng 600)) (value i)
+      done;
+      let ss = scan_counters env in
+      let batches_before = Obs.Counter.value ss.Obs.scan_batches in
+      List.iter
+        (fun (from, count) ->
+          let oracle = scan_b tree ~batch:1 ~from ~count in
+          List.iter
+            (fun batch ->
+              let got = scan_b tree ~batch ~from ~count in
+              if got <> oracle then
+                Alcotest.fail
+                  (Printf.sprintf "batch=%d diverged from per-leaf at from=%S count=%d" batch
+                     from count))
+            [ 2; 4; 16; 64 ])
+        [ ("", 1000); ("", 37); (key 100, 80); (key 300, 200); (key 599, 10); (key 600, 5) ];
+      check Alcotest.bool "batch rounds ran" true
+        (Obs.Counter.value ss.Obs.scan_batches > batches_before);
+      check Alcotest.bool "continuations ran" true
+        (Obs.Counter.value ss.Obs.scan_continuations > 0))
+
+let test_batched_scan_crossing_concurrent_splits mode () =
+  (* A batched scan runs while a second proxy splits and empties leaves
+     under it. Every scan must return a correct prefix of the tree as of
+     some serialization point: sorted, duplicate-free keys with the
+     values some committed state held. *)
+  Sim.run (fun () ->
+      let env = make_env ~n:3 () in
+      let t1 = make_tree env ~mode ~max_keys:4 ~cache:(Objcache.create ()) in
+      Ops.Linear.init_tree t1;
+      let t2 = make_tree env ~mode ~max_keys:4 ~cache:(Objcache.create ()) in
+      for i = 0 to 199 do
+        put t1 (key i) "base"
+      done;
+      (* Warm the scanner proxy's cache over the whole range. *)
+      ignore (scan_b t2 ~batch:16 ~from:"" ~count:1000 : (string * string) list);
+      let writer_done = ref false in
+      Sim.spawn (fun () ->
+          (* Interleave splits (fresh keys between existing ones) with
+             removals that empty whole leaves. *)
+          for i = 0 to 199 do
+            put t1 (key i ^ "-mid") "split";
+            if i mod 3 = 0 then ignore (remove t1 (key i) : bool)
+          done;
+          writer_done := true);
+      let scans_ok = ref 0 in
+      Sim.spawn (fun () ->
+          while not !writer_done do
+            let r = scan_b t2 ~batch:8 ~from:"" ~count:1000 in
+            (* Keys strictly sorted (no duplicate, no out-of-order entry
+               from a stale sibling) and every value one a committed
+               state could hold. *)
+            let rec sorted = function
+              | (a, _) :: ((b, _) :: _ as tl) -> Bkey.compare a b < 0 && sorted tl
+              | _ -> true
+            in
+            if not (sorted r) then Alcotest.fail "batched scan returned unsorted keys";
+            List.iter
+              (fun (_, v) ->
+                if v <> "base" && v <> "split" then
+                  Alcotest.fail ("batched scan saw impossible value " ^ v))
+              r;
+            incr scans_ok;
+            Sim.delay 1e-4
+          done);
+      Sim.delay 3600.0;
+      check Alcotest.bool "writer finished" true !writer_done;
+      check Alcotest.bool "scans ran during the storm" true (!scans_ok > 0);
+      (* Final state agrees between the reshaping proxy and the scanner
+         in both batch modes. *)
+      let final_batched = scan_b t2 ~batch:16 ~from:"" ~count:1000 in
+      let final_per_leaf = scan_b t1 ~batch:1 ~from:"" ~count:1000 in
+      check Alcotest.bool "final scans agree" true (final_batched = final_per_leaf);
+      check Alcotest.int "final size" 333 (List.length final_batched))
+
+let test_batched_scan_aborts_when_leaf_moves mode () =
+  (* A leaf moving mid-batch: a writer keeps splitting tail leaves while
+     a batched read-only scan (pinned at the tip version, so its leaf
+     fetches are unvalidated single round trips) is in flight. A sibling
+     fetched from the already-traversed parent then no longer starts
+     where its left neighbour ended — the scan must abort that batch on
+     the fence check (scan_batch_aborts) and retry to a clean result,
+     never silently skip or repeat keys from a moved leaf. A wide
+     internal fanout with a small batch size keeps many batch rounds in
+     flight under one parent, which is exactly the stale window. *)
+  Sim.run (fun () ->
+      (* Wide internal nodes need room: a private env with 2KiB slots. *)
+      let layout = Layout.make ~node_size:2048 ~max_slots:4096 ~max_trees:4 ~max_snapshots:256 () in
+      let config =
+        { Sinfonia.Config.default with heap_capacity = Layout.heap_capacity_needed layout }
+      in
+      let cluster = Cluster.create ~config ~n:2 () in
+      let shared = Node_alloc.Shared.create ~n_memnodes:2 in
+      let env = { cluster; layout; shared; cache = Objcache.create () } in
+      let mk cache =
+        let alloc = Node_alloc.create ~cluster ~layout ~shared () in
+        Ops.make_tree ~mode ~max_keys_leaf:4 ~max_keys_internal:32 ~cluster ~layout ~tree_id:0
+          ~alloc ~cache ()
+      in
+      let t1 = mk (Objcache.create ()) in
+      Ops.Linear.init_tree t1;
+      let t2 = mk (Objcache.create ()) in
+      for i = 0 to 149 do
+        put t1 (key (2 * i)) "v0"
+      done;
+      let ss = scan_counters env in
+      let aborts_before = Obs.Counter.value ss.Obs.scan_batch_aborts in
+      (* Writer: endless splits in the scan's tail region (fresh unique
+         keys), so leaves keep moving while the scan is under way. *)
+      let stop = ref false in
+      let j = ref 0 in
+      Sim.spawn (fun () ->
+          while not !stop do
+            incr j;
+            put t1 (Printf.sprintf "%s-%06d" (key (201 + (!j mod 79))) !j) "v1";
+            Sim.delay 1e-5
+          done);
+      let rec sorted = function
+        | (a, _) :: ((b, _) :: _ as tl) -> Bkey.compare a b < 0 && sorted tl
+        | _ -> true
+      in
+      let scan_pinned () =
+        (* Pin the scan at the tip version: read-only, so batched leaf
+           fetches take the dirty single-round-trip path in both modes. *)
+        let sid, root = read_tip t2 in
+        Ops.scan ~batch:4 t2
+          ~vctx_of:(fun _txn -> Ops.Linear.at_snapshot t2 ~sid ~root)
+          ~from:"" ~count:2000
+      in
+      let tries = ref 0 in
+      while Obs.Counter.value ss.Obs.scan_batch_aborts = aborts_before && !tries < 200 do
+        incr tries;
+        match scan_pinned () with
+        | r ->
+            if not (sorted r) then Alcotest.fail "batched scan returned unsorted keys";
+            List.iter
+              (fun (_, v) ->
+                if v <> "v0" && v <> "v1" then
+                  Alcotest.fail ("batched scan saw impossible value " ^ v))
+              r
+        (* The scan can starve under this write rate; retry exhaustion
+           is an abort, never a wrong answer. *)
+        | exception Ops.Too_contended _ -> ()
+      done;
+      stop := true;
+      check Alcotest.bool "mid-batch abort fired" true
+        (Obs.Counter.value ss.Obs.scan_batch_aborts > aborts_before);
+      (* Quiesced, both proxies and both batch modes agree exactly. *)
+      Sim.delay 1.0;
+      let expected = scan_b t1 ~batch:1 ~from:"" ~count:2000 in
+      check Alcotest.bool "scan correct after leaf moves" true
+        (scan_b t2 ~batch:16 ~from:"" ~count:2000 = expected))
+
 let () =
   Alcotest.run "btree"
     [
@@ -731,5 +901,20 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_multi_tree_ops;
           Alcotest.test_case "atomicity" `Quick test_multi_tree_concurrent_atomicity;
+        ] );
+      ( "batched-scan",
+        [
+          Alcotest.test_case "matches per-leaf (dirty)" `Quick
+            (test_batched_scan_matches_per_leaf Ops.Dirty_traversal);
+          Alcotest.test_case "matches per-leaf (validated)" `Quick
+            (test_batched_scan_matches_per_leaf Ops.Validated_traversal);
+          Alcotest.test_case "concurrent splits/merges (dirty)" `Quick
+            (test_batched_scan_crossing_concurrent_splits Ops.Dirty_traversal);
+          Alcotest.test_case "concurrent splits/merges (validated)" `Quick
+            (test_batched_scan_crossing_concurrent_splits Ops.Validated_traversal);
+          Alcotest.test_case "mid-batch leaf move aborts (dirty)" `Quick
+            (test_batched_scan_aborts_when_leaf_moves Ops.Dirty_traversal);
+          Alcotest.test_case "mid-batch leaf move aborts (validated)" `Quick
+            (test_batched_scan_aborts_when_leaf_moves Ops.Validated_traversal);
         ] );
     ]

@@ -98,7 +98,42 @@ let test_cache_clear () =
   let c = Objcache.create () in
   Objcache.insert c (slot 0 base) (entry 1L "v");
   Objcache.clear c;
-  check Alcotest.int "cleared" 0 (Objcache.size c)
+  check Alcotest.int "cleared" 0 (Objcache.size c);
+  check Alcotest.int "bulk eviction counted" 1 (Objcache.bulk_evictions c)
+
+let test_cache_epoch_staleness () =
+  let c = Objcache.create () in
+  let r0 = slot 0 base and r1 = slot 1 base in
+  Objcache.insert c r0 (entry 1L "space0");
+  Objcache.insert c r1 (entry 2L "space1");
+  (* A crash of space 0 turns only space-0 entries stale. *)
+  Objcache.observe_epoch c ~space:0 ~epoch:1;
+  (match Objcache.find_status c r0 with
+  | Objcache.Stale { Objcache.seq = 1L; payload = "space0" } -> ()
+  | _ -> Alcotest.fail "space-0 entry should be stale after its epoch bump");
+  (match Objcache.find_status c r1 with
+  | Objcache.Fresh { Objcache.payload = "space1"; _ } -> ()
+  | _ -> Alcotest.fail "space-1 entry must stay fresh");
+  check Alcotest.int "stale hit counted" 1 (Objcache.stale_hits c);
+  (* find treats stale as a miss but keeps the entry for revalidation. *)
+  check Alcotest.bool "find skips stale" true (Objcache.find c r0 = None);
+  check Alcotest.int "entry retained" 2 (Objcache.size c);
+  (* Epoch observations are monotonic: an older epoch changes nothing. *)
+  Objcache.observe_epoch c ~space:0 ~epoch:0;
+  (match Objcache.find_status c r0 with
+  | Objcache.Stale _ -> ()
+  | _ -> Alcotest.fail "stale regression: old epoch observation un-staled the entry");
+  (* Revalidation accounting, then a re-insert is fresh at the new
+     epoch. *)
+  Objcache.note_revalidation c ~survived:true;
+  Objcache.note_revalidation c ~survived:false;
+  check Alcotest.int "revalidations" 2 (Objcache.epoch_revalidations c);
+  check Alcotest.int "survived" 1 (Objcache.epoch_survived c);
+  Objcache.insert c r0 (entry 1L "space0");
+  (match Objcache.find_status c r0 with
+  | Objcache.Fresh _ -> ()
+  | _ -> Alcotest.fail "re-inserted entry must carry the current epoch");
+  check Alcotest.int "no bulk eviction anywhere" 0 (Objcache.bulk_evictions c)
 
 (* ------------------------------------------------------------------ *)
 (* Transactions                                                         *)
@@ -338,6 +373,127 @@ let test_txn_commit_refreshes_cached_objects () =
       | Some { Objcache.payload; _ } -> Alcotest.failf "cache has %S" payload
       | None -> Alcotest.fail "cache entry missing")
 
+let test_txn_read_many_single_round_trip () =
+  with_cluster (fun cluster ->
+      (* Three slots on three memnodes: one read_many, one fetch. *)
+      let refs = [ slot 0 base; slot 1 base; slot 2 base ] in
+      let t0 = Txn.begin_ cluster in
+      List.iteri (fun i r -> Txn.write t0 r (Printf.sprintf "m%d" i)) refs;
+      commit_ok t0;
+      let t1 = Txn.begin_ cluster in
+      (match Txn.read_many_with_seq t1 refs with
+      | [ (_, "m0"); (_, "m1"); (_, "m2") ] -> ()
+      | _ -> Alcotest.fail "read_many: wrong values or order");
+      check Alcotest.int "one coalesced fetch" 1 (Txn.fetches t1);
+      (* Re-reading (plus a duplicate) is served from the read set. *)
+      (match Txn.read_many_with_seq t1 (refs @ [ List.hd refs ]) with
+      | [ (_, "m0"); (_, "m1"); (_, "m2"); (_, "m0") ] -> ()
+      | _ -> Alcotest.fail "read_many: duplicate handling");
+      check Alcotest.int "no extra fetch" 1 (Txn.fetches t1);
+      commit_ok t1;
+      (* The dirty variant coalesces the same way. *)
+      let t2 = Txn.begin_ cluster in
+      (match Txn.dirty_read_many_with_seq t2 refs with
+      | [ (_, "m0"); (_, "m1"); (_, "m2") ] -> ()
+      | _ -> Alcotest.fail "dirty_read_many: wrong values or order");
+      check Alcotest.int "one dirty coalesced fetch" 1 (Txn.fetches t2);
+      commit_ok t2)
+
+let test_txn_read_many_validates_read_set () =
+  with_cluster (fun cluster ->
+      (* Same memnode: the compare for r0 can piggy-back on r1's fetch. *)
+      let r0 = slot 0 base and r1 = slot 0 (base + 64) in
+      let t0 = Txn.begin_ cluster in
+      Txn.write t0 r0 "a";
+      Txn.write t0 r1 "b";
+      commit_ok t0;
+      (* t1 reads r0 (validated), a rival then rewrites it; the next
+         read_many must piggy-back the compare and abort. *)
+      let t1 = Txn.begin_ cluster in
+      check Alcotest.string "r0" "a" (Txn.read t1 r0);
+      let rival = Txn.begin_ cluster in
+      check Alcotest.string "rival reads" "a" (Txn.read rival r0);
+      Txn.write rival r0 "a2";
+      commit_ok rival;
+      (match Txn.read_many_with_seq t1 [ r1 ] with
+      | (_ : (int64 * string) list) -> Alcotest.fail "stale read set not caught"
+      | exception Txn.Aborted _ -> ()))
+
+let test_txn_negative_entries_not_cached () =
+  with_cluster (fun cluster ->
+      let cache = Objcache.create () in
+      let r = slot 0 base in
+      (* Dirty-reading an unallocated (empty-payload) slot must not
+         create a cache entry: negative entries would mask later
+         allocations of the slot. *)
+      let t0 = Txn.begin_ cluster ~cache in
+      check Alcotest.string "empty slot" "" (Txn.dirty_read t0 r);
+      commit_ok t0;
+      check Alcotest.int "no negative entry" 0 (Objcache.size cache);
+      (* And a stale positive entry is dropped when a fetch comes back
+         empty. *)
+      Objcache.insert cache r { Objcache.seq = 9L; payload = "ghost" };
+      let t1 = Txn.begin_ cluster ~cache in
+      check Alcotest.string "ghost served dirty" "ghost" (Txn.dirty_read t1 r);
+      Txn.evict_dirty t1;
+      let t2 = Txn.begin_ cluster ~cache in
+      check Alcotest.string "refetched empty" "" (Txn.dirty_read t2 r);
+      commit_ok t2;
+      check Alcotest.bool "ghost not re-cached" true (Objcache.find cache r = None))
+
+let test_txn_evict_dirty_drops_negative_read () =
+  with_cluster (fun cluster ->
+      let cache = Objcache.create () in
+      let r = slot 0 base in
+      (* The cache holds a positive entry; a validated read then shows
+         the slot is actually empty (deleted). evict_dirty must drop the
+         contradicted cache entry along with the dirty set. *)
+      Objcache.insert cache r { Objcache.seq = 3L; payload = "ghost" };
+      let t = Txn.begin_ cluster ~cache in
+      check Alcotest.string "slot is empty" "" (Txn.read t r);
+      Txn.evict_dirty t;
+      check Alcotest.bool "negative read evicts entry" true (Objcache.find cache r = None))
+
+let test_txn_cache_epoch_revalidation_after_crash () =
+  with_cluster ~n:2 (fun cluster ->
+      let cache = Objcache.create () in
+      let r = slot 1 base and r2 = slot 1 (base + 64) in
+      let t0 = Txn.begin_ cluster ~cache in
+      Txn.write t0 r "epoch-v";
+      Txn.write t0 r2 "other";
+      commit_ok t0;
+      (* Warm the cache for r. *)
+      let t1 = Txn.begin_ cluster ~cache in
+      check Alcotest.string "warm" "epoch-v" (Txn.dirty_read t1 r);
+      commit_ok t1;
+      (* Crash memnode 1 and recover it: its space's epoch is bumped. *)
+      Cluster.crash cluster 1;
+      (match Cluster.try_recover cluster 1 with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "recovery failed");
+      (* The proxy has not heard about the crash yet: the cached entry
+         still serves (incoherent by design, same as any stale entry). *)
+      check Alcotest.int "no revalidation yet" 0 (Objcache.epoch_revalidations cache);
+      (* Any minitransaction touching the space teaches the cache the
+         new epoch via the reply... *)
+      let t2 = Txn.begin_ cluster ~cache in
+      check Alcotest.string "unrelated fetch" "other" (Txn.dirty_read t2 ~use_cache:false r2);
+      commit_ok t2;
+      (* ...so the next dirty read of r revalidates the stale-epoch
+         entry with a single fetch instead of trusting or flushing it. *)
+      let t3 = Txn.begin_ cluster ~cache in
+      check Alcotest.string "revalidated value" "epoch-v" (Txn.dirty_read t3 r);
+      check Alcotest.int "revalidation fetch" 1 (Txn.fetches t3);
+      commit_ok t3;
+      check Alcotest.int "one revalidation" 1 (Objcache.epoch_revalidations cache);
+      check Alcotest.int "entry survived" 1 (Objcache.epoch_survived cache);
+      check Alcotest.int "no bulk eviction" 0 (Objcache.bulk_evictions cache);
+      (* Fully revalidated: a further dirty read is a plain cache hit. *)
+      let t4 = Txn.begin_ cluster ~cache in
+      check Alcotest.string "fresh again" "epoch-v" (Txn.dirty_read t4 r);
+      check Alcotest.int "served locally" 0 (Txn.fetches t4);
+      commit_ok t4)
+
 (* ------------------------------------------------------------------ *)
 (* Replicated objects                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -561,6 +717,7 @@ let () =
           Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "stats" `Quick test_cache_stats;
           Alcotest.test_case "clear" `Quick test_cache_clear;
+          Alcotest.test_case "epoch staleness" `Quick test_cache_epoch_staleness;
         ] );
       ( "txn",
         [
@@ -586,6 +743,16 @@ let () =
           Alcotest.test_case "evict dirty" `Quick test_txn_evict_dirty;
           Alcotest.test_case "commit refreshes cache" `Quick
             test_txn_commit_refreshes_cached_objects;
+          Alcotest.test_case "read_many single round trip" `Quick
+            test_txn_read_many_single_round_trip;
+          Alcotest.test_case "read_many validates read set" `Quick
+            test_txn_read_many_validates_read_set;
+          Alcotest.test_case "negative entries not cached" `Quick
+            test_txn_negative_entries_not_cached;
+          Alcotest.test_case "evict_dirty drops negative read" `Quick
+            test_txn_evict_dirty_drops_negative_read;
+          Alcotest.test_case "epoch revalidation after crash" `Quick
+            test_txn_cache_epoch_revalidation_after_crash;
         ] );
       ( "baseline-primitives",
         [
