@@ -7,6 +7,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+
 echo "== dune build =="
 dune build
 
@@ -20,9 +23,36 @@ else
   echo "== skipping @fmt (ocamlformat not installed) =="
 fi
 
+echo "== static analysis (minuet_lint) =="
+# AST-level invariant linter (DESIGN.md Sec. 13): crash propagation,
+# determinism per seed, typed observability, protocol discipline.
+# Fails on any unsuppressed finding; emits BENCH_lint.json and runs
+# the fixture self-test.
+dune build @lint
+lint="_build/default/bin/minuet_lint.exe"
+"$lint" --json "$smoke_dir/BENCH_lint.json" lib bin test bench examples
+"$lint" --quiet --fixtures test/lint_fixtures
+
+echo "== lint falsifiability (each rule can fail the build) =="
+# Seed each rule's bad fixture as a protocol source: the linter must
+# reject it, and must go quiet when exactly that rule is disabled — a
+# rule that can never fire protects nothing.
+for rule in crashed-swallow nondet-iteration wallclock-rng \
+            stringly-metrics partial-stdlib poly-compare; do
+  seeded="$smoke_dir/seeded.ml"
+  cp "test/lint_fixtures/bad_$(echo "$rule" | tr - _).ml" "$seeded"
+  if "$lint" --quiet --as lib/sinfonia/seeded.ml "$seeded" >/dev/null 2>&1; then
+    echo "ERROR: rule $rule did not flag its seeded violation" >&2
+    exit 1
+  fi
+  if ! "$lint" --quiet --as lib/sinfonia/seeded.ml --disable "$rule" "$seeded" \
+      >/dev/null 2>&1; then
+    echo "ERROR: disabling $rule did not silence its seeded violation" >&2
+    exit 1
+  fi
+done
+
 echo "== observability smoke =="
-smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
 dune exec bin/minuet_bench.exe -- smoke --dir "$smoke_dir"
 dune exec bin/minuet_bench.exe -- check-report "$smoke_dir/BENCH_smoke.json"
 

@@ -55,8 +55,13 @@ let reserve_chunk t ~node =
     let txn = Txn.begin_ t.cluster ~home:node in
     let next = Int64.to_int (decode_i64 (Txn.read txn (alloc_ptr_ref t ~node))) in
     if next >= t.layout.Layout.max_slots then begin
-      (* Nothing left to extend; rely on the free list. *)
-      match Txn.commit txn with _ -> raise (Out_of_slots node)
+      (* Nothing left to extend; rely on the free list. The read-only
+         commit's outcome cannot change that, but match it exhaustively
+         so Memnode.Crashed / Txn.Aborted propagate to the retry loop
+         instead of being discarded with the result. *)
+      match Txn.commit txn with
+      | Txn.Committed | Txn.Validation_failed | Txn.Retry_exhausted | Txn.Unavailable _ ->
+          raise (Out_of_slots node)
     end
     else begin
       let take = min t.chunk (t.layout.Layout.max_slots - next) in

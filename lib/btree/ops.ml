@@ -573,6 +573,9 @@ let scan_batched tree txn vctx ~from ~count ~batch =
   let spawn_fetch ptrs =
     let iv = Sim.Ivar.create () in
     Sim.spawn (fun () ->
+        (* Transport, not a swallow: [await] re-raises the Error arm in
+           the consuming fiber, so Crashed/Aborted still propagate. *)
+        (* lint: allow crashed-swallow *)
         let r = try Ok (fetch_group ptrs) with e -> Error e in
         Sim.Ivar.fill iv r);
     (ptrs, iv)

@@ -160,6 +160,8 @@ let expire_candidates st key ~invoked_at =
     (candidates_for st key)
 
 let has_live_candidates st =
+  (* Existence check: a boolean OR-fold is order-independent. *)
+  (* lint: allow nondet-iteration *)
   Hashtbl.fold (fun _ cs acc -> acc || List.exists (fun c -> c.c_live) cs) st.candidates false
 
 (* -------------------------------------------------------------------- *)
@@ -526,8 +528,7 @@ let check ?(final = []) ?(strict_scs = true) ?scs_staleness ?(twopc = []) ?(in_d
       Hashtbl.replace by_tid tid
         (match d with `Committed -> (space :: cs, abs) | `Aborted -> (cs, space :: abs)))
     twopc;
-  Hashtbl.fold (fun tid v acc -> (tid, v) :: acc) by_tid []
-  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+  Sim.Det.sorted_bindings by_tid ~cmp:Int64.compare
   |> List.iter (fun (tid, (cs, abs)) ->
          if cs <> [] && abs <> [] then
            global

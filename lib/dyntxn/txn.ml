@@ -115,6 +115,7 @@ let piggyback_compares t ~nodes =
   let compares = ref [] in
   let covered = ref [] in
   let all_covered = ref true in
+  (* Invariant: callers pass the txn's participant set, never empty. *)
   let repl_node = List.hd nodes in
   Hashtbl.iter
     (fun _ entry ->

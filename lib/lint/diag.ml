@@ -1,0 +1,45 @@
+(* One linter finding, anchored to a file:line:col span. Findings are
+   value-carrying (never printed eagerly) so callers can render them as
+   human diagnostics, JSON, or fixture expectations. *)
+
+type severity = Error | Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+type t = {
+  rule : string;
+  severity : severity;
+  path : string;  (* repo-relative, '/'-separated *)
+  line : int;  (* 1-based, like the compiler's own diagnostics *)
+  col : int;  (* 0-based *)
+  message : string;
+  suppressed : bool;  (* covered by a [lint: allow] directive *)
+}
+
+let order a b =
+  let c = String.compare a.path b.path in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let pp fmt d =
+  Format.fprintf fmt "%s:%d:%d: %s [%s] %s%s" d.path d.line d.col
+    (severity_to_string d.severity)
+    d.rule d.message
+    (if d.suppressed then " (suppressed)" else "")
+
+let to_json d =
+  Obs.Json.Obj
+    [
+      ("rule", Obs.Json.String d.rule);
+      ("severity", Obs.Json.String (severity_to_string d.severity));
+      ("path", Obs.Json.String d.path);
+      ("line", Obs.Json.Int d.line);
+      ("col", Obs.Json.Int d.col);
+      ("message", Obs.Json.String d.message);
+      ("suppressed", Obs.Json.Bool d.suppressed);
+    ]

@@ -1,0 +1,235 @@
+(* Walks source trees, runs every in-scope rule over each file in one
+   Ast_iterator pass, applies suppression directives, and renders the
+   result as human diagnostics or an Obs.Json report. *)
+
+type result = {
+  files_scanned : int;
+  parse_errors : (string * string) list;  (* rel path, message *)
+  findings : Diag.t list;  (* sorted; includes suppressed ones *)
+  rules_run : Rules.t list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Target discovery                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixture trees hold deliberately-bad sources for the self-test; they
+   are linted only via [check_fixtures], never on a repo walk. *)
+let skip_dir name =
+  name = "lint_fixtures"
+  || String.length name > 0
+     && (name.[0] = '.' || name.[0] = '_')
+
+let is_ml name =
+  Filename.check_suffix name ".ml"
+
+(* Depth-first, name-sorted walk so diagnostics and reports list files
+   in a stable order on every run. *)
+let rec files_under path rel =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun name ->
+           let sub = Filename.concat path name in
+           let sub_rel = if rel = "" then name else rel ^ "/" ^ name in
+           if Sys.is_directory sub then if skip_dir name then [] else files_under sub sub_rel
+           else if is_ml name then [ (sub, sub_rel) ]
+           else [])
+  else if is_ml path then [ (path, rel) ]
+  else []
+
+let strip_dot_slash p =
+  if String.length p >= 2 && String.sub p 0 2 = "./" then String.sub p 2 (String.length p - 2)
+  else p
+
+(* Expand CLI targets (files or directories, relative to [root]) into
+   (filesystem path, repo-relative path) pairs. *)
+let expand_targets ~root targets =
+  List.concat_map
+    (fun target ->
+      let rel = strip_dot_slash target in
+      files_under (Filename.concat root target) rel)
+    targets
+
+(* ------------------------------------------------------------------ *)
+(* Linting one file                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let directive_rule = "lint-directive"
+
+(* Findings about the lint comments themselves (typos, unknown rule
+   ids). Never suppressable: a directive that does nothing must not be
+   able to hide itself. *)
+let directive_findings (src : Src_file.t) =
+  List.concat_map
+    (fun d ->
+      let bad ~line reason =
+        [
+          {
+            Diag.rule = directive_rule;
+            severity = Diag.Error;
+            path = src.Src_file.rel;
+            line;
+            col = 0;
+            message = reason;
+            suppressed = false;
+          };
+        ]
+      in
+      let unknown ~line ids =
+        List.concat_map
+          (fun id ->
+            if List.mem id Rules.ids then []
+            else bad ~line (Printf.sprintf "unknown rule id %S in lint directive" id))
+          ids
+      in
+      match d with
+      | Src_file.Malformed { line; reason } -> bad ~line reason
+      | Src_file.Allow { ids; from_line; _ } -> unknown ~line:from_line ids
+      | Src_file.Allow_file ids -> unknown ~line:1 ids)
+    (Src_file.directives src)
+
+let lint_source ?(ignore_scope = false) ~rules (src : Src_file.t) =
+  let rel = src.Src_file.rel in
+  let active = List.filter (fun r -> ignore_scope || Rules.in_scope r rel) rules in
+  let ctx = { Rules.rel; src } in
+  let findings = ref [] in
+  let emit (r : Rules.t) ~loc msg =
+    let line = loc.Location.loc_start.Lexing.pos_lnum in
+    let col = loc.Location.loc_start.Lexing.pos_cnum - loc.Location.loc_start.Lexing.pos_bol in
+    findings :=
+      {
+        Diag.rule = r.Rules.id;
+        severity = r.Rules.severity;
+        path = rel;
+        line;
+        col;
+        message = msg;
+        suppressed = Src_file.allowed src ~rule:r.Rules.id ~line;
+      }
+      :: !findings
+  in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          List.iter (fun r -> r.Rules.check ctx ~emit:(emit r) e) active;
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  iterator.structure iterator src.Src_file.ast;
+  List.sort Diag.order (directive_findings src @ !findings)
+
+let lint_files ?(rules = Rules.all) ?(ignore_scope = false) targets =
+  let parse_errors = ref [] in
+  let findings = ref [] in
+  List.iter
+    (fun (path, rel) ->
+      match Src_file.load ~rel path with
+      | src -> findings := lint_source ~ignore_scope ~rules src @ !findings
+      | exception Src_file.Parse_failure { rel; message } ->
+          parse_errors := (rel, message) :: !parse_errors)
+    targets;
+  {
+    files_scanned = List.length targets;
+    parse_errors = List.rev !parse_errors;
+    findings = List.sort Diag.order !findings;
+    rules_run = rules;
+  }
+
+let unsuppressed t = List.filter (fun (d : Diag.t) -> not d.Diag.suppressed) t.findings
+
+let suppressed_count t =
+  List.length (List.filter (fun (d : Diag.t) -> d.Diag.suppressed) t.findings)
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_lint.json-shaped report through the repo's own JSON codec so
+   the suppression count is trackable across PRs like any other
+   observability artifact. *)
+let to_json t =
+  let per_rule (r : Rules.t) =
+    let mine = List.filter (fun (d : Diag.t) -> d.Diag.rule = r.Rules.id) t.findings in
+    let live = List.filter (fun (d : Diag.t) -> not d.Diag.suppressed) mine in
+    Obs.Json.Obj
+      [
+        ("id", Obs.Json.String r.Rules.id);
+        ("severity", Obs.Json.String (Diag.severity_to_string r.Rules.severity));
+        ("invariant", Obs.Json.String r.Rules.doc);
+        ("findings", Obs.Json.Int (List.length live));
+        ("suppressed", Obs.Json.Int (List.length mine - List.length live));
+      ]
+  in
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.String "lint");
+      ("schema_version", Obs.Json.Int 1);
+      ("rules_run", Obs.Json.Int (List.length t.rules_run));
+      ("files_scanned", Obs.Json.Int t.files_scanned);
+      ("findings", Obs.Json.Int (List.length (unsuppressed t)));
+      ("suppressions", Obs.Json.Int (suppressed_count t));
+      ("parse_errors", Obs.Json.Int (List.length t.parse_errors));
+      ("rules", Obs.Json.List (List.map per_rule t.rules_run));
+      ("diagnostics", Obs.Json.List (List.map Diag.to_json (unsuppressed t)));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Fixture self-test                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixtures encode their own expected outcome: [(* expect: rule *)] on
+   the line a finding must anchor to, [(* expect-suppressed: rule *)]
+   where an allow directive must have downgraded one. Every fixture is
+   checked for exact (rule, line) set equality, so a rule that drifts
+   (fires elsewhere, or goes quiet) fails the self-test. Scoping is
+   ignored: fixtures exercise matchers, not path prefixes. *)
+let fixture_expectations (src : Src_file.t) =
+  let parse prefix (c : Src_file.comment) =
+    let t = String.trim c.Src_file.c_text in
+    let lp = String.length prefix in
+    if String.length t > lp && String.sub t 0 lp = prefix then
+      Some (String.trim (String.sub t lp (String.length t - lp)), c.Src_file.c_start)
+    else None
+  in
+  let expected = List.filter_map (parse "expect:") src.Src_file.comments in
+  let expected_suppressed =
+    List.filter_map (parse "expect-suppressed:") src.Src_file.comments
+  in
+  (expected, expected_suppressed)
+
+let check_fixtures ?(rules = Rules.all) dir =
+  let failures = ref [] in
+  let fail rel fmt =
+    Format.kasprintf (fun m -> failures := (rel ^ ": " ^ m) :: !failures) fmt
+  in
+  let pp_set set =
+    String.concat ", "
+      (List.map (fun (rule, line) -> Printf.sprintf "%s@%d" rule line) set)
+  in
+  let files = files_under dir (Filename.basename dir) in
+  if files = [] then failures := [ "no fixture files found under " ^ dir ];
+  List.iter
+    (fun (path, rel) ->
+      match Src_file.load ~rel path with
+      | exception Src_file.Parse_failure { message; _ } ->
+          fail rel "fixture does not parse: %s" message
+      | src ->
+          let findings = lint_source ~ignore_scope:true ~rules src in
+          let observed select =
+            List.filter select findings
+            |> List.map (fun (d : Diag.t) -> (d.Diag.rule, d.Diag.line))
+            |> List.sort compare
+          in
+          let expected, expected_suppressed = fixture_expectations src in
+          let check kind expected actual =
+            if List.sort compare expected <> actual then
+              fail rel "%s findings mismatch: expected {%s} but the linter reported {%s}" kind
+                (pp_set (List.sort compare expected))
+                (pp_set actual)
+          in
+          check "unsuppressed" expected (observed (fun d -> not d.Diag.suppressed));
+          check "suppressed" expected_suppressed (observed (fun d -> d.Diag.suppressed)))
+    files;
+  List.rev !failures

@@ -1,0 +1,13 @@
+(** Umbrella module of the [minuet.lint] library.
+
+    An AST-level invariant linter over the repo's own sources: parses
+    every [.ml] with compiler-libs, runs a data-driven rule set
+    ([Lint.Rules.all]) protecting determinism, crash-safety and
+    protocol discipline, honours [(* lint: allow <rule> *)]
+    suppression comments, and renders findings as diagnostics or an
+    Obs.Json report. See DESIGN.md §13. *)
+
+module Diag = Diag
+module Src_file = Src_file
+module Rules = Rules
+module Engine = Engine

@@ -1,0 +1,376 @@
+(* The rule set. Rules are data: an id, a one-line invariant, path
+   scoping, and an expression-level matcher driven by the engine's
+   single [Ast_iterator] pass — adding a rule is a new entry in [all],
+   typically ~30 lines. Every rule exists because the type system
+   cannot see the invariant it protects (determinism per seed, crash
+   propagation, typed observability). *)
+
+open Parsetree
+
+type ctx = { rel : string; src : Src_file.t }
+
+type emit = loc:Location.t -> string -> unit
+
+type t = {
+  id : string;
+  severity : Diag.severity;
+  doc : string;  (* the invariant this rule protects *)
+  scope : string list;  (* path prefixes; [] = everywhere *)
+  exclude : string list;
+  check : ctx -> emit:emit -> expression -> unit;
+}
+
+let has_prefix rel p =
+  String.length rel >= String.length p && String.sub rel 0 (String.length p) = p
+
+let in_scope rule rel =
+  (rule.scope = [] || List.exists (has_prefix rel) rule.scope)
+  && not (List.exists (has_prefix rel) rule.exclude)
+
+(* Paths implementing the paper's protocols: minitransactions, dirty
+   traversals, version catalog. A swallowed exception or partial
+   function here corrupts the retry/recovery story. *)
+let protocol_paths = [ "lib/sinfonia/"; "lib/dyntxn/"; "lib/btree/"; "lib/mvcc/" ]
+
+(* Paths where iteration order reaches seeded-replay output: the
+   simulator, the nemesis, the history checker, and recovery sweeps. *)
+let determinism_paths = [ "lib/sim/"; "lib/chaos/"; "lib/check/"; "lib/sinfonia/" ]
+
+(* ------------------------------------------------------------------ *)
+(* Longident / pattern helpers                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec last_module = function
+  | Longident.Lident m -> m
+  | Longident.Ldot (_, m) -> m
+  | Longident.Lapply (_, l) -> last_module l
+
+(* [M.f] (under any module prefix ending in [M]): the shape of every
+   stdlib call the rules below care about. *)
+let dotted_call txt =
+  match txt with
+  | Longident.Ldot (prefix, fn) -> Some (last_module prefix, fn)
+  | Longident.Lident _ | Longident.Lapply _ -> None
+
+let rec is_catch_all p =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> is_catch_all p
+  | Ppat_or (a, b) -> is_catch_all a || is_catch_all b
+  | _ -> false
+
+let applied_fn e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> Some txt
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* 1. crashed-swallow                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* [Memnode.Crashed] and [Txn.Aborted] must reach the retry loop; a
+   wildcard handler quietly turns a mid-transaction crash into a wrong
+   answer. Also flags [match Txn.commit ... with _ -> ...]: a wildcard
+   over the commit result discards [Unavailable]/[Retry_exhausted] the
+   same way. The cleanup-and-reraise idiom ([with e -> ...; raise e])
+   is exempt: a handler that re-raises the exception it bound does not
+   swallow anything. *)
+let reraises ~var body =
+  let found = ref false in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args ) ->
+              let fn = Longident.last txt in
+              if
+                (fn = "raise" || fn = "raise_notrace" || fn = "raise_with_backtrace")
+                && List.exists
+                     (fun (_, a) ->
+                       match a.pexp_desc with
+                       | Pexp_ident { txt = Longident.Lident v; _ } -> v = var
+                       | _ -> false)
+                     args
+              then found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  iterator.expr iterator body;
+  !found
+
+let bound_exn_var p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) -> Some txt
+  | _ -> None
+
+let swallowing_case c p =
+  c.pc_guard = None && is_catch_all p
+  &&
+  match bound_exn_var p with
+  | Some var -> not (reraises ~var c.pc_rhs)
+  | None -> true
+
+let crashed_swallow =
+  let check _ctx ~emit e =
+    (match e.pexp_desc with
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun c ->
+            if swallowing_case c c.pc_lhs then
+              emit ~loc:c.pc_lhs.ppat_loc
+                "wildcard exception handler can swallow Memnode.Crashed / Txn.Aborted; match \
+                 the specific exceptions and let crashes propagate")
+          cases
+    | Pexp_match (scrut, cases) ->
+        List.iter
+          (fun c ->
+            match c.pc_lhs.ppat_desc with
+            | Ppat_exception p when swallowing_case c p ->
+                emit ~loc:c.pc_lhs.ppat_loc
+                  "wildcard [exception _] case can swallow Memnode.Crashed / Txn.Aborted; \
+                   name the exceptions this site really expects"
+            | _ -> ())
+          cases;
+        (match applied_fn scrut with
+        | Some txt when Longident.last txt = "commit" ->
+            List.iter
+              (fun c ->
+                match c.pc_lhs.ppat_desc with
+                | Ppat_exception _ -> ()
+                | _ ->
+                    if c.pc_guard = None && is_catch_all c.pc_lhs then
+                      emit ~loc:c.pc_lhs.ppat_loc
+                        "commit result discarded by a wildcard; match \
+                         Committed/Validation_failed/Retry_exhausted/Unavailable exhaustively")
+              cases
+        | _ -> ())
+    | _ -> ())
+  in
+  {
+    id = "crashed-swallow";
+    severity = Diag.Error;
+    doc = "crashes and aborts propagate to the retry loop instead of being swallowed";
+    scope = protocol_paths;
+    exclude = [];
+    check;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 2. nondet-iteration                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Hashtbl iteration order is an implementation detail; anything it
+   feeds (counterexample reports, replay order, recovery sweeps) stops
+   being bit-for-bit reproducible per seed. Sort the keys
+   (Sim.Det.sorted_bindings) or annotate an order-independent fold. *)
+let nondet_iteration =
+  let check _ctx ~emit e =
+    match e.pexp_desc with
+    | Pexp_ident { txt; loc } when not loc.Location.loc_ghost -> (
+        match dotted_call txt with
+        | Some ("Hashtbl", (("iter" | "fold") as fn)) ->
+            emit ~loc
+              (Printf.sprintf
+                 "Hashtbl.%s iterates in hash order, which is not stable across runs; use \
+                  Sim.Det.sorted_bindings (or annotate an order-independent fold)"
+                 fn)
+        | _ -> ())
+    | _ -> ()
+  in
+  {
+    id = "nondet-iteration";
+    severity = Diag.Error;
+    doc = "chaos/checker output is bit-for-bit deterministic per seed";
+    scope = determinism_paths;
+    exclude = [];
+    check;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 3. wallclock-rng                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* All time comes from [Sim.now] and all randomness from seeded
+   [Sim.Rng] streams; ambient clocks or the global Random state break
+   seeded chaos replay. Only [bin/] (driver entry points) may touch
+   the host environment. [Random.State] with an explicit state is fine
+   — the ban is on the implicit global generator. *)
+let wallclock_rng =
+  let check _ctx ~emit e =
+    match e.pexp_desc with
+    | Pexp_ident { txt; loc } when not loc.Location.loc_ghost -> (
+        match dotted_call txt with
+        | Some ("Unix", (("gettimeofday" | "time") as fn)) ->
+            emit ~loc
+              (Printf.sprintf
+                 "Unix.%s reads the wall clock; simulated components must use Sim.now so \
+                  seeded runs replay identically"
+                 fn)
+        | Some ("Random", fn) ->
+            emit ~loc
+              (Printf.sprintf
+                 "Random.%s uses the ambient global generator; draw from a seeded Sim.Rng \
+                  stream (or an explicit Random.State) instead"
+                 fn)
+        | _ -> ())
+    | _ -> ()
+  in
+  {
+    id = "wallclock-rng";
+    severity = Diag.Error;
+    doc = "seeded chaos runs replay identically: no wall clock, no ambient RNG";
+    scope = [];
+    exclude = [ "bin/" ];
+    check;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 4. stringly-metrics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* PR 1 migrated every hot path to typed [Obs] handles; a raw
+   [Metrics.incr m "name"] reintroduces stringly metrics that typos
+   silently fork. Only lib/obs (the registry) and lib/sim (the
+   implementation) may name counters by string. *)
+let stringly_metrics =
+  let check _ctx ~emit e =
+    match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) -> (
+        match dotted_call txt with
+        | Some ("Metrics", (("incr" | "add" | "observe") as fn))
+          when List.exists
+                 (fun (_, a) ->
+                   match a.pexp_desc with
+                   | Pexp_constant (Pconst_string _) -> true
+                   | _ -> false)
+                 args ->
+            emit ~loc
+              (Printf.sprintf
+                 "raw Metrics.%s with a string literal bypasses the typed Obs handles; \
+                  resolve a counter handle through Obs instead"
+                 fn)
+        | _ -> ())
+    | _ -> ()
+  in
+  {
+    id = "stringly-metrics";
+    severity = Diag.Warning;
+    doc = "hot paths use typed Obs handles, not string-keyed metrics";
+    scope = [];
+    exclude = [ "lib/obs/"; "lib/sim/" ];
+    check;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 5. partial-stdlib                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* On protocol paths a [List.hd] that raises mid-minitransaction is a
+   protocol bug, not a convenience. Each use must carry an adjacent
+   comment stating why the input cannot be empty/None. [a.(i)] sugar
+   is exempt (its desugared Array.get ident is ghost). *)
+let partial_stdlib =
+  let check ctx ~emit e =
+    match e.pexp_desc with
+    | Pexp_ident { txt; loc } when not loc.Location.loc_ghost -> (
+        match dotted_call txt with
+        | Some (("List", ("hd" | "nth")) as call)
+        | Some (("Option", "get") as call)
+        | Some (("Array", "get") as call) ->
+            let m, fn = call in
+            let line = loc.Location.loc_start.Lexing.pos_lnum in
+            if not (Src_file.has_adjacent_comment ctx.src ~line) then
+              emit ~loc
+                (Printf.sprintf
+                   "%s.%s is partial; state the invariant that makes it safe in an adjacent \
+                    comment (within two lines) or restructure"
+                   m fn)
+        | _ -> ())
+    | _ -> ()
+  in
+  {
+    id = "partial-stdlib";
+    severity = Diag.Warning;
+    doc = "partial stdlib calls on protocol paths carry an explicit invariant";
+    scope = protocol_paths;
+    exclude = [];
+    check;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 6. poly-compare                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Protocol records (memnodes, transactions, clusters, stores) hold
+   closures and mutable caches; polymorphic =/compare on them raises
+   at runtime or compares cache state. The heuristic keys on operand
+   names, so it fires where a reviewer would also squint. *)
+let poly_risky_names =
+  [ "mtx"; "txn"; "memnode"; "bnode"; "cluster"; "session"; "store"; "objcache"; "coordinator" ]
+
+let risky_name n =
+  let n = String.lowercase_ascii n in
+  List.exists
+    (fun r ->
+      n = r
+      ||
+      let suffix = "_" ^ r in
+      let ln = String.length n and ls = String.length suffix in
+      ln >= ls && String.sub n (ln - ls) ls = suffix)
+    poly_risky_names
+
+let rec operand_name e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (Longident.last txt)
+  | Pexp_field (_, { txt; _ }) -> Some (Longident.last txt)
+  | Pexp_constraint (e, _) -> operand_name e
+  | _ -> None
+
+let poly_compare =
+  let poly_fn = function
+    | Longident.Lident (("=" | "<>" | "compare") as fn) -> Some fn
+    | Longident.Ldot (Longident.Lident "Stdlib", (("=" | "<>" | "compare") as fn)) -> Some fn
+    | _ -> None
+  in
+  let check _ctx ~emit e =
+    match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, [ (_, a); (_, b) ]) -> (
+        match poly_fn txt with
+        | Some fn ->
+            let risky e =
+              match operand_name e with Some n -> risky_name n | None -> false
+            in
+            if risky a || risky b then
+              emit ~loc
+                (Printf.sprintf
+                   "polymorphic (%s) on a protocol record (holds closures/mutable caches); \
+                    compare stable identities (ids, stamps) instead"
+                   fn)
+        | None -> ())
+    | _ -> ()
+  in
+  {
+    id = "poly-compare";
+    severity = Diag.Warning;
+    doc = "protocol records are compared by stable identity, not structure";
+    scope = [ "lib/" ];
+    exclude = [];
+    check;
+  }
+
+let all =
+  [
+    crashed_swallow;
+    nondet_iteration;
+    wallclock_rng;
+    stringly_metrics;
+    partial_stdlib;
+    poly_compare;
+  ]
+
+let ids = List.map (fun r -> r.id) all
+
+let find id = List.find_opt (fun r -> r.id = id) all

@@ -1,0 +1,118 @@
+(* A parsed source file: the Parsetree structure plus every comment
+   with its line span. Comments drive two mechanisms: suppression
+   directives ([(* lint: allow <rule> *)]) and the partial-stdlib
+   rule's adjacent-invariant-comment escape hatch. *)
+
+type comment = { c_text : string; c_start : int; c_end : int }
+
+type t = {
+  path : string;  (* filesystem path, for error messages *)
+  rel : string;  (* repo-relative path used for rule scoping *)
+  ast : Parsetree.structure;
+  comments : comment list;
+}
+
+exception Parse_failure of { rel : string; message : string }
+
+(* Parse with the compiler's own lexer/parser so comment extraction and
+   string/nesting handling are exactly the language's. The lexer
+   accumulates comments as a side effect of the parse; [Lexer.init]
+   resets that state between files. Docstrings are kept as ordinary
+   comments so [(** ... *)] participates in adjacency checks too. *)
+let load ~rel path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Location.init lexbuf path;
+      Lexer.handle_docstrings := false;
+      Lexer.init ();
+      match Parse.implementation lexbuf with
+      | ast ->
+          let comments =
+            List.map
+              (fun (text, (loc : Location.t)) ->
+                {
+                  c_text = text;
+                  c_start = loc.Location.loc_start.Lexing.pos_lnum;
+                  c_end = loc.Location.loc_end.Lexing.pos_lnum;
+                })
+              (Lexer.comments ())
+          in
+          { path; rel; ast; comments }
+      | exception exn ->
+          let message =
+            match Location.error_of_exn exn with
+            | Some (`Ok report) -> Format.asprintf "%a" Location.print_report report
+            | Some `Already_displayed | None -> Printexc.to_string exn
+          in
+          raise (Parse_failure { rel; message }))
+
+(* ------------------------------------------------------------------ *)
+(* Lint directives                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type directive =
+  | Allow of { ids : string list; from_line : int; to_line : int }
+  | Allow_file of string list
+  | Malformed of { line : int; reason : string }
+
+let is_directive_comment text =
+  let t = String.trim text in
+  String.length t >= 5 && String.sub t 0 5 = "lint:"
+
+(* Fixture expectation comments ([(* expect: rule *)]) are part of the
+   self-test format, not the suppression grammar. *)
+let is_expectation_comment text =
+  let t = String.trim text in
+  let has_prefix p =
+    String.length t >= String.length p && String.sub t 0 (String.length p) = p
+  in
+  has_prefix "expect:" || has_prefix "expect-suppressed:"
+
+let split_ids s =
+  String.split_on_char ' ' (String.map (function ',' | '\t' -> ' ' | c -> c) s)
+  |> List.filter (fun t -> t <> "")
+
+(* Grammar: [lint: allow <rule> [<rule> ...]] suppresses matching
+   findings on the comment's own lines and the line directly after it;
+   [lint: allow-file <rule> [<rule> ...]] suppresses for the whole
+   file. Anything else after [lint:] is malformed and becomes an
+   unsuppressable finding — a typo must not silently disable nothing. *)
+let directive_of_comment c =
+  if not (is_directive_comment c.c_text) then None
+  else
+    let body = String.trim c.c_text in
+    let body = String.trim (String.sub body 5 (String.length body - 5)) in
+    let malformed reason = Some (Malformed { line = c.c_start; reason }) in
+    match split_ids body with
+    | "allow" :: ids when ids <> [] ->
+        Some (Allow { ids; from_line = c.c_start; to_line = c.c_end + 1 })
+    | "allow-file" :: ids when ids <> [] -> Some (Allow_file ids)
+    | ("allow" | "allow-file") :: _ -> malformed "directive names no rule ids"
+    | verb :: _ -> malformed (Printf.sprintf "unknown lint directive %S" verb)
+    | [] -> malformed "empty lint directive"
+
+let directives t = List.filter_map directive_of_comment t.comments
+
+(* Is a finding of [rule] at [line] covered by an allow directive? *)
+let allowed t ~rule ~line =
+  List.exists
+    (function
+      | Allow { ids; from_line; to_line } ->
+          line >= from_line && line <= to_line && List.mem rule ids
+      | Allow_file ids -> List.mem rule ids
+      | Malformed _ -> false)
+    (directives t)
+
+(* A prose comment ending on [line] or up to two lines above it.
+   Directive and expectation comments don't count: an escape hatch must
+   carry an actual justification. *)
+let has_adjacent_comment t ~line =
+  List.exists
+    (fun c ->
+      c.c_end >= line - 2 && c.c_start <= line
+      && (not (is_directive_comment c.c_text))
+      && not (is_expectation_comment c.c_text))
+    t.comments

@@ -357,7 +357,12 @@ let is_deleted t ~sid =
     | Some e -> e.Catalog.deleted
     | None -> false
   in
-  (match Txn.commit txn with _ -> ());
+  (* Read-only bookkeeping commit: the answer above is already in hand,
+     so a failed commit changes nothing — but match it exhaustively so
+     Memnode.Crashed / Txn.Aborted keep propagating to the caller. *)
+  (match Txn.commit txn with
+  | Txn.Committed -> ()
+  | Txn.Validation_failed | Txn.Retry_exhausted | Txn.Unavailable _ -> Txn.evict_dirty txn);
   r
 
 let live_roots t =
@@ -365,7 +370,10 @@ let live_roots t =
      (used by the mark phase of the branching GC). *)
   let txn = Txn.begin_ (Ops.cluster t.tree) ~cache:(Ops.proxy_cache t.tree) ~home:(Ops.home t.tree) in
   let counter =
-    match Catalog.read_counter t.tree txn with c -> c | exception _ -> 0L
+    (* An aborted fetch (stale read set or outage) means no catalog is
+       reachable right now: report no roots. Memnode.Crashed and every
+       other exception propagate to the GC driver's retry. *)
+    match Catalog.read_counter t.tree txn with c -> c | exception Txn.Aborted _ -> 0L
   in
   let roots = ref [] in
   let rec collect sid =
@@ -377,7 +385,10 @@ let live_roots t =
     end
   in
   collect 0L;
-  (match Txn.commit txn with _ -> ());
+  (* Read-only bookkeeping commit; exhaustive so crashes propagate. *)
+  (match Txn.commit txn with
+  | Txn.Committed -> ()
+  | Txn.Validation_failed | Txn.Retry_exhausted | Txn.Unavailable _ -> Txn.evict_dirty txn);
   !roots
 
 (* ------------------------------------------------------------------ *)
@@ -387,7 +398,10 @@ let live_roots t =
 let with_ro_txn t f =
   let txn = Txn.begin_ (Ops.cluster t.tree) ~cache:(Ops.proxy_cache t.tree) ~home:(Ops.home t.tree) in
   let v = f txn in
-  (match Txn.commit txn with _ -> ());
+  (* Read-only bookkeeping commit; exhaustive so crashes propagate. *)
+  (match Txn.commit txn with
+  | Txn.Committed -> ()
+  | Txn.Validation_failed | Txn.Retry_exhausted | Txn.Unavailable _ -> Txn.evict_dirty txn);
   v
 
 let root_of t ~sid = with_ro_txn t (fun txn -> root_of_dirty t txn sid)

@@ -82,7 +82,10 @@ let sweep tree ~alloc =
         let seq = Objref.seq_of_slot slot in
         if Int64.compare seq 0L <> 0 then begin
           match Bnode.decode (Objref.payload_of_slot slot) with
-          | exception _ -> ()
+          | exception Codec.Decode_error _ ->
+              (* Not a B-tree node (or torn): skip it. Anything else —
+                 in particular Memnode.Crashed — propagates. *)
+              ()
           | bnode ->
               (* Collectable iff superseded at or below the watermark:
                  no snapshot above the watermark can reach it. *)
@@ -122,7 +125,10 @@ let sweep_branching trees ~alloc ~roots =
     else
       match Bnode.decode (Objref.payload_of_slot slot) with
       | n -> Some n
-      | exception _ -> None
+      | exception Codec.Decode_error _ ->
+          (* Slot holds something that is not a B-tree node; crashes
+             and other exceptions propagate to the GC driver. *)
+          None
   in
   let rec mark ptr =
     if not (Hashtbl.mem marked ptr) then begin
@@ -149,7 +155,10 @@ let sweep_branching trees ~alloc ~roots =
         let ref_ = Layout.node_ref layout ~node ~index in
         if (not (Hashtbl.mem marked ref_)) && Objref.payload_of_slot slot <> "" then begin
           match Bnode.decode (Objref.payload_of_slot slot) with
-          | exception _ -> ()
+          | exception Codec.Decode_error _ ->
+              (* Not a B-tree node: never reclaim what we cannot prove
+                 is a node slot. Crashes propagate. *)
+              ()
           | (_ : Bnode.t) ->
               if reclaim tree ref_ ~observed_seq:seq then begin
                 Node_alloc.free alloc ref_;

@@ -136,6 +136,7 @@ let request t =
     if fresh_enough () then begin
       t.stale_reused <- t.stale_reused + 1;
       Obs.Counter.incr t.stats.Obs.scs_stale_reused;
+      (* Invariant: fresh_enough just proved t.last <> None. *)
       Option.get t.last
     end
     else begin
@@ -145,6 +146,7 @@ let request t =
         if fresh_enough () then begin
           t.stale_reused <- t.stale_reused + 1;
           Obs.Counter.incr t.stats.Obs.scs_stale_reused;
+          (* Invariant: fresh_enough just proved t.last <> None. *)
           Option.get t.last
         end
         else begin
@@ -155,6 +157,8 @@ let request t =
           if t.borrowing && tmp2 >= tmp1 + 2 then begin
             t.borrowed <- t.borrowed + 1;
             Obs.Counter.incr t.stats.Obs.scs_borrowed;
+            (* Invariant: tmp2 >= tmp1 + 2 means a snapshot completed,
+               so t.last was set by that completion. *)
             Option.get t.last
           end
           else begin

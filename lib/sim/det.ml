@@ -1,0 +1,18 @@
+(* Deterministic views of hash tables.
+
+   [Hashtbl]'s iteration order is an artifact of hashing and insertion
+   history; anything it feeds into seeded-replay output (checker
+   counterexamples, redo replay, recovery sweeps, JSON reports) must go
+   through a key-sorted view instead so two runs of the same seed print
+   bit-for-bit identical results. This module is the blessed home of
+   the one [Hashtbl.fold] the nondet-iteration lint rule allows. *)
+
+let sorted_bindings tbl ~cmp =
+  (* lint: allow nondet-iteration *)
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> cmp a b)
+
+let iter_sorted tbl ~cmp f = List.iter (fun (k, v) -> f k v) (sorted_bindings tbl ~cmp)
+
+let fold_sorted tbl ~cmp f init =
+  List.fold_left (fun acc (k, v) -> f k v acc) init (sorted_bindings tbl ~cmp)

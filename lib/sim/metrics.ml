@@ -32,9 +32,7 @@ let counter_value t name =
   | Some c -> Stats.Counter.value c
   | None -> 0
 
-let sorted_bindings tbl =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+let sorted_bindings tbl = Det.sorted_bindings tbl ~cmp:String.compare
 
 let counters t =
   sorted_bindings t.counters |> List.map (fun (k, c) -> (k, Stats.Counter.value c))

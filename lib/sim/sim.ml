@@ -8,6 +8,7 @@ module Rng = Rng
 module Event_queue = Event_queue
 module Stats = Stats
 module Metrics = Metrics
+module Det = Det
 module Resource = Resource
 module Net = Net
 include Scheduler

@@ -168,6 +168,9 @@ let parallel_map cluster nodes f =
   List.iter
     (fun (node, ivar) ->
       Sim.spawn (fun () ->
+          (* Transport, not a swallow: the collection loop below
+             re-raises the Error arm in the caller's fiber. *)
+          (* lint: allow crashed-swallow *)
           let result = try Ok (f node) with e -> Error e in
           Sim.Ivar.fill ivar result))
     ivars;

@@ -137,7 +137,11 @@ let replica t ~of_node = Hashtbl.find_opt t.replicas of_node
 
 let recover_orphaned_locks t ~lease =
   let cutoff = Sim.now () -. lease in
-  let stores = t.primary_store :: Hashtbl.fold (fun _ s acc -> s :: acc) t.replicas [] in
+  (* Sweep replicas in space order so orphan-release order (and the
+     count any report prints) is deterministic per seed. *)
+  let stores =
+    t.primary_store :: List.map snd (Sim.Det.sorted_bindings t.replicas ~cmp:Int.compare)
+  in
   List.fold_left
     (fun count store ->
       (* Owners with a logged vote are not orphans: their transaction is

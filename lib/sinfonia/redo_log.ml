@@ -218,9 +218,11 @@ let write_ranges e =
    rule. A tid with contradictory decisions contributes both records. *)
 let decisions t =
   let base =
-    Hashtbl.fold
-      (fun tid d acc -> (tid, match d with Committed _ -> `Committed | Aborted -> `Aborted) :: acc)
-      t.decided []
+    (* Key-sorted so the checker's 2PC report is identical across runs
+       of the same seed. *)
+    Sim.Det.sorted_bindings t.decided ~cmp:Int64.compare
+    |> List.map (fun (tid, d) ->
+           (tid, match d with Committed _ -> `Committed | Aborted -> `Aborted))
   in
   let conflicting =
     List.map

@@ -1,0 +1,21 @@
+(* Deliberately-bad fixture for crashed-swallow. Each finding must
+   anchor exactly where its [expect:] comment sits. Fixtures only need
+   to parse, not typecheck. *)
+
+let retry_read store addr =
+  try Store.read store addr
+  with _ -> None (* expect: crashed-swallow *)
+
+let cleanup_without_reraise mn f =
+  try f mn
+  with e -> Memnode.end_serving mn; ignore e; None (* expect: crashed-swallow *)
+
+let read_or_zero store addr =
+  match Store.read store addr with
+  | Some v -> v
+  | None -> 0
+  | exception _ -> 0 (* expect: crashed-swallow *)
+
+let fire_and_forget txn =
+  match Txn.commit txn with
+  | _ -> () (* expect: crashed-swallow *)

@@ -1,0 +1,8 @@
+(* Deliberately-bad directives: each becomes an unsuppressable
+   lint-directive finding at the directive's own line. *)
+
+let noop () = () (* lint: alow crashed-swallow *) (* expect: lint-directive *)
+
+let noop2 () = () (* lint: allow no-such-rule *) (* expect: lint-directive *)
+
+let noop3 () = () (* lint: allow *) (* expect: lint-directive *)

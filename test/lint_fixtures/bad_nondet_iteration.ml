@@ -1,0 +1,8 @@
+(* Deliberately-bad fixture for nondet-iteration: hash-order traversal
+   reaching output. *)
+
+let dump tbl =
+  Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl (* expect: nondet-iteration *)
+
+let keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] (* expect: nondet-iteration *)

@@ -1,0 +1,12 @@
+(* Deliberately-bad fixture for partial-stdlib: no invariant comment
+   near any of the calls below. *)
+
+
+
+let first_node nodes = List.hd nodes (* expect: partial-stdlib *)
+
+let third nodes = List.nth nodes 2 (* expect: partial-stdlib *)
+
+let force v = Option.get v (* expect: partial-stdlib *)
+
+let slot arr = Array.get arr 0 (* expect: partial-stdlib *)

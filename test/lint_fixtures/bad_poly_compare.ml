@@ -1,0 +1,8 @@
+(* Deliberately-bad fixture for poly-compare: structural comparison of
+   protocol records named like protocol records. *)
+
+let same_txn txn other_txn = txn = other_txn (* expect: poly-compare *)
+
+let differs a b = a.memnode <> b.memnode (* expect: poly-compare *)
+
+let order s1 s2 = compare s1.store s2.store (* expect: poly-compare *)

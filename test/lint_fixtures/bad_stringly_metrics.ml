@@ -1,0 +1,8 @@
+(* Deliberately-bad fixture for stringly-metrics: string-keyed counter
+   updates outside the Obs registry. *)
+
+let count m = Metrics.incr m "aborts" (* expect: stringly-metrics *)
+
+let tally m = Metrics.add m "messages" 10 (* expect: stringly-metrics *)
+
+let record m = Metrics.observe m "latency" 0.5 (* expect: stringly-metrics *)

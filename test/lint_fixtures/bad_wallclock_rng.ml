@@ -1,0 +1,10 @@
+(* Deliberately-bad fixture for wallclock-rng: ambient clock and the
+   global random generator. *)
+
+let stamp () = Unix.gettimeofday () (* expect: wallclock-rng *)
+
+let coarse_stamp () = Unix.time () (* expect: wallclock-rng *)
+
+let jitter () = Random.float 0.01 (* expect: wallclock-rng *)
+
+let pick n = Random.int n (* expect: wallclock-rng *)

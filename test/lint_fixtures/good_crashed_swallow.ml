@@ -1,0 +1,18 @@
+(* Clean counterparts: named exceptions, cleanup-and-reraise, and an
+   exhaustive commit match produce no findings. *)
+
+let retry_read store addr =
+  try Store.read store addr with
+  | Memnode.Crashed -> None
+  | Txn.Aborted _ -> None
+
+let cleanup_and_reraise mn f =
+  try f mn
+  with e ->
+    Memnode.end_serving mn;
+    raise e
+
+let commit_exhaustive txn =
+  match Txn.commit txn with
+  | Txn.Committed -> true
+  | Txn.Validation_failed | Txn.Retry_exhausted | Txn.Unavailable _ -> false

@@ -1,0 +1,7 @@
+(* Clean: key-sorted views from Sim.Det replace raw hash-order
+   traversal. *)
+
+let dump tbl =
+  Sim.Det.iter_sorted tbl ~cmp:String.compare (fun k v -> Printf.printf "%s=%d\n" k v)
+
+let keys tbl = List.map fst (Sim.Det.sorted_bindings tbl ~cmp:String.compare)

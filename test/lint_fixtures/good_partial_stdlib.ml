@@ -1,0 +1,8 @@
+(* Clean: each partial call carries its invariant, and [arr.(i)] index
+   sugar is exempt (its desugared Array.get ident is ghost). *)
+
+let first_node nodes =
+  (* Invariant: callers pass the participant set, never empty. *)
+  List.hd nodes
+
+let peek arr i = arr.(i)

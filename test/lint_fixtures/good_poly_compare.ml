@@ -1,0 +1,6 @@
+(* Clean: protocol records compared by stable identity; structural
+   equality on plain values does not trip the heuristic. *)
+
+let same_txn txn other_txn = Int64.equal (Txn.id txn) (Txn.id other_txn)
+
+let same_value a b = a.value = b.value

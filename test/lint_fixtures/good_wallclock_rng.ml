@@ -1,0 +1,8 @@
+(* Clean: simulated time and seeded streams; Random.State with an
+   explicit state is fine — the ban is on the implicit global. *)
+
+let stamp () = Sim.now ()
+
+let jitter rng = Sim.Rng.float rng 0.01
+
+let pick st n = Random.State.int st n

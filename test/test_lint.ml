@@ -1,0 +1,141 @@
+(* Tier-1 gate for minuet_lint itself: the fixture self-test, exact
+   finding anchors, repo-wide cleanliness, falsifiability (a disabled
+   rule goes silent), the suppression window, and the JSON report. *)
+
+let check = Alcotest.check
+
+(* Copied next to the test binary by the dune [deps] glob. *)
+let fixtures_dir = "lint_fixtures"
+
+(* Under [dune runtest] the cwd is _build/default/test, and dune has
+   copied every library source into _build/default — walk up until the
+   tree root shows a known protocol source. *)
+let repo_root =
+  lazy
+    (let rec up dir n =
+       if n > 6 then Alcotest.fail "could not locate repo root from cwd"
+       else if Sys.file_exists (Filename.concat dir "lib/sinfonia/mtx.ml") then dir
+       else up (Filename.dirname dir) (n + 1)
+     in
+     up (Sys.getcwd ()) 0)
+
+let pp_diags diags =
+  String.concat "\n"
+    (List.map (fun d -> Format.asprintf "%a" Lint.Diag.pp d) diags)
+
+let test_fixture_selftest () =
+  match Lint.Engine.check_fixtures fixtures_dir with
+  | [] -> ()
+  | failures -> Alcotest.fail (String.concat "\n" failures)
+
+(* The self-test checks (rule, line) sets per fixture; this pins the
+   exact anchors of one bad fixture so a matcher that drifts to a
+   different node of the same construct is caught even if it stays on
+   the same line count. *)
+let test_fixture_anchors () =
+  let src =
+    Lint.Src_file.load ~rel:"bad_crashed_swallow.ml"
+      (Filename.concat fixtures_dir "bad_crashed_swallow.ml")
+  in
+  let found =
+    Lint.Engine.lint_source ~ignore_scope:true ~rules:Lint.Rules.all src
+    |> List.map (fun (d : Lint.Diag.t) -> (d.Lint.Diag.rule, d.Lint.Diag.line))
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "anchors"
+    [
+      ("crashed-swallow", 7);
+      ("crashed-swallow", 11);
+      ("crashed-swallow", 17);
+      ("crashed-swallow", 21);
+    ]
+    found
+
+let repo_result =
+  lazy
+    (let root = Lazy.force repo_root in
+     Lint.Engine.lint_files (Lint.Engine.expand_targets ~root [ "lib"; "bin"; "test" ]))
+
+let test_repo_clean () =
+  let result = Lazy.force repo_result in
+  (match result.Lint.Engine.parse_errors with
+  | [] -> ()
+  | errs ->
+      Alcotest.fail
+        (String.concat "\n" (List.map (fun (rel, m) -> rel ^ ": " ^ m) errs)));
+  (match Lint.Engine.unsuppressed result with
+  | [] -> ()
+  | live -> Alcotest.fail ("repo has unsuppressed findings:\n" ^ pp_diags live));
+  (* Guards against the walk silently scanning nothing (wrong root)
+     and against suppressions being dropped wholesale. *)
+  check Alcotest.bool "scanned most of the tree" true
+    (result.Lint.Engine.files_scanned >= 50);
+  check Alcotest.bool "suppressions survive" true
+    (Lint.Engine.suppressed_count result >= 4)
+
+(* Falsifiability: the same seeded-bad file flips from findings to
+   silence when (and only when) its rule is disabled. *)
+let test_disable_silences_rule () =
+  let targets =
+    [
+      ( Filename.concat fixtures_dir "bad_nondet_iteration.ml",
+        "lib/sinfonia/seeded.ml" );
+    ]
+  in
+  let on = Lint.Engine.lint_files targets in
+  check Alcotest.bool "rule fires on seeded violation" true
+    (List.length (Lint.Engine.unsuppressed on) > 0);
+  let rules =
+    List.filter (fun (r : Lint.Rules.t) -> r.Lint.Rules.id <> "nondet-iteration") Lint.Rules.all
+  in
+  let off = Lint.Engine.lint_files ~rules targets in
+  check Alcotest.int "disabled rule is silent" 0
+    (List.length (Lint.Engine.unsuppressed off))
+
+let test_suppression_window () =
+  let src =
+    Lint.Src_file.load ~rel:"good_suppressed.ml"
+      (Filename.concat fixtures_dir "good_suppressed.ml")
+  in
+  let allowed rule line = Lint.Src_file.allowed src ~rule ~line in
+  check Alcotest.bool "line after the directive" true (allowed "nondet-iteration" 9);
+  check Alcotest.bool "window does not reach above" false (allowed "nondet-iteration" 7);
+  check Alcotest.bool "window ends one line after" false (allowed "nondet-iteration" 10);
+  check Alcotest.bool "trailing same-line directive" true (allowed "wallclock-rng" 11);
+  check Alcotest.bool "directive names only its rule" false (allowed "crashed-swallow" 9);
+  check Alcotest.bool "allow-file covers everywhere" true (allowed "stringly-metrics" 13)
+
+let test_json_report () =
+  let result = Lazy.force repo_result in
+  let report = Lint.Engine.to_json result in
+  let parsed = Obs.Json.parse (Obs.Json.to_string report) in
+  check Alcotest.bool "report round-trips through the codec" true
+    (Obs.Json.equal report parsed);
+  let int_member key =
+    match Obs.Json.member key parsed with
+    | Some (Obs.Json.Int i) -> i
+    | _ -> Alcotest.fail ("missing int member " ^ key)
+  in
+  check Alcotest.int "rules_run" (List.length Lint.Rules.all) (int_member "rules_run");
+  check Alcotest.int "findings" 0 (int_member "findings");
+  check Alcotest.int "suppressions" (Lint.Engine.suppressed_count result)
+    (int_member "suppressions");
+  match Obs.Json.member "rules" parsed with
+  | Some (Obs.Json.List rules) ->
+      check Alcotest.int "per-rule entries" (List.length Lint.Rules.all) (List.length rules)
+  | _ -> Alcotest.fail "missing rules list"
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "fixture self-test" `Quick test_fixture_selftest;
+          Alcotest.test_case "fixture anchors" `Quick test_fixture_anchors;
+          Alcotest.test_case "repo lints clean" `Quick test_repo_clean;
+          Alcotest.test_case "disable silences rule" `Quick test_disable_silences_rule;
+          Alcotest.test_case "suppression window" `Quick test_suppression_window;
+          Alcotest.test_case "json report" `Quick test_json_report;
+        ] );
+    ]

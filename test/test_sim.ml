@@ -523,10 +523,11 @@ let test_series () =
 
 let test_metrics () =
   let m = Sim.Metrics.create () in
-  Sim.Metrics.incr m "aborts";
-  Sim.Metrics.incr m "aborts";
-  Sim.Metrics.add m "messages" 10;
-  Sim.Metrics.observe m "latency" 0.001;
+  (* This test exercises the raw string-keyed Metrics surface itself. *)
+  Sim.Metrics.incr m "aborts" (* lint: allow stringly-metrics *);
+  Sim.Metrics.incr m "aborts" (* lint: allow stringly-metrics *);
+  Sim.Metrics.add m "messages" 10 (* lint: allow stringly-metrics *);
+  Sim.Metrics.observe m "latency" 0.001 (* lint: allow stringly-metrics *);
   check Alcotest.int "counter" 2 (Sim.Metrics.counter_value m "aborts");
   check Alcotest.int "missing counter" 0 (Sim.Metrics.counter_value m "nope");
   check Alcotest.int "hist count" 1 (Sim.Stats.Hist.count (Sim.Metrics.hist m "latency"));
