@@ -118,6 +118,47 @@ let run_micro_benchmarks () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Streaming serializability checker                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Million-event synthetic histories through Check.Stream (DESIGN.md
+   §14): wall-clock throughput and peak live heap, linear and
+   branching. The CI-gated variant with heap budget and falsifiability
+   injection lives in `minuet-bench checker`. *)
+let run_checker_bench () =
+  print_endline "\n=== streaming serializability checker (Check.Stream) ===";
+  List.iter
+    (fun branching ->
+      let cfg = { Chaos.Histgen.default with Chaos.Histgen.branching } in
+      let stream = Check.Stream.create Check.Stream.Config.default in
+      let peak = ref 0 in
+      let fed = ref 0 in
+      let t0 = Unix.gettimeofday () (* lint: allow wallclock-rng *) in
+      let gen =
+        Chaos.Histgen.generate
+          ~on_creation:(fun ~index ~sid ~stamp ->
+            Check.Stream.add_creation stream ~index ~sid ~stamp)
+          cfg
+          (fun ev ->
+            Check.Stream.feed stream ev;
+            incr fed;
+            if !fed mod 100_000 = 0 then begin
+              Gc.full_major ();
+              peak := max !peak (Gc.stat ()).Gc.live_words
+            end)
+      in
+      let verdict = Check.Stream.finish ~final:gen.Chaos.Histgen.gen_final stream in
+      let dt = Unix.gettimeofday () -. t0 (* lint: allow wallclock-rng *) in
+      if not (Check.Stream.ok verdict) then
+        failwith "clean synthetic history failed the streaming checker";
+      Printf.printf "%-10s %7d events in %5.2fs  %8.0f ops/sec  peak live %9d words\n%!"
+        (if branching then "branching" else "linear")
+        !fed dt
+        (float_of_int !fed /. dt)
+        !peak)
+    [ false; true ]
+
+(* ------------------------------------------------------------------ *)
 (* The paper's figures                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -143,6 +184,7 @@ let () =
   let micro_only = Array.exists (( = ) "--micro-only") Sys.argv in
   let figures_only = Array.exists (( = ) "--figures-only") Sys.argv in
   if not figures_only then run_micro_benchmarks ();
+  if not figures_only then run_checker_bench ();
   if not micro_only then run_figures ();
   (* End-to-end observability report: latency quantiles per operation
      and the abort taxonomy, as machine-readable JSON. *)

@@ -63,10 +63,44 @@ echo "== scan benchmark smoke =="
 # BENCH_scan.json (ops/s, leaves per round trip, cache hit rate).
 dune exec bin/minuet_bench.exe -- scan --dir "$smoke_dir"
 
+echo "== streaming checker: million-op gate =="
+# A million-event synthetic history through Check.Stream, linear and
+# branching; fails on any violation or if the checker's peak live heap
+# exceeds the 64M-word budget (the O(active keys + budgets) memory
+# bound). The linear run's BENCH_checker.json is the committed report.
+dune exec bin/minuet_bench.exe -- checker --dir "$smoke_dir"
+dune exec bin/minuet_bench.exe -- checker --branching --dir "$smoke_dir"
+
+echo "== streaming checker falsifiability =="
+# One seeded lie must fail the run: a stale stamped read in the linear
+# history, a frozen-version isolation leak in the branching one. The
+# command exits nonzero itself when the checker misses the lie.
+dune exec bin/minuet_bench.exe -- checker --ops 200000 --dir "$smoke_dir" \
+  --inject stale-read
+dune exec bin/minuet_bench.exe -- checker --ops 200000 --dir "$smoke_dir" \
+  --branching --inject branch-isolation
+
 echo "== chaos + serializability check =="
 # Deterministic fault-injection storm with the history checker; fails
 # the build on any serializability/snapshot violation or audit failure.
 dune exec bin/minuet_bench.exe -- chaos --seed 42 --duration 2
+
+echo "== branching chaos (writable clones, version tree) =="
+# Real clone traffic through Mvcc.Branching under the default fault
+# storm: branch-scoped operations are traced and every read pinned at a
+# frozen version is checked against its frozen ancestor state. Seed 7
+# pins the prepare-vote/stamp-draw crash window regression.
+dune exec bin/minuet_bench.exe -- chaos --seed 7 --duration 1 --branching
+dune exec bin/minuet_bench.exe -- chaos --seed 42 --duration 1 --branching
+
+echo "== chaos checker catches broken branch isolation =="
+# With copy-on-write sharing deliberately broken, writes leak into
+# frozen ancestor versions; the branching chaos run must FAIL.
+if dune exec bin/minuet_bench.exe -- chaos --seed 3 --duration 0.5 --branching \
+    --broken-branch >/dev/null 2>&1; then
+  echo "ERROR: --broken-branch chaos run passed; isolation leaks went unnoticed" >&2
+  exit 1
+fi
 
 echo "== scan-heavy chaos (both concurrency-control modes) =="
 # Scan-dominated mix: long batched range scans over splitting/merging

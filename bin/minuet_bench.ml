@@ -230,8 +230,31 @@ let chaos_cmd =
     in
     Arg.(value & flag & info [ "scan-heavy" ] ~doc)
   in
-  let action seed duration hosts clients keys phases faults broken broken_recovery scs_k cc
-      scan_heavy =
+  let branching_arg =
+    let doc =
+      "Run the database in branching mode (Sec. 5): clients drive writable clones, \
+       frozen-version reads and multi-version queries; the checker verifies each version \
+       against its forked model and the frozen-ancestor rule."
+    in
+    Arg.(value & flag & info [ "branching" ] ~doc)
+  in
+  let broken_branch_arg =
+    let doc =
+      "Deliberately break branch isolation (reads at read-only versions silently leak the \
+       mainline tip's writes) to prove the frozen-ancestor rule catches real violations; \
+       implies --branching and the run is expected to FAIL."
+    in
+    Arg.(value & flag & info [ "broken-branch" ] ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Tee every traced event to $(docv) as JSON lines (the Session.Event codec), for \
+       offline re-checking and debugging."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let action seed duration hosts clients keys phases faults broken broken_recovery branching
+      broken_branch scs_k cc scan_heavy trace_out =
     let kinds =
       match faults with
       | "all" -> Chaos.Nemesis.all_kinds
@@ -268,7 +291,10 @@ let chaos_cmd =
         scan_heavy;
         broken;
         broken_recovery;
+        branching;
+        broken_branch;
         scs_k;
+        trace_out;
       }
     in
     let report = Chaos.Runner.run cfg in
@@ -278,7 +304,132 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const action $ seed_arg $ duration_arg $ hosts_arg $ clients_arg $ keys_arg $ phases_arg
-      $ faults_arg $ broken_arg $ broken_recovery_arg $ scs_k_arg $ cc_arg $ scan_heavy_arg)
+      $ faults_arg $ broken_arg $ broken_recovery_arg $ branching_arg $ broken_branch_arg
+      $ scs_k_arg $ cc_arg $ scan_heavy_arg $ trace_arg)
+
+(* Streaming-checker benchmark and falsifiability gate: push a
+   synthetic chaos-shaped history (optionally with branch traffic)
+   through Check.Stream, measure throughput and peak live heap, and
+   verify that a seeded violation is caught. *)
+let checker_cmd =
+  let doc =
+    "Benchmark the streaming serializability checker on a synthetic deterministic history \
+     (writes, reads, snapshot creations and snapshot reads; with --branching also branch \
+     creation/deletion, frozen-version reads and multi-version queries), writing \
+     BENCH_checker.json (ops checked, ops/sec, peak live heap words). With --inject, one \
+     event in the history lies and the run is expected to FAIL — exits 1 if the checker \
+     misses it. Without --inject, exits 1 on any violation or if the checker's live heap \
+     exceeds --max-live-words (the O(active keys + budgets) memory gate)."
+  in
+  let seed_arg =
+    Arg.(value & opt int Chaos.Histgen.default.Chaos.Histgen.seed
+        & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
+  in
+  let ops_arg =
+    Arg.(value & opt int Chaos.Histgen.default.Chaos.Histgen.ops
+        & info [ "ops" ] ~docv:"N" ~doc:"History length in events.")
+  in
+  let keys_arg =
+    Arg.(value & opt int Chaos.Histgen.default.Chaos.Histgen.keys
+        & info [ "keys" ] ~docv:"N" ~doc:"Key-space size.")
+  in
+  let branching_arg =
+    Arg.(value & flag
+        & info [ "branching" ]
+            ~doc:"Generate branch/version traffic instead of linear snapshots.")
+  in
+  let inject_arg =
+    let doc =
+      "Seed exactly one violation: 'stale-read' (a stamped read returns a value the model \
+       never held) or 'branch-isolation' (a read pinned at a frozen version leaks a foreign \
+       value; requires --branching). The checker must FAIL the history."
+    in
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"KIND" ~doc)
+  in
+  let dir_arg =
+    Arg.(value & opt string "." & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let max_live_arg =
+    Arg.(value & opt int 64_000_000
+        & info [ "max-live-words" ] ~docv:"WORDS"
+            ~doc:"Peak live-heap budget in words (clean runs only).")
+  in
+  let action seed ops keys branching inject dir max_live =
+    let fault =
+      match inject with
+      | None -> None
+      | Some "stale-read" -> Some Chaos.Histgen.Stale_read
+      | Some "branch-isolation" -> Some Chaos.Histgen.Branch_isolation
+      | Some other ->
+          prerr_endline ("unknown injection kind: " ^ other);
+          exit 2
+    in
+    let cfg =
+      { Chaos.Histgen.default with Chaos.Histgen.seed; ops; keys; branching; fault }
+    in
+    let stream = Check.Stream.create Check.Stream.Config.default in
+    let peak = ref 0 in
+    let sample () =
+      Gc.full_major ();
+      peak := max !peak (Gc.stat ()).Gc.live_words
+    in
+    let fed = ref 0 in
+    let t0 = Unix.gettimeofday () (* lint: allow wallclock-rng *) in
+    let gen =
+      Chaos.Histgen.generate
+        ~on_creation:(fun ~index ~sid ~stamp ->
+          Check.Stream.add_creation stream ~index ~sid ~stamp)
+        cfg
+        (fun ev ->
+          Check.Stream.feed stream ev;
+          incr fed;
+          if !fed mod 100_000 = 0 then sample ())
+    in
+    let verdict = Check.Stream.finish ~final:gen.Chaos.Histgen.gen_final stream in
+    sample ();
+    let elapsed = Unix.gettimeofday () -. t0 (* lint: allow wallclock-rng *) in
+    let ops_per_sec = float_of_int !fed /. elapsed in
+    Format.printf "%a@." Check.Stream.pp_verdict verdict;
+    Printf.printf "checked %d events in %.2fs (%.0f ops/sec), peak live heap %d words\n%!" !fed
+      elapsed ops_per_sec !peak;
+    (match fault with
+    | Some _ ->
+        if Check.Stream.ok verdict then begin
+          prerr_endline "ERROR: seeded violation went uncaught";
+          exit 1
+        end
+        else print_endline "seeded violation caught, as required"
+    | None ->
+        let json =
+          Obs.Json.Obj
+            [
+              ("schema_version", Obs.Json.Int 1);
+              ("ops_checked", Obs.Json.Int verdict.Check.Stream.ops_checked);
+              ("events", Obs.Json.Int !fed);
+              ("ops_per_sec", Obs.Json.Float ops_per_sec);
+              ("peak_live_words", Obs.Json.Int !peak);
+              ("snapshot_reads_checked", Obs.Json.Int verdict.Check.Stream.snapshot_reads_checked);
+              ("branch_reads_checked", Obs.Json.Int verdict.Check.Stream.branch_reads_checked);
+              ("violations", Obs.Json.Int (List.length verdict.Check.Stream.violations));
+            ]
+        in
+        let path = Filename.concat dir "BENCH_checker.json" in
+        let oc = open_out path in
+        output_string oc (Obs.Json.to_string json);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "checker report written to %s\n%!" path;
+        if not (Check.Stream.ok verdict) then exit 1;
+        if !peak > max_live then begin
+          Printf.eprintf "ERROR: peak live heap %d words exceeds the %d-word budget\n%!" !peak
+            max_live;
+          exit 1
+        end)
+  in
+  Cmd.v (Cmd.info "checker" ~doc)
+    Term.(
+      const action $ seed_arg $ ops_arg $ keys_arg $ branching_arg $ inject_arg $ dir_arg
+      $ max_live_arg)
 
 (* Scan benchmark: batched leaf scans (scan_batch=16) vs the per-leaf
    baseline (scan_batch=1) on the same seed, plus a crash storm proving
@@ -317,7 +468,7 @@ let () =
   let doc = "Reproduce the evaluation of 'Minuet: A Scalable Distributed Multiversion B-Tree'" in
   let info = Cmd.info "minuet-bench" ~version:"1.0" ~doc in
   let cmds =
-    all_cmd :: smoke_cmd :: check_report_cmd :: chaos_cmd :: scan_cmd
+    all_cmd :: smoke_cmd :: check_report_cmd :: chaos_cmd :: checker_cmd :: scan_cmd
     :: List.map figure_cmd Experiments.all
   in
   exit (Cmd.eval (Cmd.group info cmds))

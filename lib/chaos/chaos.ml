@@ -4,12 +4,16 @@
     crash/recover storms, client-to-memnode partitions, latency/loss
     spikes, coordinator stalls that orphan locks mid-2PC, and snapshot
     service outages. {!Workload} drives a mixed
-    read/update/insert/scan/snapshot workload through traced sessions.
-    {!Runner} combines both into phased storms with a structural audit
-    after every phase and a full history check
-    ({!Check.Checker}) at the end. A whole run is a pure function of
-    its seed: same seed, same faults, same history, same verdict. *)
+    read/update/insert/scan/snapshot workload (or, in branching mode,
+    clone/version traffic) through traced sessions. {!Runner} combines
+    both into phased storms with a structural audit after every phase,
+    feeding every event to a streaming checker ({!Check.Stream}) as it
+    happens. {!Histgen} synthesizes chaos-shaped histories at scales a
+    real run can't reach, for checker benchmarks and falsification. A
+    whole run is a pure function of its seed: same seed, same faults,
+    same history, same verdict. *)
 
 module Nemesis = Nemesis
 module Workload = Workload
 module Runner = Runner
+module Histgen = Histgen

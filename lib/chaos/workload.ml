@@ -13,6 +13,13 @@ type totals = {
   mutable scan_mismatches : int;
   mutable too_contended : int;
   mutable ambiguous : int;
+  mutable branches_created : int;
+  mutable branches_deleted : int;
+  mutable branch_reads : int;  (** Reads addressed at an explicit version. *)
+  mutable multi_reads : int;  (** [get_many] / [history] queries. *)
+  mutable branch_blocked : int;
+      (** Branch ops refused by the catalog ([Too_many_branches],
+          [Not_deletable]); expected under β bounds, not failures. *)
 }
 
 let totals () =
@@ -28,6 +35,11 @@ let totals () =
     scan_mismatches = 0;
     too_contended = 0;
     ambiguous = 0;
+    branches_created = 0;
+    branches_deleted = 0;
+    branch_reads = 0;
+    multi_reads = 0;
+    branch_blocked = 0;
   }
 
 let pp_totals fmt t =
@@ -35,7 +47,12 @@ let pp_totals fmt t =
     "@[<h>%d ops (%d get, %d put, %d remove, %d scan, %d snapshot + %d snapshot reads); %d \
      dual scans (%d mismatches); %d too-contended, %d ambiguous@]"
     t.ops t.gets t.puts t.removes t.scans t.snapshots t.snapshot_reads t.dual_scans
-    t.scan_mismatches t.too_contended t.ambiguous
+    t.scan_mismatches t.too_contended t.ambiguous;
+  if t.branches_created + t.branch_reads + t.multi_reads > 0 then
+    Format.fprintf fmt
+      "@,@[<h>branching: %d created, %d deleted, %d versioned reads, %d multi-version \
+       queries, %d refused@]"
+      t.branches_created t.branches_deleted t.branch_reads t.multi_reads t.branch_blocked
 
 let key_of i = Printf.sprintf "k%05d" i
 
@@ -136,6 +153,153 @@ let run_client ?(scan_heavy = false) ~session ~rng ~client_id ~keys ~hot_keys ~t
          with
         | Ops.Too_contended _ -> stats.too_contended <- stats.too_contended + 1
         | Ops.Ambiguous _ -> stats.ambiguous <- stats.ambiguous + 1);
+        loop ()
+      end
+    end
+  in
+  loop ();
+  on_done ()
+
+(* ---------------------------------------------------------------------- *)
+(* Branching-mode traffic (Sec. 5)                                         *)
+(* ---------------------------------------------------------------------- *)
+
+(* Read-only versions discovered by any client, shared so that readers
+   exercise versions other clients froze (and so the runner can audit
+   each of them). The simulation is cooperative, so plain mutation is
+   safe. Bounded: old frozen versions stop receiving traffic. *)
+type branch_registry = { mutable frozen : int64 list }
+
+let branch_registry () = { frozen = [] }
+
+let note_frozen reg sid =
+  if not (List.mem sid reg.frozen) then
+    reg.frozen <- sid :: (if List.length reg.frozen >= 24 then List.filteri (fun i _ -> i < 23) reg.frozen else reg.frozen)
+
+let pick_frozen rng reg =
+  match reg.frozen with
+  | [] -> None
+  | l -> Some (List.nth l (Sim.Rng.int rng (List.length l)))
+
+(* One branching-mode client: mainline reads and writes, writes at
+   private writable clones, reads at shared frozen versions (the ops the
+   frozen-ancestor rule checks — and the ones a broken-isolation tree
+   corrupts), branch creation/deletion and multi-version queries. Each
+   client only writes at and deletes clones it created itself; read-only
+   versions are shared freely (they are immutable). *)
+let run_branch_client ~branching ~rng ~client_id ~registry ~keys ~hot_keys ~think ~deadline
+    ~stats ~on_done () =
+  let module Branching = Mvcc.Branching in
+  let br = branching in
+  let opid = ref 0 in
+  let value () =
+    incr opid;
+    Printf.sprintf "c%d-%d" client_id !opid
+  in
+  (* Writable clones created by this client, newest first. The newest is
+     the preferred branch source, growing an ancestor chain deep enough
+     to make [history] and frozen-chain checks interesting. *)
+  let my_tips = ref [] in
+  let branch_source () =
+    match !my_tips with
+    | tip :: _ when Sim.Rng.int rng 3 > 0 -> tip
+    | _ -> ( match pick_frozen rng registry with Some sid -> sid | None -> 0L)
+  in
+  let one_op () =
+    let k = pick_key rng ~keys ~hot_keys in
+    match Sim.Rng.int rng 100 with
+    | r when r < 18 ->
+        stats.gets <- stats.gets + 1;
+        ignore (Branching.get br k : string option)
+    | r when r < 40 ->
+        stats.puts <- stats.puts + 1;
+        Branching.put br k (value ())
+    | r when r < 47 ->
+        stats.removes <- stats.removes + 1;
+        ignore (Branching.remove br k : bool)
+    | r when r < 54 ->
+        stats.scans <- stats.scans + 1;
+        ignore (Branching.scan br ~from:k ~count:8 : (string * string) list)
+    | r when r < 68 -> (
+        (* Reads pinned at a frozen version: must observe exactly the
+           state frozen when the version stopped being a tip. *)
+        match pick_frozen rng registry with
+        | None ->
+            stats.gets <- stats.gets + 1;
+            ignore (Branching.get br k : string option)
+        | Some sid ->
+            stats.branch_reads <- stats.branch_reads + 1;
+            if Sim.Rng.int rng 2 = 0 then ignore (Branching.get br ~at:sid k : string option)
+            else ignore (Branching.scan ~at:sid br ~from:k ~count:8 : (string * string) list))
+    | r when r < 76 -> (
+        (* Writes at a private clone diverge from the mainline; the
+           checker verifies them against that clone's forked model. *)
+        match !my_tips with
+        | [] ->
+            stats.puts <- stats.puts + 1;
+            Branching.put br k (value ())
+        | tips ->
+            let at = List.nth tips (Sim.Rng.int rng (List.length tips)) in
+            stats.puts <- stats.puts + 1;
+            if Sim.Rng.int rng 4 = 0 then ignore (Branching.remove br ~at k : bool)
+            else Branching.put br ~at k (value ()))
+    | r when r < 84 -> (
+        let from = branch_source () in
+        match Branching.create_branch br ~from with
+        | sid ->
+            stats.branches_created <- stats.branches_created + 1;
+            (* [from] is read-only now (it has a branch); the new clone
+               is ours to write at. *)
+            my_tips := sid :: List.filter (fun t -> not (Int64.equal t from)) !my_tips;
+            note_frozen registry from
+        | exception Ops.Ambiguous _ ->
+            (* The branch may or may not exist, so [from] may or may not
+               be frozen. Either way it is no longer safe to treat as a
+               private writable clone; reads at it stay legal. *)
+            stats.ambiguous <- stats.ambiguous + 1;
+            my_tips := List.filter (fun t -> not (Int64.equal t from)) !my_tips)
+    | r when r < 92 -> (
+        stats.multi_reads <- stats.multi_reads + 1;
+        let vs =
+          0L
+          :: (match pick_frozen rng registry with Some s -> [ s ] | None -> [])
+          @ (match !my_tips with t :: _ -> [ t ] | [] -> [])
+        in
+        if Sim.Rng.int rng 2 = 0 then
+          ignore (Branching.get_many br ~at:vs k : (int64 * string option) list)
+        else
+          let from = match !my_tips with t :: _ -> t | [] -> 0L in
+          ignore (Branching.history br ~from k : (int64 * string option) list))
+    | _ -> (
+        (* Retire the oldest private clone. Deleting a leaf sheds a
+           branch from its parent — shedding the last one makes the
+           parent writable again, which the checker must tolerate. *)
+        match List.rev !my_tips with
+        | [] -> ()
+        | oldest :: _ -> (
+            match Branching.delete_branch br oldest with
+            | () ->
+                stats.branches_deleted <- stats.branches_deleted + 1;
+                my_tips := List.filter (fun t -> not (Int64.equal t oldest)) !my_tips
+            | exception Ops.Ambiguous _ ->
+                (* The deletion may have landed; stop touching the tip
+                   so a committed delete cannot strand later writes. *)
+                stats.ambiguous <- stats.ambiguous + 1;
+                my_tips := List.filter (fun t -> not (Int64.equal t oldest)) !my_tips))
+  in
+  let rec loop () =
+    if Sim.now () < deadline then begin
+      Sim.delay (Sim.Rng.float rng think);
+      if Sim.now () < deadline then begin
+        (try
+           one_op ();
+           stats.ops <- stats.ops + 1
+         with
+        | Ops.Too_contended _ -> stats.too_contended <- stats.too_contended + 1
+        | Ops.Ambiguous _ -> stats.ambiguous <- stats.ambiguous + 1
+        | Mvcc.Branching.Too_many_branches _ | Mvcc.Branching.Not_deletable _
+        | Mvcc.Branching.No_mainline _ ->
+            stats.branch_blocked <- stats.branch_blocked + 1);
         loop ()
       end
     end

@@ -9,4 +9,5 @@
     history to this checker. *)
 
 module History = History
+module Stream = Stream
 module Checker = Checker

@@ -1,554 +1,34 @@
 module Event = Minuet.Session.Event
-module Smap = Map.Make (String)
+module Config = Stream.Config
 
-(* -------------------------------------------------------------------- *)
-(* Verdicts                                                              *)
-(* -------------------------------------------------------------------- *)
-
-type violation = {
+type violation = Stream.violation = {
   v_index : int;
   v_message : string;
   v_event : Event.t option;
-  v_context : Event.t list; (* nearby committed ops on the same key, oldest first *)
+  v_context : Event.t list;
 }
 
-type verdict = {
+type verdict = Stream.verdict = {
   violations : violation list;
   inconclusive : string list;
   ops_checked : int;
   snapshot_reads_checked : int;
+  branch_reads_checked : int;
   candidates_resolved : int;
   twopc_checked : int;
 }
 
-let ok v = v.violations = []
+let ok = Stream.ok
 
-let pp_violation fmt v =
-  Format.fprintf fmt "@[<v2>index %d: %s" v.v_index v.v_message;
-  (match v.v_event with
-  | Some ev -> Format.fprintf fmt "@,at: %a" Event.pp ev
-  | None -> ());
-  if v.v_context <> [] then begin
-    Format.fprintf fmt "@,nearby operations on the same key:";
-    List.iter (fun ev -> Format.fprintf fmt "@,  %a" Event.pp ev) v.v_context
-  end;
-  Format.fprintf fmt "@]"
+let pp_violation = Stream.pp_violation
 
-let pp_verdict fmt v =
-  Format.fprintf fmt "@[<v>";
-  if v.violations = [] then
-    Format.fprintf fmt "serializability check PASSED: %d ops, %d snapshot reads" v.ops_checked
-      v.snapshot_reads_checked
-  else begin
-    Format.fprintf fmt "serializability check FAILED: %d violation(s) over %d ops"
-      (List.length v.violations) v.ops_checked;
-    (* The first few violations are the minimal counterexample; the rest
-       are usually knock-on effects of the same stale read. *)
-    let shown = 8 in
-    List.iteri
-      (fun i viol -> if i < shown then Format.fprintf fmt "@,%a" pp_violation viol)
-      v.violations;
-    let n = List.length v.violations in
-    if n > shown then Format.fprintf fmt "@,... and %d more violation(s)" (n - shown)
-  end;
-  if v.candidates_resolved > 0 then
-    Format.fprintf fmt "@,%d ambiguous operation(s) resolved from later reads"
-      v.candidates_resolved;
-  if v.twopc_checked > 0 then
-    Format.fprintf fmt "@,%d two-phase-commit decision record(s) cross-checked" v.twopc_checked;
-  List.iter (fun msg -> Format.fprintf fmt "@,inconclusive: %s" msg) v.inconclusive;
-  Format.fprintf fmt "@]"
-
-(* -------------------------------------------------------------------- *)
-(* Ambiguity candidates                                                  *)
-(* -------------------------------------------------------------------- *)
-
-(* An operation that raised [Ambiguous] may or may not have taken
-   effect. We track one candidate per such op: [c_value = Some v] for a
-   put of [v], [None] for a remove. Candidates are resolved (consumed)
-   when a later committed read observes their effect, and expire when a
-   committed write that started after they returned overwrites the key
-   regardless of whether they applied. *)
-type candidate = {
-  c_value : string option;
-  c_invoked : float;
-  c_returned : float;
-  mutable c_live : bool;
-}
-
-let max_candidates_per_key = 8
-
-let max_candidates_total = 64
-
-(* -------------------------------------------------------------------- *)
-(* Per-index model state                                                 *)
-(* -------------------------------------------------------------------- *)
-
-let op_key ev =
-  match ev.Event.op with
-  | Event.Get { key; _ } | Event.Put { key; _ } | Event.Remove { key; _ } -> Some key
-  | Event.Scan _ | Event.Snapshot_taken -> None
-
-let model_scan m ~from ~count =
-  let rec take acc n seq =
-    if n = 0 then List.rev acc
-    else
-      match seq () with
-      | Seq.Nil -> List.rev acc
-      | Seq.Cons ((k, v), rest) -> take ((k, v) :: acc) (n - 1) rest
-  in
-  take [] count (Smap.to_seq_from from m)
-
-let pp_value_opt fmt = function
-  | None -> Format.pp_print_string fmt "none"
-  | Some v -> Format.fprintf fmt "%S" v
-
-type index_state = {
-  idx : int;
-  mutable model : string Smap.t;
-  (* sid -> frozen model at the snapshot's creation stamp *)
-  frozen : (int64, string Smap.t) Hashtbl.t;
-  candidates : (string, candidate list) Hashtbl.t;
-  (* per-key recent committed events, newest first, for counterexamples *)
-  recent : (string, Event.t list) Hashtbl.t;
-  mutable violations : violation list; (* newest first *)
-  mutable inconclusive : string list; (* newest first *)
-  mutable ops_checked : int;
-  mutable snapshot_reads_checked : int;
-  mutable resolved : int;
-}
-
-let note_recent st key ev =
-  let prev = Option.value (Hashtbl.find_opt st.recent key) ~default:[] in
-  let rec cap n = function [] -> [] | x :: tl -> if n = 0 then [] else x :: cap (n - 1) tl in
-  Hashtbl.replace st.recent key (cap 4 (ev :: prev))
-
-let violate st ?event ?key fmt =
-  Format.kasprintf
-    (fun msg ->
-      let ctx =
-        match key with
-        | None -> []
-        | Some k -> List.rev (Option.value (Hashtbl.find_opt st.recent k) ~default:[])
-      in
-      st.violations <-
-        { v_index = st.idx; v_message = msg; v_event = event; v_context = ctx } :: st.violations)
-    fmt
-
-let candidates_for st key = Option.value (Hashtbl.find_opt st.candidates key) ~default:[]
-
-(* A live candidate explaining observation [observed] by a read that
-   returned at [returned_at]. *)
-let find_candidate st key ~observed ~returned_at =
-  List.find_opt
-    (fun c -> c.c_live && c.c_invoked <= returned_at && c.c_value = observed)
-    (candidates_for st key)
-
-let resolve_candidate st key c =
-  c.c_live <- false;
-  st.resolved <- st.resolved + 1;
-  match c.c_value with
-  | Some v -> st.model <- Smap.add key v st.model
-  | None -> st.model <- Smap.remove key st.model
-
-(* A committed write that started at [invoked_at] overwrites any
-   candidate whose window closed before that: whether or not the
-   candidate applied, the key's value is now the committed one. *)
-let expire_candidates st key ~invoked_at =
-  List.iter
-    (fun c -> if c.c_live && c.c_returned <= invoked_at then c.c_live <- false)
-    (candidates_for st key)
-
-let has_live_candidates st =
-  (* Existence check: a boolean OR-fold is order-independent. *)
-  (* lint: allow nondet-iteration *)
-  Hashtbl.fold (fun _ cs acc -> acc || List.exists (fun c -> c.c_live) cs) st.candidates false
-
-(* -------------------------------------------------------------------- *)
-(* Commit-order replay of one index                                      *)
-(* -------------------------------------------------------------------- *)
-
-let apply_committed st ev =
-  st.ops_checked <- st.ops_checked + 1;
-  (match ev.Event.op with
-  | Event.Get { key; result } ->
-      let expected = Smap.find_opt key st.model in
-      if result <> expected then begin
-        match find_candidate st key ~observed:result ~returned_at:ev.Event.returned_at with
-        | Some c -> resolve_candidate st key c
-        | None ->
-            violate st ~event:ev ~key "get %S observed %a but the model holds %a at stamp %Ld"
-              key pp_value_opt result pp_value_opt expected
-              (Option.value ev.Event.stamp ~default:(-1L))
-      end
-  | Event.Put { key; value } ->
-      expire_candidates st key ~invoked_at:ev.Event.invoked_at;
-      st.model <- Smap.add key value st.model
-  | Event.Remove { key; removed } ->
-      let present = Smap.mem key st.model in
-      (if removed <> present then
-         (* removed=true on an absent key: an ambiguous put may have
-            landed first. removed=false on a present key: an ambiguous
-            remove may have landed first. *)
-         let explains c = if removed then c.c_value <> None else c.c_value = None in
-         match
-           List.find_opt
-             (fun c -> c.c_live && c.c_invoked <= ev.Event.returned_at && explains c)
-             (candidates_for st key)
-         with
-         | Some c -> resolve_candidate st key c
-         | None ->
-             violate st ~event:ev ~key
-               "remove %S returned %b but the model %s the key at stamp %Ld" key removed
-               (if present then "holds" else "does not hold")
-               (Option.value ev.Event.stamp ~default:(-1L)));
-      if removed then expire_candidates st key ~invoked_at:ev.Event.invoked_at;
-      st.model <- Smap.remove key st.model
-  | Event.Scan { from; count; result } ->
-      let expected = model_scan st.model ~from ~count in
-      if result <> expected then
-        if has_live_candidates st then
-          st.inconclusive <-
-            Format.asprintf
-              "index %d: scan from %S mismatches the model but ambiguous writes are pending"
-              st.idx from
-            :: st.inconclusive
-        else
-          let rec first_divergence obs exp =
-            match (obs, exp) with
-            | (k1, v1) :: obs', (k2, v2) :: exp' ->
-                if (k1, v1) = (k2, v2) then first_divergence obs' exp'
-                else Format.asprintf " (first divergence: observed %S=%S, model %S=%S)" k1 v1 k2 v2
-            | (k1, v1) :: _, [] ->
-                Format.asprintf " (first divergence: observed %S=%S past the model's end)" k1 v1
-            | [], (k2, v2) :: _ ->
-                Format.asprintf " (first divergence: model %S=%S missing from the scan)" k2 v2
-            | [], [] -> ""
-          in
-          violate st ~event:ev "scan from %S count %d returned %d entries, model has %d%s" from
-            count (List.length result) (List.length expected)
-            (first_divergence result expected)
-  | Event.Snapshot_taken -> ());
-  match op_key ev with Some key -> note_recent st key ev | None -> ()
-
-(* -------------------------------------------------------------------- *)
-(* The checker                                                           *)
-(* -------------------------------------------------------------------- *)
+let pp_verdict = Stream.pp_verdict
 
 let check ?(final = []) ?(strict_scs = true) ?scs_staleness ?(twopc = []) ?(in_doubt = 0)
     ~creations ~events () =
-  let indexes =
-    List.sort_uniq compare
-      (List.map (fun ev -> ev.Event.index) events
-      @ List.map fst creations
-      @ List.map fst final)
+  let config =
+    { Config.default with Config.strict_scs; scs_staleness; creations; final; twopc; in_doubt }
   in
-  let all_violations = ref [] in
-  let all_inconclusive = ref [] in
-  let totals = ref (0, 0, 0) in
-  List.iter
-    (fun idx ->
-      let evs = List.filter (fun ev -> ev.Event.index = idx) events in
-      let st =
-        {
-          idx;
-          model = Smap.empty;
-          frozen = Hashtbl.create 64;
-          candidates = Hashtbl.create 16;
-          recent = Hashtbl.create 256;
-          violations = [];
-          inconclusive = [];
-          ops_checked = 0;
-          snapshot_reads_checked = 0;
-          resolved = 0;
-        }
-      in
-      (* Register ambiguity candidates (bounded). *)
-      let n_candidates = ref 0 in
-      let add_candidate ev key c_value =
-        let prev = candidates_for st key in
-        incr n_candidates;
-        if List.length prev >= max_candidates_per_key || !n_candidates > max_candidates_total
-        then
-          st.inconclusive <-
-            Format.asprintf
-              "index %d: too many ambiguous operations on %S; checking is best-effort" idx key
-            :: st.inconclusive
-        else
-          Hashtbl.replace st.candidates key
-            (prev
-            @ [
-                {
-                  c_value;
-                  c_invoked = ev.Event.invoked_at;
-                  c_returned = ev.Event.returned_at;
-                  c_live = true;
-                };
-              ])
-      in
-      List.iter
-        (fun ev ->
-          if ev.Event.ambiguous then
-            match ev.Event.op with
-            | Event.Put { key; value } -> add_candidate ev key (Some value)
-            | Event.Remove { key; _ } -> add_candidate ev key None
-            | _ -> ())
-        evs;
-      (* Committed (stamped, up-to-date) events in commit-stamp order. *)
-      let committed =
-        List.filter
-          (fun ev -> ev.Event.stamp <> None && ev.Event.sid = None && not ev.Event.ambiguous)
-          evs
-      in
-      List.iter
-        (fun ev ->
-          if ev.Event.stamp = None && ev.Event.sid = None && not ev.Event.ambiguous then
-            violate st ~event:ev "up-to-date operation carries no commit stamp")
-        evs;
-      let by_stamp =
-        List.sort
-          (fun a b ->
-            Int64.compare (Option.get a.Event.stamp) (Option.get b.Event.stamp))
-          committed
-      in
-      (* Creation log, oldest first. *)
-      let clog =
-        List.sort
-          (fun (_, a) (_, b) -> Int64.compare a b)
-          (List.concat_map (fun (i, l) -> if i = idx then l else []) creations)
-      in
-      (* Replay, freezing snapshot states as their creation stamps pass:
-         snapshot [sid] holds exactly the effects of commits with stamps
-         below its creation stamp. *)
-      let rec replay clog evs =
-        match (clog, evs) with
-        | (sid, cstamp) :: crest, ev :: _
-          when Int64.compare cstamp (Option.get ev.Event.stamp) < 0 ->
-            Hashtbl.replace st.frozen sid st.model;
-            replay crest evs
-        | clog, ev :: erest ->
-            apply_committed st ev;
-            replay clog erest
-        | clog, [] ->
-            List.iter (fun (sid, _) -> Hashtbl.replace st.frozen sid st.model) clog
-      in
-      replay clog by_stamp;
-      (* Snapshot reads: must see exactly the frozen prefix for their
-         sid. *)
-      List.iter
-        (fun ev ->
-          match (ev.Event.sid, ev.Event.op) with
-          | Some sid, Event.Get { key; result } -> (
-              st.snapshot_reads_checked <- st.snapshot_reads_checked + 1;
-              match Hashtbl.find_opt st.frozen sid with
-              | None ->
-                  violate st ~event:ev ~key "snapshot read at sid %Ld with no creation record"
-                    sid
-              | Some m ->
-                  let expected = Smap.find_opt key m in
-                  if result <> expected then
-                    if
-                      List.exists
-                        (fun c ->
-                          c.c_invoked <= ev.Event.invoked_at && c.c_value = result)
-                        (candidates_for st key)
-                    then ()
-                    else
-                      violate st ~event:ev ~key
-                        "snapshot get %S at sid %Ld observed %a but the frozen state holds %a"
-                        key sid pp_value_opt result pp_value_opt expected)
-          | Some sid, Event.Scan { from; count; result } -> (
-              st.snapshot_reads_checked <- st.snapshot_reads_checked + 1;
-              match Hashtbl.find_opt st.frozen sid with
-              | None ->
-                  violate st ~event:ev "snapshot scan at sid %Ld with no creation record" sid
-              | Some m ->
-                  let expected = model_scan m ~from ~count in
-                  if result <> expected then
-                    if Hashtbl.length st.candidates > 0 then
-                      st.inconclusive <-
-                        Format.asprintf
-                          "index %d: snapshot scan at sid %Ld mismatches but ambiguous writes \
-                           are pending"
-                          idx sid
-                        :: st.inconclusive
-                    else
-                      violate st ~event:ev
-                        "snapshot scan from %S at sid %Ld returned %d entries, frozen state \
-                         has %d"
-                        from sid (List.length result) (List.length expected))
-          | _ -> ())
-        evs;
-      (* Real-time order: if A returned before B was invoked, A's stamp
-         must be below B's (commit stamps are drawn inside the
-         operations' windows from a monotonic cluster counter). *)
-      let by_returned =
-        List.sort (fun a b -> compare a.Event.returned_at b.Event.returned_at) committed
-      in
-      let by_invoked =
-        List.sort (fun a b -> compare a.Event.invoked_at b.Event.invoked_at) committed
-      in
-      let rec realtime pending max_done b_list =
-        match b_list with
-        | [] -> ()
-        | b :: brest -> (
-            let rec drain pending max_done =
-              match pending with
-              | a :: arest when a.Event.returned_at < b.Event.invoked_at ->
-                  let max_done =
-                    match max_done with
-                    | Some m when Int64.compare (Option.get m.Event.stamp)
-                                    (Option.get a.Event.stamp) >= 0 ->
-                        Some m
-                    | _ -> Some a
-                  in
-                  drain arest max_done
-              | _ -> (pending, max_done)
-            in
-            let pending, max_done = drain pending max_done in
-            match max_done with
-            | Some m
-              when Int64.compare (Option.get m.Event.stamp) (Option.get b.Event.stamp) >= 0 ->
-                violate st ~event:b ?key:(op_key b)
-                  "real-time order violated: an operation that returned at %.6f has stamp \
-                   %Ld, not below this operation's stamp %Ld"
-                  m.Event.returned_at (Option.get m.Event.stamp) (Option.get b.Event.stamp);
-                realtime pending max_done brest
-            | _ -> realtime pending max_done brest)
-      in
-      realtime by_returned None by_invoked;
-      (* SCS strictness: a granted snapshot must reflect every commit
-         that returned before the request started. *)
-      let clog_tbl = Hashtbl.create 64 in
-      List.iter (fun (sid, cstamp) -> Hashtbl.replace clog_tbl sid cstamp) clog;
-      (* With a staleness bound k > 0, a granted snapshot may legally be
-         a reused one, missing commits that completed up to
-         [scs_staleness] seconds before the request — the rule then only
-         fires for commits older than that horizon. *)
-      let scs_slack = match scs_staleness with Some s -> Some s | None -> if strict_scs then Some 0.0 else None in
-      (match scs_slack with
-      | None -> ()
-      | Some slack ->
-      List.iter
-        (fun ev ->
-          match (ev.Event.op, ev.Event.sid) with
-          | Event.Snapshot_taken, Some sid -> (
-              match Hashtbl.find_opt clog_tbl sid with
-              | None -> violate st ~event:ev "granted snapshot sid %Ld has no creation record" sid
-              | Some cstamp ->
-                  List.iter
-                    (fun a ->
-                      if
-                        a.Event.returned_at < ev.Event.invoked_at -. slack
-                        && Int64.compare (Option.get a.Event.stamp) cstamp > 0
-                      then
-                        violate st ~event:ev ?key:(op_key a)
-                          "snapshot sid %Ld (creation stamp %Ld) misses a commit with stamp \
-                           %Ld that returned at %.6f, more than %.3fs before the request at \
-                           %.6f"
-                          sid cstamp (Option.get a.Event.stamp) a.Event.returned_at slack
-                          ev.Event.invoked_at)
-                    committed)
-          | Event.Snapshot_taken, None ->
-              violate st ~event:ev "snapshot request event carries no sid"
-          | _ -> ())
-        evs);
-      (* Final audit: the surviving state must match the model exactly,
-         modulo unresolved ambiguous writes. *)
-      List.iter
-        (fun (i, entries) ->
-          if i = idx then begin
-            let actual =
-              List.fold_left (fun m (k, v) -> Smap.add k v m) Smap.empty entries
-            in
-            let keys =
-              List.sort_uniq compare
-                (List.map fst (Smap.bindings st.model) @ List.map fst (Smap.bindings actual))
-            in
-            List.iter
-              (fun key ->
-                let expected = Smap.find_opt key st.model in
-                let got = Smap.find_opt key actual in
-                if got <> expected then
-                  if
-                    List.exists
-                      (fun c -> c.c_live && c.c_value = got)
-                      (candidates_for st key)
-                  then ()
-                  else
-                    violate st ~key "final audit: key %S holds %a but the model holds %a" key
-                      pp_value_opt got pp_value_opt expected)
-              keys
-          end)
-        final;
-      all_violations := !all_violations @ List.rev st.violations;
-      all_inconclusive := !all_inconclusive @ List.rev st.inconclusive;
-      let o, s, r = !totals in
-      totals := (o + st.ops_checked, s + st.snapshot_reads_checked, r + st.resolved))
-    indexes;
-  (* Commit stamps are drawn from one cluster-global counter: every
-     stamp must be unique across the whole history. *)
-  let stamps =
-    List.sort Int64.compare (List.filter_map (fun ev -> ev.Event.stamp) events)
-  in
-  let rec dup_check = function
-    | a :: (b :: _ as tl) ->
-        if Int64.equal a b then
-          all_violations :=
-            !all_violations
-            @ [
-                {
-                  v_index = -1;
-                  v_message = Format.asprintf "duplicate commit stamp %Ld" a;
-                  v_event = None;
-                  v_context = [];
-                };
-              ];
-        dup_check tl
-    | _ -> ()
-  in
-  dup_check stamps;
-  let global fmt =
-    Format.kasprintf
-      (fun v_message ->
-        all_violations :=
-          !all_violations @ [ { v_index = -1; v_message; v_event = None; v_context = [] } ])
-      fmt
-  in
-  (* 2PC atomicity: the participants' redo logs must agree on every
-     transaction's fate — a tid committed at one address space and
-     aborted at another is a torn transaction. The same tid carrying
-     both records at a single space (a decide_commit racing a recovery
-     force-abort) is the same violation. *)
-  let twopc_checked = List.length twopc in
-  let by_tid = Hashtbl.create 64 in
-  List.iter
-    (fun (space, tid, d) ->
-      let cs, abs = Option.value (Hashtbl.find_opt by_tid tid) ~default:([], []) in
-      Hashtbl.replace by_tid tid
-        (match d with `Committed -> (space :: cs, abs) | `Aborted -> (cs, space :: abs)))
-    twopc;
-  Sim.Det.sorted_bindings by_tid ~cmp:Int64.compare
-  |> List.iter (fun (tid, (cs, abs)) ->
-         if cs <> [] && abs <> [] then
-           global
-             "2PC atomicity violated: transaction %Ld committed at space(s) %s but aborted at \
-              space(s) %s"
-             tid
-             (String.concat "," (List.map string_of_int (List.sort compare cs)))
-             (String.concat "," (List.map string_of_int (List.sort compare abs))));
-  (* Every in-doubt transaction must be resolved by the time the run
-     quiesces: a leftover means the recovery coordinator wedged (or was
-     never run) and its locks block the ranges forever. *)
-  if in_doubt > 0 then
-    global "%d transaction(s) still in doubt after the run quiesced (recovery never resolved them)"
-      in_doubt;
-  let ops_checked, snapshot_reads_checked, candidates_resolved = !totals in
-  {
-    violations = !all_violations;
-    inconclusive = !all_inconclusive;
-    ops_checked;
-    snapshot_reads_checked;
-    candidates_resolved;
-    twopc_checked;
-  }
+  let t = Stream.create config in
+  List.iter (Stream.feed t) events;
+  Stream.finish t

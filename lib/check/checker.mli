@@ -1,36 +1,19 @@
-(** History-based consistency checker.
+(** Whole-history consistency checker: the list-shaped convenience
+    front end over {!Stream}.
 
-    Consumes a run's operation history ({!History}), the snapshot
-    creation log ({!Mvcc.Scs.creations}) and optionally a final audit
-    of the surviving tree, and verifies:
-
-    - {b Serializability}: replaying the committed operations of each
-      index in commit-stamp order against a sequential map model must
-      reproduce every observed result. Commit stamps are the
-      operations' serialization points (drawn while all their locks
-      were held), so the replay order {e is} the equivalent serial
-      order — no search needed for unambiguous histories.
-    - {b Strictness} (real-time order): an operation that returned
-      before another was invoked must carry a lower stamp.
-    - {b Snapshot consistency}: a read at snapshot [sid] must observe
-      exactly the frozen prefix — the effects of all commits with
-      stamps below [sid]'s creation stamp — and a granted snapshot must
-      reflect every commit that completed before the request started
-      (disable the latter with [strict_scs:false] for runs with a
-      staleness bound [k > 0]).
-    - {b Ambiguous operations} (raised {!Btree.Ops.Ambiguous}; only
-      possible in synthetic histories under the drain-based crash
-      model): treated as bounded per-key candidates that later reads
-      can resolve as applied or not; committed overwrites expire them.
-      Histories exceeding the candidate budget are reported
-      inconclusive rather than failed.
-    - {b Final audit}: the surviving entries must equal the model's
-      final state, modulo unresolved candidates.
-    - {b Stamp uniqueness} across the whole history. *)
+    [check] feeds a recorded history through a fresh {!Stream.t} in
+    arrival order and finishes it — the verdict is the streaming
+    checker's, by construction. See {!Stream} for the checked rules:
+    serializability in commit-stamp order, real-time strictness,
+    exact frozen-prefix semantics for snapshot and branch reads,
+    ambiguity candidates, final audits, stamp uniqueness and 2PC
+    atomicity. Prefer driving {!Stream} directly for long runs; this
+    wrapper holds the whole event list live. *)
 
 module Event = Minuet.Session.Event
+module Config = Stream.Config
 
-type violation = {
+type violation = Stream.violation = {
   v_index : int;  (** Index the violation was found in; -1 for global. *)
   v_message : string;
   v_event : Event.t option;  (** The operation that exposed it. *)
@@ -39,13 +22,14 @@ type violation = {
           operations on the same key, oldest first. *)
 }
 
-type verdict = {
+type verdict = Stream.verdict = {
   violations : violation list;
   inconclusive : string list;
       (** Checks that could not complete (e.g. too many ambiguous
           operations); not failures. *)
   ops_checked : int;
   snapshot_reads_checked : int;
+  branch_reads_checked : int;
   candidates_resolved : int;
   twopc_checked : int;  (** 2PC decision records cross-checked. *)
 }

@@ -14,6 +14,7 @@ type t = {
   alloc_chunk : int;
   scan_batch : int;
   unsafe_dirty_leaf_reads : bool;
+  broken_branch_isolation : bool;
 }
 
 let default =
@@ -33,6 +34,7 @@ let default =
     alloc_chunk = 64;
     scan_batch = 16;
     unsafe_dirty_leaf_reads = false;
+    broken_branch_isolation = false;
   }
 
 let with_hosts hosts t = { t with hosts }

@@ -24,6 +24,12 @@ type t = {
           so gets can serialize against a stale leaf. The history
           checker must flag such runs. Never enable outside checker
           self-tests. *)
+  broken_branch_isolation : bool;
+      (** Deliberately broken branch isolation for checker validation:
+          reads addressed at a read-only version are silently routed to
+          the mainline tip below it, leaking descendant writes into
+          frozen snapshots. The checker's frozen-ancestor rule must flag
+          such runs. Never enable outside checker self-tests. *)
 }
 
 val default : t

@@ -60,7 +60,7 @@ let start ?(config = Config.default) () =
     Array.map
       (fun (tree, _) ->
         if config.Config.branching then begin
-          let br = Mvcc.Branching.attach ~tree ~beta:config.Config.beta in
+          let br = Mvcc.Branching.attach ~tree ~beta:config.Config.beta () in
           Mvcc.Branching.init_tree br
         end
         else Ops.Linear.init_tree tree;

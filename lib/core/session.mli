@@ -17,8 +17,12 @@ type t
     With a [tracer], every single-index session operation emits one
     event when it returns, carrying the simulated invocation/response
     times and the operation's serialization point — its commit stamp
-    (up-to-date operations) or snapshot id (snapshot reads). The
-    consistency checker ([Check.History]) consumes these.
+    (up-to-date operations) or snapshot id (snapshot reads). On a
+    branching database ({!Config.t.branching}), branch-aware operations
+    run through the index's {!Mvcc.Branching.t} handle are traced too:
+    version creation/deletion and branch-scoped reads and writes carry
+    the version id they resolved to. The consistency checkers
+    ([Check.History], [Check.Stream]) consume these.
     Multi-index operations and {!with_txn} bodies are not traced. *)
 
 module Event : sig
@@ -28,6 +32,23 @@ module Event : sig
     | Remove of { key : string; removed : bool }
     | Scan of { from : string; count : int; result : (string * string) list }
     | Snapshot_taken
+    | Branch_created of { parent : int64; sid : int64 }
+        (** A writable clone [sid] was created from version [parent]
+            (branching mode; Sec. 5.1). *)
+    | Branch_deleted of { sid : int64 }
+    | Branch_get of { at : int64; key : string; result : string option }
+        (** Branch-scoped read; [at] is the version the operation
+            resolved to (the requested read-only version, or the
+            mainline tip reached from the requested version). *)
+    | Branch_put of { at : int64; key : string; value : string }
+    | Branch_remove of { at : int64; key : string; removed : bool }
+    | Branch_scan of { at : int64; from : string; count : int; result : (string * string) list }
+    | Get_many of { key : string; results : (int64 * string option) list }
+        (** Horizontal multi-version query: one key across versions,
+            read atomically. *)
+    | History of { from : int64; key : string; results : (int64 * string option) list }
+        (** Vertical multi-version query: one key at [from] and each
+            ancestor, root-first, read atomically. *)
 
   type t = {
     client : int option;  (** The session's client host id. *)
@@ -48,6 +69,14 @@ module Event : sig
   }
 
   val pp : Format.formatter -> t -> unit
+
+  val to_json : t -> Obs.Json.t
+  (** Lossless encoding for offline re-checking: int64s as decimal
+      strings (JSON numbers are doubles), [None] as [null]. *)
+
+  val of_json : Obs.Json.t -> t
+  (** Inverse of {!to_json}. Raises [Invalid_argument] on events
+      {!to_json} could not have produced. *)
 end
 
 type tracer = Event.t -> unit
@@ -77,11 +106,6 @@ type index
 val index : Db.t -> int -> index
 (** [index db i] is the handle for the [i]th index. Raises
     [Invalid_argument] unless [0 <= i < Db.n_trees db]. *)
-
-val tree : t -> index:int -> Btree.Ops.tree
-  [@@deprecated "use Session.tree_of with a validated Session.index handle"]
-(** The underlying per-session tree handle (escape hatch for benches
-    and tests). *)
 
 val tree_of : t -> index -> Btree.Ops.tree
 (** The underlying per-session tree handle (escape hatch for benches
@@ -147,4 +171,11 @@ val scan_at : t -> snapshot -> from:string -> count:int -> (string * string) lis
 
 val branching : ?index:index -> t -> Mvcc.Branching.t
 (** Branch-aware operations for a database started with
-    [config.branching = true]. Raises [Invalid_argument] otherwise. *)
+    [config.branching = true]. Raises [Invalid_argument] otherwise.
+    When the session has a tracer, operations run through this handle
+    emit branch-scoped {!Event}s. *)
+
+val branch : ?index:index -> t -> from:int64 -> int64
+(** Create a writable clone branching from version [from] (traced as
+    {!Event.Branch_created}). Shorthand for
+    [Mvcc.Branching.create_branch (branching t) ~from]. *)

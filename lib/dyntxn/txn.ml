@@ -29,6 +29,13 @@ type t = {
   dirty_repl_seen : (int, int) Hashtbl.t; (* offset -> len, for cache eviction *)
   mutable aborted : bool;
   mutable fetches : int;
+  (* Bumped whenever an entry joins the validated footprint (reads,
+     repl_reads, repl_validates). A validating fetch captures the value
+     when it builds its compare set and may only claim full coverage if
+     it is unchanged when the fetch lands: entries added mid-flight by a
+     concurrent fetch on the same transaction (the scan prefetch window)
+     were never compared. *)
+  mutable footprint_gen : int;
   (* True when the read set as a whole was atomically validated by the
      most recent fetch; lets read-only transactions commit locally. *)
   mutable fully_validated : bool;
@@ -64,6 +71,7 @@ let begin_ ?cache ?client ?(home = 0) cluster =
     dirty_repl_seen = Hashtbl.create 4;
     aborted = false;
     fetches = 0;
+    footprint_gen = 0;
     fully_validated = true;
     last_validated_stamp = None;
     commit_stamp_ = None;
@@ -84,6 +92,9 @@ let fail t msg =
   raise (Aborted msg)
 
 let check_live t = if t.aborted then raise (Aborted "transaction already aborted")
+
+(* Record that the validated footprint grew; see [footprint_gen]. *)
+let note_footprint t = t.footprint_gen <- t.footprint_gen + 1
 
 let seq_bytes seq =
   let b = Bytes.create 8 in
@@ -145,6 +156,7 @@ let piggyback_compares t ~nodes =
 let fetch_refs t ~validate (refs : Objref.t list) =
   check_live t;
   let nodes = List.sort_uniq Int.compare (List.map Objref.node refs) in
+  let gen0 = t.footprint_gen in
   let compares, covered, all_covered =
     if validate then piggyback_compares t ~nodes else ([], [], false)
   in
@@ -156,7 +168,11 @@ let fetch_refs t ~validate (refs : Objref.t list) =
       observe_epochs t epochs;
       if validate then begin
         List.iter (fun (`Read entry) -> entry.validated <- true) covered;
-        t.fully_validated <- all_covered;
+        (* Entries that joined the footprint while this fetch was in
+           flight (a concurrent prefetch on the same transaction) were
+           not in its compare set, so full coverage cannot be claimed;
+           the commit then falls back to a full validation round. *)
+        t.fully_validated <- (all_covered && t.footprint_gen = gen0);
         t.last_validated_stamp <- Some stamp
       end;
       List.map (fun (_, slot) -> (Objref.seq_of_slot slot, Objref.payload_of_slot slot)) results
@@ -199,6 +215,7 @@ let read_with_seq t (ref_ : Objref.t) =
       | None ->
           let seq, payload = fetch_slot t ~validate:true ref_.Objref.addr ~len:ref_.Objref.len in
           Hashtbl.replace t.reads ref_ { ref_; seq; payload; validated = true };
+          note_footprint t;
           (seq, payload))
 
 let read t ref_ = snd (read_with_seq t ref_)
@@ -290,7 +307,8 @@ let read_many_with_seq t refs =
       let fetched = fetch_refs t ~validate:true missing in
       List.iter2
         (fun ref_ (seq, payload) ->
-          Hashtbl.replace t.reads ref_ { ref_; seq; payload; validated = true })
+          Hashtbl.replace t.reads ref_ { ref_; seq; payload; validated = true };
+          note_footprint t)
         missing fetched);
   List.map (fun r -> read_with_seq t r) refs
 
@@ -358,6 +376,7 @@ let write_gen t (ref_ : Objref.t) payload ~echo =
     match Hashtbl.find_opt t.dirty_seen ref_ with
     | Some (seq, seen_payload) ->
         Hashtbl.replace t.reads ref_ { ref_; seq; payload = seen_payload; validated = false };
+        note_footprint t;
         t.fully_validated <- false
     | None -> ()
   end;
@@ -378,6 +397,7 @@ let validate_replicated t ~off ~seq =
   check_live t;
   if not (Hashtbl.mem t.repl_validates off) then begin
     Hashtbl.replace t.repl_validates off seq;
+    note_footprint t;
     t.fully_validated <- false
   end
 
@@ -393,6 +413,7 @@ let read_replicated t ~off ~len =
           match cache_lookup t key with
           | `Fresh (seq, payload) ->
               Hashtbl.replace t.repl_reads off { rr_len = len; rr_seq = seq; rr_payload = payload };
+              note_footprint t;
               (* Served from the (incoherent) cache: the read set is no
                  longer known-consistent until the next validating fetch
                  or commit. *)
@@ -401,6 +422,7 @@ let read_replicated t ~off ~len =
           | (`Stale _ | `Absent) as st ->
               let seq, payload = fetch_slot t ~validate:true (repl_addr t off) ~len in
               Hashtbl.replace t.repl_reads off { rr_len = len; rr_seq = seq; rr_payload = payload };
+              note_footprint t;
               cache_store t key ~seq ~payload st;
               payload))
 

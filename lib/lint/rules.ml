@@ -171,7 +171,9 @@ let nondet_iteration =
     match e.pexp_desc with
     | Pexp_ident { txt; loc } when not loc.Location.loc_ghost -> (
         match dotted_call txt with
-        | Some ("Hashtbl", (("iter" | "fold") as fn)) ->
+        | Some
+            ( "Hashtbl",
+              (("iter" | "fold" | "to_seq" | "to_seq_keys" | "to_seq_values") as fn) ) ->
             emit ~loc
               (Printf.sprintf
                  "Hashtbl.%s iterates in hash order, which is not stable across runs; use \

@@ -3,13 +3,52 @@ module Bnode = Btree.Bnode
 module Txn = Dyntxn.Txn
 module Objref = Dyntxn.Objref
 
-type t = { tree : Ops.tree; beta : int }
+(* Raw trace of branch-aware operations. Branching cannot name
+   [Session.Event] (lib/core depends on this library), so it emits a
+   neutral record; [Session.attach] installs a converter that lifts
+   these into session events. *)
+module Trace = struct
+  type op =
+    | Branch_created of { parent : int64; sid : int64 }
+    | Branch_deleted of { sid : int64 }
+    | Get of { at : int64; key : string; result : string option }
+    | Put of { at : int64; key : string; value : string }
+    | Remove of { at : int64; key : string; removed : bool }
+    | Scan of { at : int64; from : string; count : int; result : (string * string) list }
+    | Get_many of { key : string; results : (int64 * string option) list }
+    | History of { from : int64; key : string; results : (int64 * string option) list }
+
+  type t = {
+    op : op;
+    invoked_at : float;
+    returned_at : float;
+    stamp : int64 option;
+    ambiguous : bool;
+  }
+end
+
+type t = {
+  tree : Ops.tree;
+  beta : int;
+  broken_isolation : bool;
+  mutable tracer : (Trace.t -> unit) option;
+}
 
 exception Too_many_branches of int64
 
-let attach ~tree ~beta =
+exception No_mainline of int64
+
+let attach ?(broken_isolation = false) ~tree ~beta () =
   if beta < 2 then invalid_arg "Branching.attach: beta must be >= 2";
-  { tree; beta }
+  { tree; beta; broken_isolation; tracer = None }
+
+let set_tracer t f = t.tracer <- Some f
+
+let emit t ~invoked ?stamp ?(ambiguous = false) op =
+  match t.tracer with
+  | None -> ()
+  | Some f ->
+      f { Trace.op; invoked_at = invoked; returned_at = Sim.now (); stamp; ambiguous }
 
 let tree t = t.tree
 
@@ -22,9 +61,12 @@ let entry_exn ?(allow_deleted = false) t txn sid =
   | None -> Format.kasprintf invalid_arg "Branching: unknown snapshot %Ld" sid
 
 (* Parent lookups use dirty (cached, unvalidated) catalog reads: a
-   snapshot's parent and root never change once created. *)
+   snapshot's parent and root never change once created. Deleted
+   entries are allowed — a node's recorded descendant set can keep a
+   deleted leaf's sid until GC reclaims it, and the COW planner still
+   has to climb through it. *)
 let parent_of t txn sid =
-  let e = entry_exn t txn sid in
+  let e = entry_exn ~allow_deleted:true t txn sid in
   if Int64.equal e.Catalog.parent Catalog.no_parent then None else Some e.Catalog.parent
 
 let is_ancestor t txn a b =
@@ -110,9 +152,7 @@ let mainline_tip t txn ~from =
           (* The first branch was deleted while siblings remain: there
              is no default mainline anymore; the caller must name a tip
              explicitly (Sec. 5.1 lets users override the default). *)
-          Format.kasprintf invalid_arg
-            "Branching: version %Ld has no mainline (first branch deleted); checkout a tip              explicitly"
-            sid
+          raise (No_mainline sid)
         else follow e.Catalog.first_branch
   in
   follow from
@@ -173,8 +213,9 @@ let init_tree t =
       failwith "Branching.init_tree: could not initialize tree"
 
 let create_branch t ~from =
+  let invoked = Sim.now () in
   let rec attempt tries =
-    if tries > 64 then failwith "Branching.create_branch: starved";
+    if tries > 64 then raise (Ops.Too_contended "Branching.create_branch: starved");
     let txn = Txn.begin_ (Ops.cluster t.tree) ~cache:(Ops.proxy_cache t.tree) ~home:(Ops.home t.tree) in
     match
       let counter = Catalog.read_counter t.tree txn in
@@ -216,6 +257,9 @@ let create_branch t ~from =
         | Txn.Committed ->
             Obs.Counter.incr
               (Obs.btree (Sinfonia.Cluster.obs (Ops.cluster t.tree))).Obs.branches_created;
+            emit t ~invoked
+              ?stamp:(Txn.commit_stamp txn)
+              (Trace.Branch_created { parent = from; sid = new_sid });
             new_sid
         | Txn.Validation_failed | Txn.Retry_exhausted | Txn.Unavailable _ ->
             Txn.evict_dirty txn;
@@ -232,23 +276,75 @@ let create_branch t ~from =
 
 (* Route to the right context: a writable [at] (or the mainline from
    it) for updates; the version itself for reads of read-only
-   snapshots. *)
-let vctx_for_read t at txn =
+   snapshots. [report] records the version the operation claims to
+   serve (traced to the checker), which the retry loop may re-resolve. *)
+let vctx_for_read t at report txn =
   match at with
-  | None -> tip_vctx t txn
+  | None ->
+      let v = tip_vctx t txn in
+      report := v.Ops.snap;
+      v
   | Some sid ->
       let e = entry_exn t txn sid in
-      if Catalog.is_writable e then tip_vctx t ~from:sid txn else at_snapshot t ~sid txn
+      if Catalog.is_writable e then begin
+        let v = tip_vctx t ~from:sid txn in
+        report := v.Ops.snap;
+        v
+      end
+      else begin
+        (* Trace the requested version even when deliberately broken:
+           the checker must see a read claiming snapshot isolation. *)
+        report := sid;
+        if t.broken_isolation then tip_vctx t ~from:sid txn else at_snapshot t ~sid txn
+      end
 
-let vctx_for_write t at txn = tip_vctx t ?from:at txn
+let vctx_for_write t at report txn =
+  let v = tip_vctx t ?from:at txn in
+  report := v.Ops.snap;
+  v
 
-let get t ?at k = Ops.get t.tree ~vctx_of:(vctx_for_read t at) k
+let get t ?at k =
+  let invoked = Sim.now () in
+  let report = ref (Option.value at ~default:0L) in
+  let result = Ops.get t.tree ~vctx_of:(vctx_for_read t at report) k in
+  emit t ~invoked
+    ?stamp:(Ops.last_commit_stamp t.tree)
+    (Trace.Get { at = !report; key = k; result });
+  result
 
-let put t ?at k v = Ops.put t.tree ~vctx_of:(fun txn -> vctx_for_write t at txn) k v
+let put t ?at k v =
+  let invoked = Sim.now () in
+  let report = ref (Option.value at ~default:0L) in
+  try
+    Ops.put t.tree ~vctx_of:(vctx_for_write t at report) k v;
+    emit t ~invoked
+      ?stamp:(Ops.last_commit_stamp t.tree)
+      (Trace.Put { at = !report; key = k; value = v })
+  with Ops.Ambiguous _ as e ->
+    emit t ~invoked ~ambiguous:true (Trace.Put { at = !report; key = k; value = v });
+    raise e
 
-let remove t ?at k = Ops.remove t.tree ~vctx_of:(fun txn -> vctx_for_write t at txn) k
+let remove t ?at k =
+  let invoked = Sim.now () in
+  let report = ref (Option.value at ~default:0L) in
+  try
+    let removed = Ops.remove t.tree ~vctx_of:(vctx_for_write t at report) k in
+    emit t ~invoked
+      ?stamp:(Ops.last_commit_stamp t.tree)
+      (Trace.Remove { at = !report; key = k; removed });
+    removed
+  with Ops.Ambiguous _ as e ->
+    emit t ~invoked ~ambiguous:true (Trace.Remove { at = !report; key = k; removed = false });
+    raise e
 
-let scan ?at t ~from ~count = Ops.scan t.tree ~vctx_of:(vctx_for_read t at) ~from ~count
+let scan ?at t ~from ~count =
+  let invoked = Sim.now () in
+  let report = ref (Option.value at ~default:0L) in
+  let result = Ops.scan t.tree ~vctx_of:(vctx_for_read t at report) ~from ~count in
+  emit t ~invoked
+    ?stamp:(Ops.last_commit_stamp t.tree)
+    (Trace.Scan { at = !report; from; count; result });
+  result
 
 (* ------------------------------------------------------------------ *)
 (* Multi-version queries (Sec. 5.1: "transactional queries across
@@ -259,20 +355,30 @@ let scan ?at t ~from ~count = Ops.scan t.tree ~vctx_of:(vctx_for_read t at) ~fro
 
 let get_many t ~at k =
   (* Horizontal query: one key across several versions, atomically. *)
-  Ops.run_txn t.tree (fun txn ->
-      List.map (fun sid -> (sid, Ops.get_in_txn t.tree txn (at_snapshot t ~sid txn) k)) at)
+  let invoked = Sim.now () in
+  let results =
+    Ops.run_txn t.tree (fun txn ->
+        List.map (fun sid -> (sid, Ops.get_in_txn t.tree txn (at_snapshot t ~sid txn) k)) at)
+  in
+  emit t ~invoked ?stamp:(Ops.last_commit_stamp t.tree) (Trace.Get_many { key = k; results });
+  results
 
 let history t ~from k =
   (* Vertical query: the key's value at [from] and every ancestor, from
      the root version down to [from], read in one transaction. *)
-  Ops.run_txn t.tree (fun txn ->
-      let rec ancestry acc sid =
-        let acc = sid :: acc in
-        match parent_of t txn sid with None -> acc | Some p -> ancestry acc p
-      in
-      List.map
-        (fun sid -> (sid, Ops.get_in_txn t.tree txn (at_snapshot t ~sid txn) k))
-        (ancestry [] from))
+  let invoked = Sim.now () in
+  let results =
+    Ops.run_txn t.tree (fun txn ->
+        let rec ancestry acc sid =
+          let acc = sid :: acc in
+          match parent_of t txn sid with None -> acc | Some p -> ancestry acc p
+        in
+        List.map
+          (fun sid -> (sid, Ops.get_in_txn t.tree txn (at_snapshot t ~sid txn) k))
+          (ancestry [] from))
+  in
+  emit t ~invoked ?stamp:(Ops.last_commit_stamp t.tree) (Trace.History { from; key = k; results });
+  results
 
 type change = Added of string | Removed of string | Changed of string * string
 
@@ -304,8 +410,9 @@ exception Not_deletable of string
 
 let delete_branch t sid =
   if Int64.equal sid 0L then raise (Not_deletable "the initial version cannot be deleted");
+  let invoked = Sim.now () in
   let rec attempt tries =
-    if tries > 64 then failwith "Branching.delete_branch: starved";
+    if tries > 64 then raise (Ops.Too_contended "Branching.delete_branch: starved");
     let txn = Txn.begin_ (Ops.cluster t.tree) ~cache:(Ops.proxy_cache t.tree) ~home:(Ops.home t.tree) in
     match
       let entry =
@@ -340,7 +447,8 @@ let delete_branch t sid =
         match Txn.commit ~blocking:true txn with
         | Txn.Committed ->
             Obs.Counter.incr
-              (Obs.btree (Sinfonia.Cluster.obs (Ops.cluster t.tree))).Obs.branches_deleted
+              (Obs.btree (Sinfonia.Cluster.obs (Ops.cluster t.tree))).Obs.branches_deleted;
+            emit t ~invoked ?stamp:(Txn.commit_stamp txn) (Trace.Branch_deleted { sid })
         | Txn.Validation_failed | Txn.Retry_exhausted | Txn.Unavailable _ ->
             Txn.evict_dirty txn;
             attempt (tries + 1))

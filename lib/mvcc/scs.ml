@@ -21,6 +21,9 @@ type t = {
      the snapshot-creation transaction), newest first. The stamp is the
      serialization point at which snapshot [sid] froze. *)
   mutable creations : (int64 * int64) list;
+  (* Streaming checkers subscribe here to learn creations as they
+     happen instead of reading [creations] post-run. *)
+  mutable on_create : (sid:int64 -> stamp:int64 -> unit) option;
   (* Chaos: the service is down until this simulated time; requests
      queue until it is back. *)
   mutable outage_until : float;
@@ -44,6 +47,7 @@ let create ?(borrowing = true) ?(min_interval = 0.0) ?(rpc_one_way = 25e-6) ~tre
     borrowed = 0;
     stale_reused = 0;
     creations = [];
+    on_create = None;
     outage_until = neg_infinity;
     outage_stalled = 0;
   }
@@ -55,6 +59,8 @@ let borrows t = t.borrowed
 let stale_reuses t = t.stale_reused
 
 let creations t = t.creations
+
+let set_on_create t f = t.on_create <- Some f
 
 let set_outage t ~until = if until > t.outage_until then t.outage_until <- until
 
@@ -110,6 +116,7 @@ let create_snapshot_now t =
   t.last <- Some result;
   t.last_created_at <- Sim.now ();
   t.creations <- (sid, stamp) :: t.creations;
+  (match t.on_create with Some f -> f ~sid ~stamp | None -> ());
   result
 
 let request t =

@@ -47,6 +47,12 @@ val creations : t -> (int64 * int64) list
     that created snapshot [sid] — the serialization point at which the
     state frozen into [sid] stopped changing. *)
 
+val set_on_create : t -> (sid:int64 -> stamp:int64 -> unit) -> unit
+(** Subscribe to snapshot creations as they happen (streaming
+    checkers feed them via [Check.Stream.add_creation] instead of
+    reading {!creations} post-run). One subscriber; later calls
+    replace earlier ones. *)
+
 (** {1 Chaos hooks} *)
 
 val set_outage : t -> until:float -> unit

@@ -98,6 +98,7 @@ type mtx_stats = {
   busy_retries : Counter.t;
   compare_failed : Counter.t;
   retry_budget_exhausted : Counter.t;
+  vote_epoch_aborts : Counter.t;
   mtx_unavailable : Counter.t;
   mirrors : Counter.t;
   orphans_released : Counter.t;
@@ -258,6 +259,7 @@ let create ?(span_capacity = 65536) () =
       busy_retries = c "mtx.busy_retries";
       compare_failed = c "mtx.compare_failed";
       retry_budget_exhausted = c "mtx.retry_budget_exhausted";
+      vote_epoch_aborts = c "mtx.vote_epoch_aborts";
       mtx_unavailable = c "mtx.unavailable";
       mirrors = c "replication.mirrors";
       orphans_released = c "recovery.orphans_released";

@@ -67,6 +67,7 @@ type mtx_stats = {
   busy_retries : Counter.t;
   compare_failed : Counter.t;
   retry_budget_exhausted : Counter.t;
+  vote_epoch_aborts : Counter.t;
   mtx_unavailable : Counter.t;
   mirrors : Counter.t;
   orphans_released : Counter.t;

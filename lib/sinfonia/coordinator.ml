@@ -184,7 +184,10 @@ let parallel_map cluster nodes f =
    still taken, so phase two never re-routes and the node cannot crash
    under the held locks. *)
 type presult =
-  | P_prepared of Memnode.t * Memnode.store * (int * string) list
+  | P_prepared of Memnode.t * Memnode.store * (int * string) list * int
+      (* last field: the space's crash epoch captured before the request
+         went out — a bump by decision time means the participant's
+         volatile locks died with it *)
   | P_busy
   | P_compare of int list
   | P_unreachable of bool (* partitioned? *)
@@ -209,11 +212,12 @@ let exec_multi cluster ~client ~mode (mtx : Mtx.t) nodes =
         let cost = Memnode.part_cost cfg part in
         let bytes_out = Memnode.part_bytes part + request_overhead in
         let resp_bytes = function
-          | P_prepared (_, _, reads) -> read_bytes_of_result reads
+          | P_prepared (_, _, reads, _) -> read_bytes_of_result reads
           | P_busy | P_compare _ | P_unreachable _ -> response_overhead
         in
         try
           check_reachable cluster ~client node;
+          let ep0 = Cluster.space_epoch cluster node in
           let net = Cluster.net cluster in
           let dst =
             match client with
@@ -231,7 +235,7 @@ let exec_multi cluster ~client ~mode (mtx : Mtx.t) nodes =
                   Memnode.prepare_blocking_timed mn store ~owner ~participants:nodes part ~cost
                     ~timeout:cfg.Config.blocking_timeout
             with
-            | Memnode.Prepared reads -> P_prepared (mn, store, reads)
+            | Memnode.Prepared reads -> P_prepared (mn, store, reads, ep0)
             | Memnode.Busy_locks ->
                 Memnode.end_serving mn store;
                 P_busy
@@ -257,14 +261,16 @@ let exec_multi cluster ~client ~mode (mtx : Mtx.t) nodes =
       let prepared =
         List.filter_map
           (fun (node, r) ->
-            match r with P_prepared (mn, store, reads) -> Some (node, mn, store, reads) | _ -> None)
+            match r with
+            | P_prepared (mn, store, reads, ep0) -> Some (node, mn, store, reads, ep0)
+            | _ -> None)
           results
       in
       (* Abort phase for a failed attempt: release locks at every
          prepared (pinned) participant, then drop the serving pins. *)
       let abort_prepared () =
         ignore
-          (parallel_map cluster prepared (fun (_, mn, store, _) ->
+          (parallel_map cluster prepared (fun (_, mn, store, _, _) ->
                round_trip_pinned cluster ~client mn ~bytes_out:request_overhead
                  ~resp_bytes:(fun () -> response_overhead)
                  (fun () ->
@@ -303,6 +309,36 @@ let exec_multi cluster ~client ~mode (mtx : Mtx.t) nodes =
         backoff_delay cluster n;
         attempt (n + 1)
       end
+      else if
+        List.exists
+          (fun (node, _, _, _, ep0) -> Cluster.space_epoch cluster node <> ep0)
+          prepared
+      then begin
+        (* A participant crashed after voting yes: its volatile lock
+           table died with it, and promotion re-locks only redo-logged
+           write ranges, so the compares and reads it evaluated can no
+           longer be claimed to hold at a stamp drawn now — a
+           conflicting write may already have slipped onto the promoted
+           image. Every participant voted yes, so recovery would
+           otherwise drive this tid to commit: record the abort
+           decision first, then release what can be reached and retry
+           under a fresh tid. *)
+        List.iter
+          (fun (node, _, _, _, _) ->
+            Redo_log.decide_abort (Cluster.redo_log cluster node) ~tid:owner;
+            (* The promoted image may hold ranges re-locked under this
+               tid (in-doubt relock at promotion); release them where a
+               serving store is reachable. *)
+            match Cluster.route cluster node with
+            | _, store -> Lock_table.release (Memnode.store_locks store) ~owner
+            | exception Cluster.Unavailable _ | exception Cluster.Partitioned _ -> ())
+          prepared;
+        abort_prepared ();
+        Obs.Counter.incr stats.Obs.vote_epoch_aborts;
+        Obs.abort obs ~layer:Obs.Abort.Mtx Obs.Abort.Crashed_host;
+        backoff_delay cluster n;
+        attempt (n + 1)
+      end
       else begin
         (* Every participant prepared: the decision is commit. The stamp
            is drawn here — after the last prepare, before any commit —
@@ -310,7 +346,7 @@ let exec_multi cluster ~client ~mode (mtx : Mtx.t) nodes =
         let stamp = Cluster.take_stamp cluster in
         Obs.with_span obs Obs.Span.Mtx_commit (fun () ->
             ignore
-              (parallel_map cluster prepared (fun (node, mn, store, _) ->
+              (parallel_map cluster prepared (fun (node, mn, store, _, _) ->
                    let part = List.assoc node parts in
                    round_trip_pinned cluster ~client mn
                      ~bytes_out:(Memnode.part_bytes part + request_overhead)
@@ -328,7 +364,7 @@ let exec_multi cluster ~client ~mode (mtx : Mtx.t) nodes =
                         with Memnode.Crashed -> ());
                        Memnode.end_serving mn store))));
         Obs.Counter.incr stats.Obs.committed_2pc;
-        let reads = List.concat_map (fun (_, _, _, reads) -> reads) prepared in
+        let reads = List.concat_map (fun (_, _, _, reads, _) -> reads) prepared in
         outcome_of_reads cluster mtx ~stamp (merge_reads [ reads ])
       end
     end

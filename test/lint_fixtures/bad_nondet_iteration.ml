@@ -6,3 +6,12 @@ let dump tbl =
 
 let keys tbl =
   Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] (* expect: nondet-iteration *)
+
+let stream tbl =
+  Seq.iter print_string (Hashtbl.to_seq_keys tbl) (* expect: nondet-iteration *)
+
+let pairs tbl =
+  List.of_seq (Hashtbl.to_seq tbl) (* expect: nondet-iteration *)
+
+let values tbl =
+  List.of_seq (Hashtbl.to_seq_values tbl) (* expect: nondet-iteration *)

@@ -370,6 +370,171 @@ let test_history_recorder () =
   Check.History.clear h;
   check Alcotest.int "cleared" 0 (Check.History.length h)
 
+(* ------------------------------------------------------------------ *)
+(* Branching                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let branch_created ~stamp ~parent ~sid ~invoked ~returned () =
+  ev ~stamp ~invoked ~returned (Event.Branch_created { parent; sid })
+
+let branch_put ~stamp ~at ~invoked ~returned key value =
+  ev ~stamp ~invoked ~returned (Event.Branch_put { at; key; value })
+
+let branch_get ?stamp ~at ~invoked ~returned key result =
+  ev ?stamp ~invoked ~returned (Event.Branch_get { at; key; result })
+
+let test_branch_frozen_ancestor () =
+  (* Forking freezes the parent; reads pinned at the frozen version see
+     exactly its pre-fork state even as the child advances. *)
+  let v =
+    run
+      [
+        branch_put ~stamp:1L ~at:0L ~invoked:0.00 ~returned:0.01 "a" "pre";
+        branch_created ~stamp:2L ~parent:0L ~sid:1L ~invoked:0.02 ~returned:0.03 ();
+        branch_put ~stamp:3L ~at:1L ~invoked:0.04 ~returned:0.05 "a" "child";
+        branch_get ~at:0L ~invoked:0.06 ~returned:0.07 "a" (Some "pre");
+        branch_get ~stamp:4L ~at:1L ~invoked:0.08 ~returned:0.09 "a" (Some "child");
+      ]
+  in
+  assert_ok ~msg:"frozen ancestor state observed" v;
+  (* Only the read pinned at the frozen version exercises the
+     frozen-ancestor rule; the stamped tip read replays normally. *)
+  check Alcotest.bool "branch read counted" true (v.Checker.branch_reads_checked >= 1)
+
+let test_branch_isolation_leak_caught () =
+  (* A read pinned at the frozen parent observing the child's write is a
+     branch-isolation leak. *)
+  let v =
+    run
+      [
+        branch_put ~stamp:1L ~at:0L ~invoked:0.00 ~returned:0.01 "a" "pre";
+        branch_created ~stamp:2L ~parent:0L ~sid:1L ~invoked:0.02 ~returned:0.03 ();
+        branch_put ~stamp:3L ~at:1L ~invoked:0.04 ~returned:0.05 "a" "child";
+        branch_get ~at:0L ~invoked:0.06 ~returned:0.07 "a" (Some "child");
+      ]
+  in
+  check Alcotest.bool "not ok" false (Checker.ok v)
+
+let test_sibling_leak_caught () =
+  (* Two children forked from the same parent: a write on one sibling
+     must not surface in the other's realm. *)
+  let v =
+    run
+      [
+        branch_created ~stamp:1L ~parent:0L ~sid:1L ~invoked:0.00 ~returned:0.01 ();
+        branch_created ~stamp:2L ~parent:0L ~sid:2L ~invoked:0.02 ~returned:0.03 ();
+        branch_put ~stamp:3L ~at:1L ~invoked:0.04 ~returned:0.05 "k" "from-sibling";
+        branch_get ~stamp:4L ~at:2L ~invoked:0.06 ~returned:0.07 "k" (Some "from-sibling");
+      ]
+  in
+  check Alcotest.bool "not ok" false (Checker.ok v)
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic histories (Histgen): streaming vs list, falsifiability    *)
+(* ------------------------------------------------------------------ *)
+
+let gen_history cfg =
+  let events = ref [] in
+  let gen = Chaos.Histgen.generate cfg (fun e -> events := e :: !events) in
+  (gen, List.rev !events)
+
+let histgen_cfg ?(branching = false) ?fault () =
+  { Chaos.Histgen.default with Chaos.Histgen.ops = 20_000; branching; fault }
+
+let test_stream_matches_list () =
+  (* Feeding the stream by hand and going through the list wrapper must
+     produce the same verdict on the same history, linear and branching. *)
+  List.iter
+    (fun branching ->
+      let gen, events = gen_history (histgen_cfg ~branching ()) in
+      let listed =
+        Checker.check
+          ~creations:gen.Chaos.Histgen.gen_creations
+          ~final:gen.Chaos.Histgen.gen_final ~events ()
+      in
+      let stream =
+        Check.Stream.create
+          {
+            Check.Stream.Config.default with
+            Check.Stream.Config.creations = gen.Chaos.Histgen.gen_creations;
+          }
+      in
+      List.iter (Check.Stream.feed stream) events;
+      let streamed =
+        Check.Stream.finish ~final:gen.Chaos.Histgen.gen_final stream
+      in
+      check Alcotest.bool
+        (Printf.sprintf "identical verdicts (branching=%b)" branching)
+        true
+        (listed = streamed);
+      assert_ok ~msg:"clean synthetic history passes" listed)
+    [ false; true ]
+
+let test_histgen_branching_clean () =
+  let gen, events = gen_history (histgen_cfg ~branching:true ()) in
+  let v =
+    Checker.check ~creations:gen.Chaos.Histgen.gen_creations ~events ()
+  in
+  assert_ok ~msg:"branching synthetic history passes" v;
+  check Alcotest.bool "branch reads exercised" true (v.Checker.branch_reads_checked > 100)
+
+let test_histgen_stale_read_caught () =
+  let gen, events =
+    gen_history (histgen_cfg ~fault:Chaos.Histgen.Stale_read ())
+  in
+  let v =
+    Checker.check
+      ~creations:gen.Chaos.Histgen.gen_creations
+      ~final:gen.Chaos.Histgen.gen_final ~events ()
+  in
+  check Alcotest.bool "seeded stale read caught" false (Checker.ok v)
+
+let test_histgen_branch_isolation_caught () =
+  let gen, events =
+    gen_history (histgen_cfg ~branching:true ~fault:Chaos.Histgen.Branch_isolation ())
+  in
+  let v =
+    Checker.check ~creations:gen.Chaos.Histgen.gen_creations ~events ()
+  in
+  check Alcotest.bool "seeded isolation leak caught" false (Checker.ok v)
+
+(* ------------------------------------------------------------------ *)
+(* Event JSON                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_event_json_roundtrip () =
+  let samples =
+    [
+      put ~client:3 ~stamp:7L ~invoked:0.5 ~returned:0.625 "k" "v";
+      get ~index:2 ~sid:9L ~invoked:1.0 ~returned:1.25 "k" None;
+      remove ~stamp:8L ~ambiguous:true ~invoked:2.0 ~returned:2.5 "k" false;
+      scan ~stamp:9L ~invoked:3.0 ~returned:3.5 "a" 4 [ ("a", "1"); ("b", "2") ];
+      snapshot ~sid:11L ~invoked:4.0 ~returned:4.5 ();
+      branch_created ~stamp:12L ~parent:0L ~sid:5L ~invoked:5.0 ~returned:5.5 ();
+      ev ~stamp:13L ~invoked:6.0 ~returned:6.5 (Event.Branch_deleted { sid = 5L });
+      branch_get ~stamp:14L ~at:5L ~invoked:7.0 ~returned:7.5 "k" (Some "v");
+      branch_put ~stamp:15L ~at:5L ~invoked:8.0 ~returned:8.5 "k" "w";
+      ev ~stamp:16L ~invoked:9.0 ~returned:9.5
+        (Event.Branch_remove { at = 5L; key = "k"; removed = true });
+      ev ~stamp:17L ~invoked:10.0 ~returned:10.5
+        (Event.Branch_scan { at = 5L; from = "a"; count = 2; result = [ ("a", "1") ] });
+      ev ~stamp:18L ~invoked:11.0 ~returned:11.5
+        (Event.Get_many { key = "k"; results = [ (0L, Some "x"); (5L, None) ] });
+      ev ~stamp:19L ~invoked:12.0 ~returned:12.5
+        (Event.History { from = 5L; key = "k"; results = [ (0L, None); (5L, Some "w") ] });
+    ]
+  in
+  List.iteri
+    (fun i e ->
+      let e' = Event.of_json (Event.to_json e) in
+      if e' <> e then
+        Alcotest.failf "sample %d did not roundtrip:@.%a@.vs@.%a" i Event.pp e Event.pp e')
+    samples;
+  (* A non-event payload is rejected, not misparsed. *)
+  match Event.of_json (Obs.Json.String "nope") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "of_json accepted a non-event"
+
 let () =
   Alcotest.run "check"
     [
@@ -420,4 +585,20 @@ let () =
           Alcotest.test_case "independent indexes" `Quick test_indexes_checked_independently;
           Alcotest.test_case "history recorder" `Quick test_history_recorder;
         ] );
+      ( "branching",
+        [
+          Alcotest.test_case "frozen ancestor" `Quick test_branch_frozen_ancestor;
+          Alcotest.test_case "isolation leak caught" `Quick test_branch_isolation_leak_caught;
+          Alcotest.test_case "sibling leak caught" `Quick test_sibling_leak_caught;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "stream matches list" `Quick test_stream_matches_list;
+          Alcotest.test_case "branching clean" `Quick test_histgen_branching_clean;
+          Alcotest.test_case "stale read caught" `Quick test_histgen_stale_read_caught;
+          Alcotest.test_case "branch isolation caught" `Quick
+            test_histgen_branch_isolation_caught;
+        ] );
+      ( "json",
+        [ Alcotest.test_case "event roundtrip" `Quick test_event_json_roundtrip ] );
     ]

@@ -235,7 +235,7 @@ let with_branching ?n ?(beta = 2) f =
   Sim.run (fun () ->
       let env = make_env ?n () in
       let tree = make_tree env in
-      let br = Branching.attach ~tree ~beta in
+      let br = Branching.attach ~tree ~beta () in
       Branching.init_tree br;
       f env br)
 
@@ -530,7 +530,7 @@ let test_branch_delete_first_of_two () =
       check Alcotest.bool "parent not writable" false (Branching.writable br ~sid:0L);
       (match Branching.put br (key 2) "via-mainline" with
       | () -> Alcotest.fail "mainline should be broken"
-      | exception Invalid_argument _ -> ());
+      | exception Branching.No_mainline _ -> ());
       (* Explicit checkout of the surviving branch works. *)
       Branching.put br ~at:b2 (key 2) "explicit";
       check (Alcotest.option Alcotest.string) "b2 write" (Some "explicit")
@@ -613,7 +613,7 @@ let test_branch_concurrent_writers_on_clones () =
       let b2 = Branching.create_branch br ~from:0L in
       (* Two proxies write to the two clones concurrently. *)
       let mk () =
-        Branching.attach ~tree:(make_tree env) ~beta:3
+        Branching.attach ~tree:(make_tree env) ~beta:3 ()
       in
       let done_count = ref 0 in
       let w1 = mk () and w2 = mk () in
