@@ -80,6 +80,26 @@ dune exec bin/minuet_bench.exe -- checker --ops 200000 --dir "$smoke_dir" \
 dune exec bin/minuet_bench.exe -- checker --ops 200000 --dir "$smoke_dir" \
   --branching --inject branch-isolation
 
+echo "== production traffic: SLO gates through the checker =="
+# Open-loop traffic scenarios (steady, diurnal, flash-crowd,
+# shard-hotspot, chaos-overlapped storm, fig17/fig18 variants): every
+# tenant must hold its p99/p999/error-budget SLO measured from
+# scheduled arrival (queueing delay counts), every session history must
+# pass the streaming serializability checker, and all structural audits
+# must walk clean. Emits BENCH_traffic.json.
+dune exec bin/minuet_bench.exe -- traffic --dir "$smoke_dir"
+
+echo "== traffic SLO falsifiability =="
+# A tenant provisioned at one worker against 1500 scans/s: the open-loop
+# queue grows without bound, so the p99 gate must trip and the command
+# must exit nonzero. If this passes, the queueing-delay accounting has
+# quietly turned into a closed loop (coordinated omission).
+if dune exec bin/minuet_bench.exe -- traffic --broken-slo --dir "$smoke_dir" \
+    >/dev/null 2>&1; then
+  echo "ERROR: --broken-slo traffic run met its SLO; queueing delay is not being counted" >&2
+  exit 1
+fi
+
 echo "== chaos + serializability check =="
 # Deterministic fault-injection storm with the history checker; fails
 # the build on any serializability/snapshot violation or audit failure.

@@ -143,7 +143,7 @@ let check_report_cmd =
                 match Obs.Json.member field v with
                 | Some (Obs.Json.Int _ | Obs.Json.Float _) -> ()
                 | _ -> fail "ops.%s.%s: missing or not a number" label field)
-              [ "count"; "mean_ms"; "p50_ms"; "p95_ms"; "p99_ms"; "max_ms" ])
+              [ "count"; "mean_ms"; "p50_ms"; "p95_ms"; "p99_ms"; "p999_ms"; "max_ms" ])
           ops
     | _ -> fail "ops: not an object");
     Printf.printf "%s: ok\n%!" file
@@ -464,11 +464,140 @@ let scan_cmd =
   Cmd.v (Cmd.info "scan" ~doc)
     Term.(const action $ seed_arg $ duration_arg $ dir_arg $ min_speedup_arg)
 
+(* Open-loop production-traffic scenarios with per-tenant SLO gates.
+   Every scenario runs through the streaming checker; the report is
+   throughput + open-loop latency quantiles + queueing delay + SLO and
+   checker verdicts per tenant. *)
+let traffic_cmd =
+  let doc =
+    "Run canned open-loop production-traffic scenarios (steady, diurnal, flash-crowd, \
+     shard-hotspot, chaos-overlapped storm, fig17/fig18 traffic variants) against the \
+     simulated cluster, gate each tenant on its SLO (p99/p999 open-loop latency and error \
+     budget), verify every session's history with the streaming serializability checker, \
+     and write BENCH_traffic.json. Latency is measured from each operation's scheduled \
+     arrival, so queueing delay counts and coordinated omission is impossible. Exits 1 on \
+     any SLO breach, checker violation or audit failure. Deterministic per seed."
+  in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 1.5
+        & info [ "duration" ] ~docv:"SECONDS"
+            ~doc:"Simulated seconds of scheduled traffic per scenario.")
+  in
+  let scenario_arg =
+    let doc =
+      "Comma-separated scenario names to run, or 'all' (default) for the full suite. Known: \
+       steady, diurnal, flash-crowd, shard-hotspot, storm, fig17-traffic, fig18-traffic, \
+       broken-slo."
+    in
+    Arg.(value & opt string "all" & info [ "scenario" ] ~docv:"NAMES" ~doc)
+  in
+  let dir_arg =
+    Arg.(value & opt string "." & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let broken_slo_arg =
+    let doc =
+      "Run only the deliberately under-provisioned scenario (one worker against 1500 \
+       scans/s): the open-loop queue grows without bound, so the measured p99 must blow \
+       through the 5 ms target and the command must exit 1. Falsifiability gate for the \
+       queueing-delay accounting."
+    in
+    Arg.(value & flag & info [ "broken-slo" ] ~doc)
+  in
+  let action seed duration scenarios dir broken_slo =
+    let chosen =
+      if broken_slo then [ ("broken-slo", Traffic.Scenario.broken_slo) ]
+      else
+        match scenarios with
+        | "all" -> Traffic.Scenario.all
+        | s ->
+            List.map
+              (fun name -> (name, Traffic.Scenario.find name))
+              (String.split_on_char ',' s)
+    in
+    let module E = Traffic.Engine in
+    let module Hist = Sim.Stats.Hist in
+    let ms h q = Hist.quantile h q *. 1e3 in
+    let reports =
+      List.map
+        (fun (name, scenario) ->
+          Printf.printf "== %s ==\n%!" name;
+          let report = E.run (scenario ~seed ~duration) in
+          Format.printf "%a@." E.pp_report report;
+          report)
+        chosen
+    in
+    let tenant_json (t : E.tenant_result) =
+      Obs.Json.Obj
+        [
+          ("name", Obs.Json.String t.E.tenant.Traffic.Tenant.name);
+          ("offered", Obs.Json.Int t.E.offered);
+          ("completed", Obs.Json.Int t.E.completed);
+          ("errors", Obs.Json.Int t.E.errors);
+          ("branch_blocked", Obs.Json.Int t.E.branch_blocked);
+          ("throughput_ops_s", Obs.Json.Float t.E.throughput);
+          ("latency_p50_ms", Obs.Json.Float (ms t.E.latency 0.5));
+          ("latency_p99_ms", Obs.Json.Float (ms t.E.latency 0.99));
+          ("latency_p999_ms", Obs.Json.Float (Hist.p999 t.E.latency *. 1e3));
+          ("queueing_p50_ms", Obs.Json.Float (ms t.E.queueing 0.5));
+          ("queueing_p99_ms", Obs.Json.Float (ms t.E.queueing 0.99));
+          ("queueing_p999_ms", Obs.Json.Float (Hist.p999 t.E.queueing *. 1e3));
+          ("service_p99_ms", Obs.Json.Float (ms t.E.service 0.99));
+          ("slo_ok", Obs.Json.Bool (Traffic.Slo.ok t.E.slo));
+          ( "slo_breaches",
+            Obs.Json.List
+              (List.map (fun b -> Obs.Json.String b) t.E.slo.Traffic.Slo.breaches) );
+        ]
+    in
+    let scenario_json (r : E.report) =
+      Obs.Json.Obj
+        [
+          ("name", Obs.Json.String r.E.config.E.name);
+          ("passed", Obs.Json.Bool (E.passed r));
+          ("checker_ok", Obs.Json.Bool (Check.Stream.ok r.E.verdict));
+          ("slo_ok", Obs.Json.Bool (E.slo_ok r));
+          ("audit_failures", Obs.Json.Int (List.length r.E.audit_failures));
+          ("events", Obs.Json.Int r.E.events);
+          ("sim_time_s", Obs.Json.Float r.E.sim_time);
+          ("tenants", Obs.Json.List (List.map tenant_json r.E.tenants));
+        ]
+    in
+    let json =
+      Obs.Json.Obj
+        [
+          ("schema_version", Obs.Json.Int 1);
+          ("seed", Obs.Json.Int seed);
+          ("duration_s", Obs.Json.Float duration);
+          ("scenarios", Obs.Json.List (List.map scenario_json reports));
+        ]
+    in
+    let path = Filename.concat dir "BENCH_traffic.json" in
+    let oc = open_out path in
+    output_string oc (Obs.Json.to_string json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "traffic report written to %s\n%!" path;
+    let failed = List.filter (fun r -> not (E.passed r)) reports in
+    List.iter
+      (fun (r : E.report) ->
+        Printf.eprintf "FAILED: %s (checker %s, %d audit failures, SLO %s)\n%!" r.E.config.E.name
+          (if Check.Stream.ok r.E.verdict then "ok" else "VIOLATED")
+          (List.length r.E.audit_failures)
+          (if E.slo_ok r then "met" else "BREACHED"))
+      failed;
+    if failed <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "traffic" ~doc)
+    Term.(const action $ seed_arg $ duration_arg $ scenario_arg $ dir_arg $ broken_slo_arg)
+
 let () =
   let doc = "Reproduce the evaluation of 'Minuet: A Scalable Distributed Multiversion B-Tree'" in
   let info = Cmd.info "minuet-bench" ~version:"1.0" ~doc in
   let cmds =
     all_cmd :: smoke_cmd :: check_report_cmd :: chaos_cmd :: checker_cmd :: scan_cmd
+    :: traffic_cmd
     :: List.map figure_cmd Experiments.all
   in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -12,6 +12,10 @@
                        allocation pointer.
    - zipfian-keys:     skewed request distribution (the paper notes
                        skew re-introduces contention, Sec. 6.2).
+   - hotspot-keys:     80% of operations on the first 5% of the key
+                       space — one contiguous key range, so a handful
+                       of leaves (and the memnodes holding them) absorb
+                       most of the load.
    - no-backoff:       retry immediately on busy locks. *)
 
 open Exp_common
@@ -25,7 +29,7 @@ type variant = {
   replication : bool;
   cache_capacity : int;
   alloc_chunk : int;
-  distribution : [ `Uniform | `Zipfian | `Latest ];
+  distribution : [ `Uniform | `Zipfian | `Latest | `Hotspot of float * float ];
   retry_backoff : float;
 }
 
@@ -46,6 +50,7 @@ let variants =
     { default_variant with name = "no-proxy-cache"; cache_capacity = 1 };
     { default_variant with name = "alloc-chunk-1"; alloc_chunk = 1 };
     { default_variant with name = "zipfian-keys"; distribution = `Zipfian };
+    { default_variant with name = "hotspot-keys"; distribution = `Hotspot (0.8, 0.05) };
     { default_variant with name = "no-backoff"; retry_backoff = 1e-9 };
   ]
 

@@ -33,8 +33,11 @@ let in_scope rule rel =
 let protocol_paths = [ "lib/sinfonia/"; "lib/dyntxn/"; "lib/btree/"; "lib/mvcc/" ]
 
 (* Paths where iteration order reaches seeded-replay output: the
-   simulator, the nemesis, the history checker, and recovery sweeps. *)
-let determinism_paths = [ "lib/sim/"; "lib/chaos/"; "lib/check/"; "lib/sinfonia/" ]
+   simulator, the nemesis, the history checker, recovery sweeps, and
+   the open-loop traffic engine (arrival schedules and SLO verdicts
+   must replay byte-identically per seed). *)
+let determinism_paths =
+  [ "lib/sim/"; "lib/chaos/"; "lib/check/"; "lib/sinfonia/"; "lib/traffic/" ]
 
 (* ------------------------------------------------------------------ *)
 (* Longident / pattern helpers                                          *)

@@ -524,6 +524,7 @@ module Report = struct
         ("p50_ms", Json.Float (ms (Hist.quantile h 0.5)));
         ("p95_ms", Json.Float (ms (Hist.quantile h 0.95)));
         ("p99_ms", Json.Float (ms (Hist.quantile h 0.99)));
+        ("p999_ms", Json.Float (ms (Hist.p999 h)));
         ("max_ms", Json.Float (ms (Hist.max h)));
       ]
 
@@ -595,11 +596,13 @@ module Report = struct
     path
 
   let pp_hist_line fmt (label, h) =
-    Format.fprintf fmt "  %-24s n=%-8d mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms@,"
+    Format.fprintf fmt
+      "  %-24s n=%-8d mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms p999=%.3fms max=%.3fms@,"
       label (Hist.count h) (ms (Hist.mean h))
       (ms (Hist.quantile h 0.5))
       (ms (Hist.quantile h 0.95))
       (ms (Hist.quantile h 0.99))
+      (ms (Hist.p999 h))
       (ms (Hist.max h))
 
   let pp fmt t =

@@ -308,8 +308,9 @@ val clear_spans : t -> unit
 module Report : sig
   val to_json : ?name:string -> t -> Json.t
   (** Machine-readable snapshot: every counter, the (layer, reason)
-      abort matrix, and p50/p95/p99 latency summaries per operation and
-      per span kind. Schema documented in DESIGN.md ("Observability"). *)
+      abort matrix, and p50/p95/p99/p999 latency summaries per
+      operation and per span kind. Schema documented in DESIGN.md
+      ("Observability"). *)
 
   val write : name:string -> ?dir:string -> t -> string
   (** Serialize {!to_json} into [<dir>/BENCH_<name>.json] (default

@@ -88,6 +88,8 @@ module Hist = struct
 
   let percentile t p = quantile t (p /. 100.0)
 
+  let p999 t = quantile t 0.999
+
   let merge_into ~dst src =
     for i = 0 to nbuckets - 1 do
       dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
@@ -107,9 +109,10 @@ module Hist = struct
   let pp_summary fmt t =
     if t.count = 0 then Format.fprintf fmt "n=0"
     else
-      Format.fprintf fmt "n=%d mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms" t.count
+      Format.fprintf fmt
+        "n=%d mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms p999=%.3fms max=%.3fms" t.count
         (mean t *. 1e3) (quantile t 0.5 *. 1e3) (quantile t 0.95 *. 1e3) (quantile t 0.99 *. 1e3)
-        (max t *. 1e3)
+        (quantile t 0.999 *. 1e3) (max t *. 1e3)
 end
 
 module Moments = struct

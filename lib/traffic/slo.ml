@@ -1,0 +1,55 @@
+module Hist = Sim.Stats.Hist
+
+type t = { p99_ms : float; p999_ms : float; max_error_rate : float }
+
+let make ?(p99_ms = 25.0) ?(p999_ms = 80.0) ?(max_error_rate = 0.02) () =
+  if p99_ms <= 0.0 || p999_ms <= 0.0 then invalid_arg "Slo.make: targets must be positive";
+  if p999_ms < p99_ms then invalid_arg "Slo.make: p999 target below p99 target";
+  if max_error_rate < 0.0 || max_error_rate > 1.0 then
+    invalid_arg "Slo.make: max_error_rate must be in [0,1]";
+  { p99_ms; p999_ms; max_error_rate }
+
+type verdict = {
+  slo : t;
+  measured_p99_ms : float;
+  measured_p999_ms : float;
+  measured_error_rate : float;
+  breaches : string list;
+}
+
+let ok v = v.breaches = []
+
+let evaluate slo ~latency ~offered ~errors =
+  let ms s = s *. 1e3 in
+  let measured_p99_ms = ms (Hist.quantile latency 0.99) in
+  let measured_p999_ms = ms (Hist.p999 latency) in
+  let measured_error_rate =
+    if offered <= 0 then 0.0 else float_of_int errors /. float_of_int offered
+  in
+  let breach cond msg = if cond then Some msg else None in
+  let breaches =
+    List.filter_map Fun.id
+      [
+        breach
+          (measured_p99_ms > slo.p99_ms)
+          (Printf.sprintf "p99 %.3fms > target %.3fms" measured_p99_ms slo.p99_ms);
+        breach
+          (measured_p999_ms > slo.p999_ms)
+          (Printf.sprintf "p999 %.3fms > target %.3fms" measured_p999_ms slo.p999_ms);
+        breach
+          (measured_error_rate > slo.max_error_rate)
+          (Printf.sprintf "error rate %.4f > budget %.4f" measured_error_rate
+             slo.max_error_rate);
+      ]
+  in
+  { slo; measured_p99_ms; measured_p999_ms; measured_error_rate; breaches }
+
+let pp_verdict fmt v =
+  if ok v then
+    Format.fprintf fmt "SLO met (p99 %.3f/%.3fms p999 %.3f/%.3fms err %.4f/%.4f)"
+      v.measured_p99_ms v.slo.p99_ms v.measured_p999_ms v.slo.p999_ms v.measured_error_rate
+      v.slo.max_error_rate
+  else begin
+    Format.fprintf fmt "SLO VIOLATED:";
+    List.iter (fun b -> Format.fprintf fmt " %s;" b) v.breaches
+  end

@@ -1,0 +1,33 @@
+(** Per-tenant service-level objectives and their verdicts.
+
+    Targets are on {e open-loop} latency — measured from the
+    operation's scheduled arrival, not from the instant a worker got
+    around to issuing it — so queueing delay counts against the SLO
+    and a saturated tenant cannot hide behind coordinated omission. *)
+
+type t = {
+  p99_ms : float;  (** Open-loop p99 latency target, milliseconds. *)
+  p999_ms : float;  (** Open-loop p999 latency target, milliseconds. *)
+  max_error_rate : float;
+      (** Failed ops (contention give-ups, ambiguous outcomes) as a
+          fraction of offered ops; in [\[0,1\]]. *)
+}
+
+val make : ?p99_ms:float -> ?p999_ms:float -> ?max_error_rate:float -> unit -> t
+(** Defaults: p99 25 ms, p999 80 ms, 2% errors. *)
+
+type verdict = {
+  slo : t;
+  measured_p99_ms : float;
+  measured_p999_ms : float;
+  measured_error_rate : float;
+  breaches : string list;  (** Human-readable, one per violated target. *)
+}
+
+val ok : verdict -> bool
+
+val evaluate : t -> latency:Sim.Stats.Hist.t -> offered:int -> errors:int -> verdict
+(** [latency] holds open-loop latencies in seconds; [offered] is the
+    scheduled op count (completed + errors + still queued at cutoff). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,24 @@
+(** Open-loop production-traffic engine with per-tenant SLO gates.
+
+    The YCSB driver ({!Ycsb.Driver}) answers "how fast can N closed
+    loops go"; this library answers the operational question "does the
+    system hold its latency objectives under production-shaped load".
+    {!Arrival} turns rate curves — constant, diurnal, flash-crowd
+    spikes — into deterministic per-tenant arrival schedules (split RNG
+    streams: same seed, same schedule, byte-identical, regardless of
+    tenant count or spawn order). {!Tenant} describes a tenant: a
+    contiguous keyspace slice, a key distribution, an op mix, an
+    arrival curve, a provisioned concurrency and an {!Slo}. {!Engine}
+    drives all tenants through the simulated cluster open-loop — every
+    op's latency is measured from its {e scheduled} arrival, so
+    queueing delay from under-provisioning lands in the tail quantiles
+    instead of silently throttling the generator (coordinated
+    omission) — while feeding every traced event to a streaming
+    serializability checker and optionally overlapping a chaos nemesis.
+    {!Scenario} is the canned catalogue the bench CLI and CI run. *)
+
+module Arrival = Arrival
+module Slo = Slo
+module Tenant = Tenant
+module Engine = Engine
+module Scenario = Scenario

@@ -31,6 +31,7 @@ type kind =
   | Uniform
   | Zipfian of zipf_state
   | Latest of zipf_state
+  | Hotspot of { op_frac : float; key_frac : float }
   | Sequence of int ref
 
 type t = { kind : kind; mutable n : int }
@@ -42,19 +43,47 @@ let zeta_incr ~theta ~from ~until acc =
   done;
   !z
 
+(* zeta(n) = sum 1/i^theta is O(n) to compute; one generator per tenant
+   or session over the same item count would redo the whole sum each
+   time. Memoize per (theta, n) — exact hits are O(1) — and keep a
+   per-theta frontier (largest n computed so far) to extend
+   incrementally when n grows. The cache is looked up by key, never
+   iterated, so it cannot perturb run determinism. *)
+let zeta_exact : (float * int, float) Hashtbl.t = Hashtbl.create 64
+
+let zeta_frontier : (float, int * float) Hashtbl.t = Hashtbl.create 8
+
+let zeta ~theta ~n =
+  match Hashtbl.find_opt zeta_exact (theta, n) with
+  | Some z -> z
+  | None ->
+      let from, acc =
+        match Hashtbl.find_opt zeta_frontier theta with
+        | Some (zn, z) when zn <= n -> (zn, z)
+        | _ -> (0, 0.0)
+      in
+      let z = zeta_incr ~theta ~from ~until:n acc in
+      Hashtbl.replace zeta_exact (theta, n) z;
+      (match Hashtbl.find_opt zeta_frontier theta with
+      | Some (zn, _) when zn >= n -> ()
+      | _ -> Hashtbl.replace zeta_frontier theta (n, z));
+      z
+
 let make_zipf ~theta ~n =
-  let zetan = zeta_incr ~theta ~from:0 ~until:n 0.0 in
-  let zeta2 = zeta_incr ~theta ~from:0 ~until:2 0.0 in
+  let zetan = zeta ~theta ~n in
+  let zeta2 = zeta ~theta ~n:2 in
   let alpha = 1.0 /. (1.0 -. theta) in
   let eta =
     (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. theta))) /. (1.0 -. (zeta2 /. zetan))
   in
   { theta; zn = n; zetan; zeta2; alpha; eta }
 
+(* Called only when the item count actually changes (from [set_n] or an
+   insert growing the space) — never on the draw path, which reads the
+   cached constants. *)
 let refresh_zipf z ~n =
   if n <> z.zn then begin
-    if n > z.zn then z.zetan <- zeta_incr ~theta:z.theta ~from:z.zn ~until:n z.zetan
-    else z.zetan <- zeta_incr ~theta:z.theta ~from:0 ~until:n 0.0;
+    z.zetan <- zeta ~theta:z.theta ~n;
     z.zn <- n;
     z.eta <-
       (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. z.theta))) /. (1.0 -. (z.zeta2 /. z.zetan))
@@ -82,20 +111,32 @@ let latest ~n =
   if n <= 0 then invalid_arg "Keygen.latest: n must be positive";
   { kind = Latest (make_zipf ~theta:0.99 ~n); n }
 
+let hotspot ?(op_frac = 0.8) ?(key_frac = 0.2) ~n () =
+  if n <= 0 then invalid_arg "Keygen.hotspot: n must be positive";
+  if op_frac < 0.0 || op_frac > 1.0 then invalid_arg "Keygen.hotspot: op_frac must be in [0,1]";
+  if key_frac <= 0.0 || key_frac > 1.0 then
+    invalid_arg "Keygen.hotspot: key_frac must be in (0,1]";
+  { kind = Hotspot { op_frac; key_frac }; n }
+
 let sequence ~start = { kind = Sequence (ref start); n = max 0 start }
 
 let next t rng =
   match t.kind with
   | Uniform -> Sim.Rng.int rng t.n
   | Zipfian z ->
-      refresh_zipf z ~n:t.n;
       let raw = zipf_next z rng in
       (* Scramble so popular items are spread over the key space. *)
       Int64.to_int (Int64.rem (Int64.shift_right_logical (fnv64 raw) 1) (Int64.of_int t.n))
   | Latest z ->
-      refresh_zipf z ~n:t.n;
       (* Most recent ordinal is the most popular. *)
       t.n - 1 - zipf_next z rng
+  | Hotspot { op_frac; key_frac } ->
+      (* The hot set is the *front* of the ordinal space, unscrambled:
+         under an order-preserving key mapping it stays a contiguous key
+         range, i.e. a handful of leaves on a few memnodes — the
+         shard-hotspot shape. *)
+      let hot = max 1 (min t.n (int_of_float (ceil (key_frac *. float_of_int t.n)))) in
+      if Sim.Rng.unit_float rng < op_frac then Sim.Rng.int rng hot else Sim.Rng.int rng t.n
   | Sequence counter ->
       let v = !counter in
       incr counter;
@@ -105,8 +146,14 @@ let next t rng =
 let set_n t n =
   match t.kind with
   | Sequence _ -> ()
-  | Uniform | Zipfian _ | Latest _ ->
+  | Uniform | Hotspot _ ->
       if n <= 0 then invalid_arg "Keygen.set_n: n must be positive";
       t.n <- n
+  | Zipfian z | Latest z ->
+      if n <= 0 then invalid_arg "Keygen.set_n: n must be positive";
+      t.n <- n;
+      (* Recompute the zeta-derived constants here, once per growth
+         step, so [next] never touches them on the draw path. *)
+      refresh_zipf z ~n
 
 let current_n t = t.n

@@ -30,6 +30,14 @@ val latest : n:int -> t
 (** Skewed toward the most recently inserted ordinals; combine with
     {!set_n} as inserts grow the key space. *)
 
+val hotspot : ?op_frac:float -> ?key_frac:float -> n:int -> unit -> t
+(** [op_frac] of the draws (default 0.8) land uniformly in the first
+    [key_frac * n] ordinals (default 0.2); the rest are uniform over
+    the whole space. The hot set is the {e front} of the ordinal space,
+    unscrambled, so under an order-preserving key mapping it is a
+    contiguous key range — concentrated on a few leaves and memnodes
+    (the shard-hotspot workload). *)
+
 val sequence : start:int -> t
 (** 0, 1, 2, ... (load phase). [n] grows automatically. *)
 
@@ -38,6 +46,8 @@ val next : t -> Sim.Rng.t -> int
 
 val set_n : t -> int -> unit
 (** Grow (or shrink) the item count, e.g. after inserts. No-op for
-    [sequence]. *)
+    [sequence]. The zipfian zeta constants are refreshed here (against
+    a process-wide memo of zeta sums), never on the {!next} draw
+    path. *)
 
 val current_n : t -> int

@@ -45,6 +45,7 @@ let create ?(distribution = `Uniform) ?(value_size = 8) ?(scan_length = 100)
     | `Uniform -> Keygen.uniform ~n:record_count
     | `Zipfian -> Keygen.zipfian ~n:record_count ()
     | `Latest -> Keygen.latest ~n:record_count
+    | `Hotspot (op_frac, key_frac) -> Keygen.hotspot ~op_frac ~key_frac ~n:record_count ()
   in
   { mix; total; keygen; value_size; scan_length; record_count; next_insert = record_count }
 

@@ -35,7 +35,7 @@ val update_heavy : mix
 type t
 
 val create :
-  ?distribution:[ `Uniform | `Zipfian | `Latest ] ->
+  ?distribution:[ `Uniform | `Zipfian | `Latest | `Hotspot of float * float ] ->
   ?value_size:int ->
   ?scan_length:int ->
   ?record_count:int ->
@@ -44,7 +44,9 @@ val create :
   t
 (** [record_count] (default 100_000) is the initial logical key-space
     size; inserts extend it. [value_size] defaults to 8 bytes
-    (Sec. 6.1); [scan_length] to 100. *)
+    (Sec. 6.1); [scan_length] to 100. [`Hotspot (op_frac, key_frac)]
+    sends [op_frac] of the operations to the first [key_frac] of the
+    ordinal space ({!Keygen.hotspot}). *)
 
 val record_count : t -> int
 

@@ -495,6 +495,29 @@ let test_hist_quantiles () =
   check Alcotest.bool "p99 near 0.99" true (abs_float (p99 -. 0.99) < 0.05);
   check Alcotest.bool "monotone" true (p50 <= p95 && p95 <= p99)
 
+(* The p999 must resolve a tail two orders of magnitude above the bulk:
+   99.7% fast ops at ~1ms, 0.3% stragglers at 1s (safely above the
+   0.1% boundary). The geometric buckets (gamma = 1.04) give ~4%
+   relative error, so p99 stays near the bulk while p999 lands on the
+   stragglers. *)
+let test_hist_p999_tail_resolution () =
+  let h = Sim.Stats.Hist.create () in
+  for _round = 1 to 10 do
+    for i = 1 to 997 do
+      Sim.Stats.Hist.add h (0.001 +. (0.000001 *. float_of_int i))
+    done;
+    for _ = 1 to 3 do
+      Sim.Stats.Hist.add h 1.0
+    done
+  done;
+  let p99 = Sim.Stats.Hist.quantile h 0.99 in
+  let p999 = Sim.Stats.Hist.p999 h in
+  check Alcotest.bool "p99 in the bulk" true (p99 < 0.01);
+  check Alcotest.bool "p999 sees the stragglers" true
+    (abs_float (p999 -. 1.0) /. 1.0 < 0.05);
+  check Alcotest.bool "ordered" true (p99 <= p999);
+  check Alcotest.bool "p999 below max" true (p999 <= Sim.Stats.Hist.max h)
+
 let test_hist_merge () =
   let a = Sim.Stats.Hist.create () and b = Sim.Stats.Hist.create () in
   Sim.Stats.Hist.add a 1.0;
@@ -601,6 +624,7 @@ let () =
           Alcotest.test_case "counter" `Quick test_counter;
           Alcotest.test_case "hist basic" `Quick test_hist_basic;
           Alcotest.test_case "hist quantiles" `Quick test_hist_quantiles;
+          Alcotest.test_case "hist p999 tail resolution" `Quick test_hist_p999_tail_resolution;
           Alcotest.test_case "hist merge" `Quick test_hist_merge;
           Alcotest.test_case "moments" `Quick test_moments;
           Alcotest.test_case "series" `Quick test_series;

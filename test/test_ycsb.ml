@@ -63,6 +63,68 @@ let test_zipfian_grows () =
     if v < 0 || v >= 200 then Alcotest.fail "out of grown range"
   done
 
+let test_hotspot_concentration () =
+  (* 80% of ops must land in the leading 10% of the ordinal space (the
+     hot set sits at the front so it maps to a contiguous key range). *)
+  let n = 1000 in
+  let g = Ycsb.Keygen.hotspot ~op_frac:0.8 ~key_frac:0.1 ~n () in
+  let r = rng () in
+  let hot = ref 0 and total = 20_000 in
+  for _ = 1 to total do
+    let v = Ycsb.Keygen.next g r in
+    if v < 0 || v >= n then Alcotest.fail "out of range";
+    if v < 100 then incr hot
+  done;
+  let hot_share = float_of_int !hot /. float_of_int total in
+  (* Cold draws are uniform over the whole space, so they add another
+     ~0.2 * 0.1 = 2% to the hot range on top of the 80%. *)
+  check Alcotest.bool "hot share near 82%" true (abs_float (hot_share -. 0.82) < 0.03)
+
+let test_hotspot_validation () =
+  let raises f =
+    match f () with
+    | (_ : Ycsb.Keygen.t) -> false
+    | exception Invalid_argument _ -> true
+  in
+  check Alcotest.bool "op_frac > 1 rejected" true
+    (raises (fun () -> Ycsb.Keygen.hotspot ~op_frac:1.5 ~n:10 ()));
+  check Alcotest.bool "key_frac = 0 rejected" true
+    (raises (fun () -> Ycsb.Keygen.hotspot ~key_frac:0.0 ~n:10 ()))
+
+let test_hotspot_grows () =
+  let g = Ycsb.Keygen.hotspot ~op_frac:0.9 ~key_frac:0.1 ~n:100 () in
+  let r = rng () in
+  Ycsb.Keygen.set_n g 400;
+  let max_seen = ref 0 in
+  for _ = 1 to 2000 do
+    let v = Ycsb.Keygen.next g r in
+    if v < 0 || v >= 400 then Alcotest.fail "out of grown range";
+    if v > !max_seen then max_seen := v
+  done;
+  (* The hot set grew with n: cold draws reach past the old n. *)
+  check Alcotest.bool "draws reach the grown space" true (!max_seen >= 100)
+
+(* Two zipfian generators over the same (theta, n) draw identical
+   streams from identical RNGs — and construction hits the process-wide
+   zeta memo, so building many generators over a large space is cheap
+   (the zeta sum is extended incrementally, never recomputed). *)
+let test_zipfian_zeta_memo_consistent () =
+  let n = 200_000 in
+  let g1 = Ycsb.Keygen.zipfian ~n () in
+  let g2 = Ycsb.Keygen.zipfian ~n () in
+  let r1 = Sim.Rng.create 77 and r2 = Sim.Rng.create 77 in
+  for _ = 1 to 1000 do
+    check Alcotest.int "same stream" (Ycsb.Keygen.next g1 r1) (Ycsb.Keygen.next g2 r2)
+  done;
+  (* Growing then re-growing must keep agreeing: set_n recomputes the
+     cached constants through the same memo. *)
+  Ycsb.Keygen.set_n g1 (n + 1000);
+  Ycsb.Keygen.set_n g2 (n + 1000);
+  for _ = 1 to 1000 do
+    check Alcotest.int "same stream after set_n" (Ycsb.Keygen.next g1 r1)
+      (Ycsb.Keygen.next g2 r2)
+  done
+
 let test_latest_skews_recent () =
   let g = Ycsb.Keygen.latest ~n:1000 in
   let r = rng () in
@@ -205,6 +267,10 @@ let () =
           Alcotest.test_case "uniform coverage" `Quick test_uniform_range_and_coverage;
           Alcotest.test_case "zipfian skew" `Quick test_zipfian_skew;
           Alcotest.test_case "zipfian grows" `Quick test_zipfian_grows;
+          Alcotest.test_case "hotspot concentration" `Quick test_hotspot_concentration;
+          Alcotest.test_case "hotspot validation" `Quick test_hotspot_validation;
+          Alcotest.test_case "hotspot grows" `Quick test_hotspot_grows;
+          Alcotest.test_case "zipfian zeta memo" `Quick test_zipfian_zeta_memo_consistent;
           Alcotest.test_case "latest skew" `Quick test_latest_skews_recent;
           Alcotest.test_case "sequence" `Quick test_sequence;
         ] );
