@@ -56,12 +56,24 @@ echo "== observability smoke =="
 dune exec bin/minuet_bench.exe -- smoke --dir "$smoke_dir"
 dune exec bin/minuet_bench.exe -- check-report "$smoke_dir/BENCH_smoke.json"
 
+echo "== node-path micro-benchmark =="
+# Zero-copy node views vs eager decodes on identical slotted payloads:
+# the view must be at least 3x faster per lookup, a corrupted slot
+# directory must fail Bnode.decode's CRC, and legacy (pre-slotted)
+# payloads must still decode. Emits BENCH_node.json (ns/lookup both
+# sides, decodes avoided, bytes copied per scan hop).
+dune exec bin/minuet_bench.exe -- node --dir "$smoke_dir" --min-speedup 3.0
+
 echo "== scan benchmark smoke =="
 # Batched leaf scans vs the per-leaf baseline plus a crash storm; fails
 # the build unless batching clears its speedup floor and post-crash
 # caches recover by epoch revalidation (never by a bulk flush). Emits
-# BENCH_scan.json (ops/s, leaves per round trip, cache hit rate).
-dune exec bin/minuet_bench.exe -- scan --dir "$smoke_dir"
+# BENCH_scan.json (ops/s, leaves per round trip, cache hit rate). The
+# absolute floors pin the trimmed-reply scan numbers: the pre-zero-copy
+# baseline measured 1168 batched scans/s, so dropping below 1200 means
+# the response-byte win regressed.
+dune exec bin/minuet_bench.exe -- scan --dir "$smoke_dir" \
+  --min-batched-ops 1200 --min-leaves-per-rt 15.0
 
 echo "== streaming checker: million-op gate =="
 # A million-event synthetic history through Check.Stream, linear and

@@ -431,6 +431,177 @@ let checker_cmd =
       const action $ seed_arg $ ops_arg $ keys_arg $ branching_arg $ inject_arg $ dir_arg
       $ max_live_arg)
 
+(* Node-path micro-benchmark: zero-copy views against eager decodes on
+   the same slotted payloads (wall-clock, so exempt from the
+   deterministic-time lint like the checker bench above), plus a short
+   simulated workload counting decodes avoided and bytes copied per
+   scan hop. Also asserts the format's falsifiability gates: a
+   corrupted slot directory must fail Bnode.decode, and legacy payloads
+   must still decode. Writes BENCH_node.json; exits 1 on any gate. *)
+let node_cmd =
+  let doc =
+    "Micro-benchmark the zero-copy node view against an eager decode (ns/lookup on identical \
+     slotted payloads), run a short simulated scan workload to count decodes avoided and bytes \
+     copied per scan hop, assert corruption/back-compat gates, and write BENCH_node.json. Exits \
+     1 when the view is less than --min-speedup times faster or any gate fails."
+  in
+  let seed_arg =
+    Arg.(value & opt int 0x5ca9 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic seed.")
+  in
+  let iters_arg =
+    Arg.(value & opt int 200_000
+        & info [ "iters" ] ~docv:"N" ~doc:"Lookups per timed side.")
+  in
+  let dir_arg =
+    Arg.(value & opt string "." & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let min_speedup_arg =
+    Arg.(value & opt float 3.0
+        & info [ "min-speedup" ] ~docv:"X"
+            ~doc:"Required view-over-decode lookup speedup.")
+  in
+  let action seed iters dir min_speedup =
+    let module Bkey = Btree.Bkey in
+    let module Bnode = Btree.Bnode in
+    let module Bview = Btree.Bview in
+    (* A realistic leaf at the YCSB operating point: 14-byte keys with a
+       shared prefix, 8-byte values, 64 entries (a full 4 KiB leaf). *)
+    let key_of i = Printf.sprintf "user4839%06d" i in
+    let entries = Array.init 64 (fun i -> (key_of (i * 7), Printf.sprintf "val%05d" i)) in
+    let leaf = Bnode.make_leaf ~low:Bkey.Neg_inf ~high:Bkey.Pos_inf ~snap:3L entries in
+    let payload = Bnode.encode leaf in
+    let probes = Array.init 256 (fun i -> key_of ((i * 13) mod (64 * 7))) in
+    let time f =
+      let t0 = Unix.gettimeofday () (* lint: allow wallclock-rng *) in
+      f ();
+      Unix.gettimeofday () -. t0 (* lint: allow wallclock-rng *)
+    in
+    let sink = ref 0 in
+    (* Warm both paths once so the first timed side pays no cold-start
+       penalty (lazy CRC table, allocator warmup). *)
+    ignore (Bnode.decode payload : Bnode.t);
+    ignore (Bview.of_string payload : Bview.t);
+    let view_s =
+      time (fun () ->
+          for i = 0 to iters - 1 do
+            let v = Bview.of_string payload in
+            match Bview.leaf_find v (Array.unsafe_get probes (i land 255)) with
+            | Some s -> sink := !sink + String.length s
+            | None -> ()
+          done)
+    in
+    let decode_s =
+      time (fun () ->
+          for i = 0 to iters - 1 do
+            let n = Bnode.decode payload in
+            match Bnode.leaf_find n (Array.unsafe_get probes (i land 255)) with
+            | Some s -> sink := !sink + String.length s
+            | None -> ()
+          done)
+    in
+    ignore !sink;
+    let ns side = side *. 1e9 /. float_of_int iters in
+    let speedup = if view_s > 0.0 then decode_s /. view_s else infinity in
+    (* Falsifiability: flipping any slot-directory byte must fail the
+       CRC on the decode path. *)
+    let v = Bview.of_string payload in
+    let dir_off, dir_len = Bview.dir_bounds v in
+    let corrupt_caught = ref true in
+    for i = dir_off to dir_off + dir_len - 1 do
+      let mangled =
+        String.mapi (fun j c -> if j = i then Char.chr (Char.code c lxor 0x5a) else c) payload
+      in
+      match Bnode.decode mangled with
+      | (_ : Bnode.t) -> corrupt_caught := false
+      | exception Codec.Decode_error _ -> ()
+    done;
+    let legacy_ok =
+      match Bnode.decode (Bnode.encode_legacy leaf) with
+      | n -> Bnode.leaf_entries n = entries
+      | exception Codec.Decode_error _ -> false
+    in
+    (* Short simulated scan workload: decodes avoided and bytes copied
+       per batched scan hop come from the typed node counters. *)
+    let config =
+      {
+        Minuet.Config.default with
+        Minuet.Config.hosts = 3;
+        scan_batch = 16;
+        max_keys_leaf = Some 4;
+        max_keys_internal = Some 64;
+      }
+    in
+    let view_hits, materialisations, bytes_copied, hops =
+      Minuet.Harness.run ~seed ~until:60.0 ~config @@ fun db ->
+      let s = Minuet.Session.attach db in
+      for i = 0 to 299 do
+        Minuet.Session.put s (Printf.sprintf "k%05d" i) (Printf.sprintf "v%d" i)
+      done;
+      for i = 0 to 19 do
+        let snap = Minuet.Session.snapshot s in
+        ignore
+          (Minuet.Session.scan_at s snap ~from:(Printf.sprintf "k%05d" (i * 10)) ~count:100
+            : (string * string) list)
+      done;
+      let obs = Minuet.Db.obs db in
+      let ns_ = Obs.node obs in
+      let ss = Obs.scan obs in
+      let c = Obs.Counter.value in
+      (c ns_.Obs.view_hits, c ns_.Obs.materialisations, c ns_.Obs.node_bytes_copied,
+       c ss.Obs.scan_batched_leaves)
+    in
+    let decodes_avoided = view_hits - materialisations in
+    let bytes_per_hop = if hops = 0 then 0.0 else float_of_int bytes_copied /. float_of_int hops in
+    let ok_speedup = speedup >= min_speedup in
+    let json =
+      Obs.Json.Obj
+        [
+          ("bench", Obs.Json.String "node");
+          ("schema_version", Obs.Json.Int 1);
+          ("seed", Obs.Json.Int seed);
+          ("iters", Obs.Json.Int iters);
+          ("payload_bytes", Obs.Json.Int (String.length payload));
+          ("view_ns_per_lookup", Obs.Json.Float (ns view_s));
+          ("decode_ns_per_lookup", Obs.Json.Float (ns decode_s));
+          ("speedup", Obs.Json.Float speedup);
+          ("min_speedup", Obs.Json.Float min_speedup);
+          ("workload_view_hits", Obs.Json.Int view_hits);
+          ("workload_materialisations", Obs.Json.Int materialisations);
+          ("decodes_avoided", Obs.Json.Int decodes_avoided);
+          ("bytes_copied_per_scan_hop", Obs.Json.Float bytes_per_hop);
+          ("corrupt_dir_caught", Obs.Json.Bool !corrupt_caught);
+          ("legacy_decode_ok", Obs.Json.Bool legacy_ok);
+          ("pass", Obs.Json.Bool (ok_speedup && !corrupt_caught && legacy_ok));
+        ]
+    in
+    let path = Filename.concat dir "BENCH_node.json" in
+    let oc = open_out path in
+    output_string oc (Obs.Json.to_string json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf
+      "node bench: view %.0f ns/lookup vs decode %.0f ns/lookup (%.2fx, need %.2fx)\n" (ns view_s)
+      (ns decode_s) speedup min_speedup;
+    Printf.printf "  workload: %d view hits, %d materialisations (%d decodes avoided)\n" view_hits
+      materialisations decodes_avoided;
+    Printf.printf "  %.0f bytes copied per batched scan hop over %d hops\n" bytes_per_hop hops;
+    Printf.printf "  report written to %s\n%!" path;
+    if not !corrupt_caught then begin
+      prerr_endline "ERROR: a corrupted slot directory decoded successfully";
+      exit 1
+    end;
+    if not legacy_ok then begin
+      prerr_endline "ERROR: legacy payload no longer decodes";
+      exit 1
+    end;
+    if not ok_speedup then begin
+      Printf.eprintf "ERROR: view speedup %.2fx below the %.2fx floor\n%!" speedup min_speedup;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "node" ~doc)
+    Term.(const action $ seed_arg $ iters_arg $ dir_arg $ min_speedup_arg)
+
 (* Scan benchmark: batched leaf scans (scan_batch=16) vs the per-leaf
    baseline (scan_batch=1) on the same seed, plus a crash storm proving
    caches recover by epoch revalidation rather than bulk flushes.
@@ -458,11 +629,27 @@ let scan_cmd =
         & info [ "min-speedup" ] ~docv:"X"
             ~doc:"Required batched-over-per-leaf throughput ratio.")
   in
-  let action seed duration dir min_speedup =
-    if not (Experiments.Scan_bench.run ~seed ~duration ~dir ~min_speedup ()) then exit 1
+  let min_ops_arg =
+    Arg.(value & opt float 0.0
+        & info [ "min-batched-ops" ] ~docv:"OPS"
+            ~doc:"Absolute regression floor on batched scans/s (0 disables).")
+  in
+  let min_leaves_arg =
+    Arg.(value & opt float 0.0
+        & info [ "min-leaves-per-rt" ] ~docv:"N"
+            ~doc:"Regression floor on batched leaves per round trip (0 disables).")
+  in
+  let action seed duration dir min_speedup min_batched_ops min_leaves_per_rt =
+    if
+      not
+        (Experiments.Scan_bench.run ~seed ~duration ~dir ~min_speedup ~min_batched_ops
+           ~min_leaves_per_rt ())
+    then exit 1
   in
   Cmd.v (Cmd.info "scan" ~doc)
-    Term.(const action $ seed_arg $ duration_arg $ dir_arg $ min_speedup_arg)
+    Term.(
+      const action $ seed_arg $ duration_arg $ dir_arg $ min_speedup_arg $ min_ops_arg
+      $ min_leaves_arg)
 
 (* Open-loop production-traffic scenarios with per-tenant SLO gates.
    Every scenario runs through the streaming checker; the report is
@@ -596,7 +783,7 @@ let () =
   let doc = "Reproduce the evaluation of 'Minuet: A Scalable Distributed Multiversion B-Tree'" in
   let info = Cmd.info "minuet-bench" ~version:"1.0" ~doc in
   let cmds =
-    all_cmd :: smoke_cmd :: check_report_cmd :: chaos_cmd :: checker_cmd :: scan_cmd
+    all_cmd :: smoke_cmd :: check_report_cmd :: chaos_cmd :: checker_cmd :: node_cmd :: scan_cmd
     :: traffic_cmd
     :: List.map figure_cmd Experiments.all
   in

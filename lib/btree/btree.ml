@@ -3,6 +3,7 @@
 
 module Bkey = Bkey
 module Bnode = Bnode
+module Bview = Bview
 module Layout = Layout
 module Node_alloc = Node_alloc
 module Ops = Ops

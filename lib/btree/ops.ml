@@ -2,6 +2,7 @@ open Sinfonia
 module Objref = Dyntxn.Objref
 module Txn = Dyntxn.Txn
 module Objcache = Dyntxn.Objcache
+module View = Bnode.View
 
 type mode = Dirty_traversal | Validated_traversal
 
@@ -10,6 +11,7 @@ type tree = {
   obs : Obs.t;
   stats : Obs.btree_stats; (* typed counter handles, resolved once *)
   sstats : Obs.scan_stats;
+  nstats : Obs.node_stats;
   layout : Layout.t;
   tree_id : int;
   mode : mode;
@@ -35,11 +37,14 @@ type tree = {
      operation returns — safe because the simulator is cooperative and
      operations on one handle do not interleave without a yield. *)
   mutable last_stamp : int64 option;
-  (* Decoded-node memo keyed by (location, sequence number): node
-     versions are immutable, so a (ptr, seq) pair identifies the decoded
-     value forever. Purely a wall-clock optimization of the simulator —
-     no simulated cost depends on it. *)
-  decode_memo : (Objref.t * int64, Bnode.t) Hashtbl.t;
+  (* Node-view memo keyed by (location, sequence number): node versions
+     are immutable, so a (ptr, seq) pair identifies the parsed view
+     forever. Purely a wall-clock optimization of the simulator — no
+     simulated cost depends on it. *)
+  view_memo : (Objref.t * int64, View.t) Hashtbl.t;
+  (* Reusable encoder for the node-write path: reset per write, the
+     framed payload is extracted in a single allocation. *)
+  enc : Codec.Enc.t;
 }
 
 exception Too_contended of string
@@ -66,6 +71,7 @@ let make_tree ?(mode = Dirty_traversal) ?max_keys_leaf ?max_keys_internal ?(max_
     obs;
     stats = Obs.btree obs;
     sstats = Obs.scan obs;
+    nstats = Obs.node obs;
     layout;
     tree_id;
     mode;
@@ -79,7 +85,8 @@ let make_tree ?(mode = Dirty_traversal) ?max_keys_leaf ?max_keys_internal ?(max_
     alloc;
     cache;
     last_stamp = None;
-    decode_memo = Hashtbl.create 1024;
+    view_memo = Hashtbl.create 1024;
+    enc = Codec.Enc.create ~initial_size:1024 ();
   }
 
 let cluster t = t.cluster
@@ -114,6 +121,8 @@ type vctx = {
 (* Node I/O                                                              *)
 (* -------------------------------------------------------------------- *)
 
+(* Used on cold paths (snapshot creation, audit helpers) that want a
+   fully materialised node straight away. *)
 let decode_node txn payload =
   if String.length payload = 0 then Txn.abort txn
   else
@@ -121,22 +130,50 @@ let decode_node txn payload =
     | node -> node
     | exception Codec.Decode_error _ -> Txn.abort txn
 
-let decode_node_memo tree txn ptr seq payload =
+(* Hot-path variant: wrap the wire bytes in a zero-copy view. Slotted
+   payloads answer searches in place; legacy payloads fall back to a
+   full decode inside the view. *)
+let view_of_payload txn payload =
+  if String.length payload = 0 then Txn.abort txn
+  else
+    match View.of_payload payload with
+    | v -> v
+    | exception Codec.Decode_error _ -> Txn.abort txn
+
+let count_view tree v = if View.is_slotted v then Obs.Counter.incr tree.nstats.Obs.view_hits
+
+let view_node_memo tree txn ptr seq payload =
   (* Never memoize a read served from the transaction's own buffered
      write: the payload is uncommitted and [seq] still names the old
      version. *)
-  if Txn.in_write_set txn ptr then decode_node txn payload
+  if Txn.in_write_set txn ptr then view_of_payload txn payload
   else begin
     let key = (ptr, seq) in
-    match Hashtbl.find_opt tree.decode_memo key with
-    | Some node -> node
+    match Hashtbl.find_opt tree.view_memo key with
+    | Some v ->
+        count_view tree v;
+        v
     | None ->
-        let node = decode_node txn payload in
-        if Hashtbl.length tree.decode_memo >= decode_memo_capacity then
-          Hashtbl.reset tree.decode_memo;
-        Hashtbl.add tree.decode_memo key node;
-        node
+        let v = view_of_payload txn payload in
+        count_view tree v;
+        if Hashtbl.length tree.view_memo >= decode_memo_capacity then
+          Hashtbl.reset tree.view_memo;
+        Hashtbl.add tree.view_memo key v;
+        v
   end
+
+(* The write path materialises a view into a [Bnode.t] it can mutate;
+   this is the copy boundary, and the only place the slotted payload's
+   checksum is verified (reads are guarded by the traversal safety
+   checks instead, like any other unvalidated data). *)
+let materialise tree txn v =
+  if View.is_slotted v then begin
+    Obs.Counter.incr tree.nstats.Obs.materialisations;
+    Obs.Counter.add tree.nstats.Obs.node_bytes_copied (View.payload_length v)
+  end;
+  match View.materialise v with
+  | node -> node
+  | exception Codec.Decode_error _ -> Txn.abort txn
 
 (* Read an internal node during traversal. In dirty mode this is a plain
    dirty read (cache-friendly, unvalidated). In the baseline mode it is
@@ -147,17 +184,17 @@ let read_internal tree txn (ptr : Objref.t) =
   match tree.mode with
   | Dirty_traversal ->
       let seq, payload = Txn.dirty_read_with_seq txn ptr in
-      decode_node_memo tree txn ptr seq payload
+      view_node_memo tree txn ptr seq payload
   | Validated_traversal ->
       let seq, payload = Txn.dirty_read_with_seq txn ptr in
-      let node = decode_node_memo tree txn ptr seq payload in
+      let v = view_node_memo tree txn ptr seq payload in
       (* Only internal nodes have replicated sequence-number entries; a
          one-level tree's root is a leaf and is validated directly. *)
-      if not (Bnode.is_leaf node) then
+      if not (View.is_leaf v) then
         Txn.validate_replicated txn
           ~off:(Layout.seq_entry_off tree.layout ptr.Objref.addr)
           ~seq;
-      node
+      v
 
 (* Leaves are always fetched from Sinfonia, never from the proxy cache
    (Sec. 4.2). Up-to-date operations read them transactionally;
@@ -173,13 +210,15 @@ let read_leaf tree txn vctx ~read_only (ptr : Objref.t) =
     if vctx.writable && not unsafe then Txn.read_with_seq txn ptr
     else Txn.dirty_read_with_seq ~use_cache:false txn ptr
   in
-  decode_node_memo tree txn ptr seq payload
+  view_node_memo tree txn ptr seq payload
 
 (* Writes of internal nodes in baseline mode must republish the node's
    sequence number to the replicated table at every memnode, which is
    what makes splits expensive there (Sec. 3). *)
 let write_node tree txn (ptr : Objref.t) (node : Bnode.t) =
-  let payload = Bnode.encode node in
+  Codec.Enc.reset tree.enc;
+  Bnode.encode_into tree.enc node;
+  let payload = Codec.Enc.to_string_with_checksum tree.enc in
   match tree.mode with
   | Validated_traversal when not (Bnode.is_leaf node) ->
       Txn.write_linked txn ptr payload ~repl_off:(Layout.seq_entry_off tree.layout ptr.Objref.addr)
@@ -191,27 +230,27 @@ let write_node tree txn (ptr : Objref.t) (node : Bnode.t) =
 
 (* Safety checks executed at every visited node. Aborting (rather than
    failing) is correct: the retry re-traverses with fresh data. *)
-let check_node tree txn vctx (node : Bnode.t) k =
+let check_node tree txn vctx (v : View.t) k =
   (* Fence keys: [k] must be within the node's responsibility range. *)
-  if not (Bkey.in_range k ~low:node.Bnode.low ~high:node.Bnode.high) then begin
+  if not (View.in_range v k) then begin
     Obs.Counter.incr tree.stats.Obs.abort_fence;
     Obs.abort tree.obs ~layer:Obs.Abort.Btree Obs.Abort.Fence_violation;
     Txn.abort txn
   end;
   (* The node's version must lie on the path to [vctx.snap]... *)
-  if not (vctx.is_ancestor node.Bnode.snap_created vctx.snap) then begin
+  if not (vctx.is_ancestor (View.snap_created v) vctx.snap) then begin
     Obs.Counter.incr tree.stats.Obs.abort_version;
     Obs.abort tree.obs ~layer:Obs.Abort.Btree Obs.Abort.Snapshot_stale;
     Txn.abort txn
   end;
   (* ...and must not have been superseded by a copy on that path. *)
-  if Array.exists (fun d -> vctx.is_ancestor d vctx.snap) node.Bnode.descendants then begin
+  if View.exists_descendant v (fun d -> vctx.is_ancestor d vctx.snap) then begin
     Obs.Counter.incr tree.stats.Obs.abort_copied;
     Obs.abort tree.obs ~layer:Obs.Abort.Btree Obs.Abort.Snapshot_stale;
     Txn.abort txn
   end
 
-type step = { s_ptr : Objref.t; s_node : Bnode.t; s_child : int }
+type step = { s_ptr : Objref.t; s_view : View.t; s_child : int }
 
 (* Traverse from the root to the leaf responsible for [k] at
    [vctx.snap]. Returns the internal path (root first) and the leaf. *)
@@ -228,19 +267,19 @@ let traverse ?(read_only = false) tree txn vctx k =
      set. *)
   let root = read_internal tree txn vctx.root in
   let root =
-    if Bnode.is_leaf root && vctx.writable then read_leaf tree txn vctx ~read_only vctx.root
+    if View.is_leaf root && vctx.writable then read_leaf tree txn vctx ~read_only vctx.root
     else root
   in
   check_node tree txn vctx root k;
-  let rec descend path ptr (node : Bnode.t) =
-    if Bnode.is_leaf node then (List.rev path, ptr, node)
+  let rec descend path ptr (v : View.t) =
+    if View.is_leaf v then (List.rev path, ptr, v)
     else begin
-      let idx, child_ptr = Bnode.child_for node k in
+      let idx, child_ptr = View.child_for v k in
       let child =
-        if node.Bnode.height > 1 then read_internal tree txn child_ptr
+        if View.height v > 1 then read_internal tree txn child_ptr
         else read_leaf tree txn vctx ~read_only child_ptr
       in
-      if child.Bnode.height <> node.Bnode.height - 1 then begin
+      if View.height child <> View.height v - 1 then begin
         (* Fatal inconsistency (Fig. 5 line 15): stale pointers led us to
            a node at the wrong level. *)
         Obs.Counter.incr tree.stats.Obs.abort_height;
@@ -248,7 +287,7 @@ let traverse ?(read_only = false) tree txn vctx k =
         Txn.abort txn
       end;
       check_node tree txn vctx child k;
-      descend ({ s_ptr = ptr; s_node = node; s_child = idx } :: path) child_ptr child
+      descend ({ s_ptr = ptr; s_view = v; s_child = idx } :: path) child_ptr child
     end
   in
   descend [] vctx.root root
@@ -276,7 +315,8 @@ let rec apply_up tree txn vctx path (update : child_update) =
          happen: the tip's root is always already at [vctx.snap] and is
          split in place. *)
       assert false
-  | { s_ptr; s_node; s_child } :: rest ->
+  | { s_ptr; s_view; s_child } :: rest ->
+      let s_node = materialise tree txn s_view in
       let updated =
         match update with
         | Replace p -> Bnode.replace_child s_node s_child p
@@ -371,20 +411,20 @@ and relink tree txn vctx ~at ~old_ptr ~(old : Bnode.t) ~new_ptr =
     | Bkey.Neg_inf -> ""
     | Bkey.Pos_inf -> assert false
   in
-  let rec descend path ptr (node : Bnode.t) =
-    if node.Bnode.height <= old.Bnode.height then (* overshot: stale state *) Txn.abort txn
+  let rec descend path ptr (v : View.t) =
+    if View.height v <= old.Bnode.height then (* overshot: stale state *) Txn.abort txn
     else begin
-      let idx, child_ptr = Bnode.child_for node probe_key in
+      let idx, child_ptr = View.child_for v probe_key in
       if Objref.equal child_ptr old_ptr then
         (* [path] already lists deepest parents first. *)
         apply_up tree txn sub_vctx
-          ({ s_ptr = ptr; s_node = node; s_child = idx } :: path)
+          ({ s_ptr = ptr; s_view = v; s_child = idx } :: path)
           (Replace new_ptr)
       else begin
         let child = read_internal tree txn child_ptr in
-        if child.Bnode.height <> node.Bnode.height - 1 then Txn.abort txn;
+        if View.height child <> View.height v - 1 then Txn.abort txn;
         check_node tree txn sub_vctx child probe_key;
-        descend ({ s_ptr = ptr; s_node = node; s_child = idx } :: path) child_ptr child
+        descend ({ s_ptr = ptr; s_view = v; s_child = idx } :: path) child_ptr child
       end
     end
   in
@@ -493,17 +533,19 @@ let with_retries tree op_name f =
 
 let get_in_txn tree txn vctx k =
   let _, _, leaf = traverse ~read_only:true tree txn vctx k in
-  Bnode.leaf_find leaf k
+  View.leaf_find leaf k
 
 let put_in_txn tree txn vctx k v =
   if not vctx.writable then invalid_arg "Ops.put: read-only snapshot";
-  let path, leaf_ptr, leaf = traverse tree txn vctx k in
+  let path, leaf_ptr, leaf_view = traverse tree txn vctx k in
+  let leaf = materialise tree txn leaf_view in
   let updated = Bnode.leaf_insert leaf k v in
   place_node tree txn vctx ~path:(List.rev path) ~ptr:leaf_ptr ~old:leaf ~updated
 
 let remove_in_txn tree txn vctx k =
   if not vctx.writable then invalid_arg "Ops.remove: read-only snapshot";
-  let path, leaf_ptr, leaf = traverse tree txn vctx k in
+  let path, leaf_ptr, leaf_view = traverse tree txn vctx k in
+  let leaf = materialise tree txn leaf_view in
   match Bnode.leaf_remove leaf k with
   | None -> false
   | Some updated ->
@@ -518,12 +560,23 @@ let put tree ~vctx_of k v =
 let remove tree ~vctx_of k =
   with_retries tree "remove" (fun txn -> remove_in_txn tree txn (vctx_of txn) k)
 
-(* Take up to [remaining] scan entries; [stopped] reports hitting the
-   count limit with entries left over. *)
-let rec take_entries acc remaining = function
-  | [] -> (acc, remaining, false)
-  | e :: tl ->
-      if remaining = 0 then (acc, 0, true) else take_entries (e :: acc) (remaining - 1) tl
+(* Take up to [remaining] scan entries straight out of a leaf view,
+   starting at slot [start] — entries are copied out of the wire bytes
+   here and nowhere earlier, so this is the scan path's copy boundary.
+   [stopped] reports hitting the count limit with entries left over. *)
+let take_entries tree acc remaining view start =
+  let n = View.nkeys view in
+  let rec go acc remaining copied i =
+    if i >= n || remaining = 0 then begin
+      Obs.Counter.add tree.nstats.Obs.node_bytes_copied copied;
+      (acc, remaining, remaining = 0 && i < n)
+    end
+    else begin
+      let (k, v) as e = View.leaf_entry view i in
+      go (e :: acc) (remaining - 1) (copied + String.length k + String.length v) (i + 1)
+    end
+  in
+  go acc remaining 0 start
 
 (* Per-leaf scan: re-traverse root-to-leaf for every leaf, following the
    high fence key. The pre-batching behaviour — kept as the [batch <= 1]
@@ -531,10 +584,12 @@ let rec take_entries acc remaining = function
 let scan_per_leaf tree txn vctx ~from ~count =
   let rec collect acc remaining cursor =
     let _, _, leaf = traverse ~read_only:true tree txn vctx cursor in
-    let acc, remaining, stopped = take_entries acc remaining (Bnode.leaf_entries_from leaf cursor) in
+    let acc, remaining, stopped =
+      take_entries tree acc remaining leaf (View.lower_bound leaf cursor)
+    in
     if remaining = 0 || stopped then List.rev acc
     else
-      match leaf.Bnode.high with
+      match View.high leaf with
       | Bkey.Pos_inf -> List.rev acc
       | Bkey.Key next -> collect acc remaining next
       | Bkey.Neg_inf -> assert false
@@ -596,14 +651,14 @@ let scan_batched tree txn vctx ~from ~count ~batch =
   in
   (* Validate one batched leaf against the fence chain, then run the
      standard per-node checks with the probe key at its low fence. *)
-  let check_leaf (node : Bnode.t) expected_low =
-    if node.Bnode.height <> 0 then begin
+  let check_leaf (node : View.t) expected_low =
+    if View.height node <> 0 then begin
       Obs.Counter.incr s.Obs.scan_batch_aborts;
       Obs.Counter.incr tree.stats.Obs.abort_height;
       Obs.abort tree.obs ~layer:Obs.Abort.Btree Obs.Abort.Height_mismatch;
       Txn.abort txn
     end;
-    if not (Bkey.fence_equal node.Bnode.low expected_low) then begin
+    if not (Bkey.fence_equal (View.low node) expected_low) then begin
       (* The leaf no longer starts where its left neighbour ended: it
          split, merged or moved since the parent was read. *)
       Obs.Counter.incr s.Obs.scan_batch_aborts;
@@ -626,7 +681,9 @@ let scan_batched tree txn vctx ~from ~count ~batch =
   in
   let rec collect acc remaining cursor =
     let path, _, leaf = traverse ~read_only:true tree txn vctx cursor in
-    let acc, remaining, stopped = take_entries acc remaining (Bnode.leaf_entries_from leaf cursor) in
+    let acc, remaining, stopped =
+      take_entries tree acc remaining leaf (View.lower_bound leaf cursor)
+    in
     if remaining = 0 || stopped then List.rev acc
     else begin
       (* Leaf pointers to the right of the leaf just consumed, under its
@@ -634,17 +691,14 @@ let scan_batched tree txn vctx ~from ~count ~batch =
       let siblings =
         match List.rev path with
         | [] -> [] (* the root is the leaf: nothing beside it *)
-        | { s_node; s_child; _ } :: _ -> (
-            match s_node.Bnode.body with
-            | Bnode.Internal { children; _ } ->
-                List.init
-                  (Array.length children - s_child - 1)
-                  (fun i -> Bnode.child_at s_node (s_child + 1 + i))
-            | Bnode.Leaf _ -> assert false)
+        | { s_view; s_child; _ } :: _ ->
+            List.init
+              (View.child_count s_view - s_child - 1)
+              (fun i -> View.child_at s_view (s_child + 1 + i))
       in
       match chunk siblings with
-      | [] -> continue_after acc remaining leaf.Bnode.high
-      | g :: rest -> consume_groups acc remaining leaf.Bnode.high (spawn_fetch g) rest
+      | [] -> continue_after acc remaining (View.high leaf)
+      | g :: rest -> consume_groups acc remaining (View.high leaf) (spawn_fetch g) rest
     end
   and consume_groups acc remaining expected_low pending rest =
     (* Kick off the next group's fetch before consuming the current one
@@ -660,13 +714,13 @@ let scan_batched tree txn vctx ~from ~count ~batch =
     let rec eat acc remaining expected_low = function
       | [] -> `More (acc, remaining, expected_low)
       | (ptr, (seq, payload)) :: tl ->
-          let node = decode_node_memo tree txn ptr seq payload in
+          let node = view_node_memo tree txn ptr seq payload in
           let probe = check_leaf node expected_low in
           let acc, remaining, stopped =
-            take_entries acc remaining (Bnode.leaf_entries_from node probe)
+            take_entries tree acc remaining node (View.lower_bound node probe)
           in
           if remaining = 0 || stopped then `Done acc
-          else eat acc remaining node.Bnode.high tl
+          else eat acc remaining (View.high node) tl
     in
     match eat acc remaining expected_low results with
     | `Done acc -> List.rev acc

@@ -2,36 +2,114 @@ exception Decode_error of string
 
 let decode_error fmt = Format.kasprintf (fun s -> raise (Decode_error s)) fmt
 
+(* CRC-32, IEEE 802.3 reflected polynomial 0xEDB88320. The table and the
+   folding loop work in plain [int] arithmetic (the polynomial fits in 32
+   bits, so the intermediate values do too); boxed [Int32] per-byte
+   arithmetic was the dominant cost of framing a node. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 <> 0 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+         done;
+         !c))
+
+let crc32_fold crc get pos len =
+  let table = Lazy.force crc_table in
+  let crc = ref crc in
+  for i = pos to pos + len - 1 do
+    crc := table.((!crc lxor get i) land 0xff) lxor (!crc lsr 8)
+  done;
+  !crc
+
+let crc32_sub s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Codec.crc32_sub: range out of bounds";
+  0xFFFFFFFF land lnot (crc32_fold 0xFFFFFFFF (fun i -> Char.code (String.unsafe_get s i)) pos len)
+
+let crc32 s = Int32.of_int (crc32_sub s 0 (String.length s))
+
+(* FNV-1a 64-bit: the content stamp for slotted B-tree nodes. Cheap, has
+   no alignment requirements, and — crucially for stamp-based cache
+   revalidation — depends only on the hashed bytes, so two encodings of
+   the same logical node always agree. *)
+let fnv_offset_basis = 0xcbf29ce484222325L
+
+let fnv_prime = 0x100000001b3L
+
+let fnv1a64_fold h get pos len =
+  let h = ref h in
+  for i = pos to pos + len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (get i))) fnv_prime
+  done;
+  !h
+
+let fnv1a64_sub s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Codec.fnv1a64_sub: range out of bounds";
+  fnv1a64_fold fnv_offset_basis (fun i -> Char.code (String.unsafe_get s i)) pos len
+
+let fnv1a64 s = fnv1a64_sub s 0 (String.length s)
+
 module Enc = struct
-  type t = Buffer.t
+  (* A growable byte buffer like [Buffer.t], but with [reset] for reuse
+     across encodings, in-place patching (version stamps are computed
+     over the encoded content and written back into the header), and
+     checksummed extraction in a single allocation. *)
+  type t = { mutable buf : Bytes.t; mutable len : int }
 
-  let create ?(initial_size = 256) () = Buffer.create initial_size
+  let create ?(initial_size = 256) () =
+    { buf = Bytes.create (max 16 initial_size); len = 0 }
 
-  let to_string = Buffer.contents
+  let reset t = t.len <- 0
 
-  let length = Buffer.length
+  let length t = t.len
+
+  let to_string t = Bytes.sub_string t.buf 0 t.len
+
+  let ensure t n =
+    let needed = t.len + n in
+    if needed > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf * 2) in
+      while !cap < needed do
+        cap := !cap * 2
+      done;
+      let buf = Bytes.create !cap in
+      Bytes.blit t.buf 0 buf 0 t.len;
+      t.buf <- buf
+    end
 
   let u8 t v =
     if v < 0 || v > 0xff then invalid_arg "Codec.Enc.u8: out of range";
-    Buffer.add_char t (Char.chr v)
+    ensure t 1;
+    Bytes.unsafe_set t.buf t.len (Char.unsafe_chr v);
+    t.len <- t.len + 1
 
   let u16 t v =
     if v < 0 || v > 0xffff then invalid_arg "Codec.Enc.u16: out of range";
-    Buffer.add_uint16_le t v
+    ensure t 2;
+    Bytes.set_uint16_le t.buf t.len v;
+    t.len <- t.len + 2
 
   let u32 t v =
     if v < 0 || v > 0xffff_ffff then invalid_arg "Codec.Enc.u32: out of range";
-    Buffer.add_int32_le t (Int32.of_int v)
+    ensure t 4;
+    Bytes.set_int32_le t.buf t.len (Int32.of_int v);
+    t.len <- t.len + 4
 
-  let i64 t v = Buffer.add_int64_le t v
+  let i64 t v =
+    ensure t 8;
+    Bytes.set_int64_le t.buf t.len v;
+    t.len <- t.len + 8
 
   let int_as_i64 t v = i64 t (Int64.of_int v)
 
   let rec varint t v =
     if v < 0 then invalid_arg "Codec.Enc.varint: negative"
-    else if v < 0x80 then Buffer.add_char t (Char.chr v)
+    else if v < 0x80 then u8 t v
     else begin
-      Buffer.add_char t (Char.chr (0x80 lor (v land 0x7f)));
+      u8 t (0x80 lor (v land 0x7f));
       varint t (v lsr 7)
     end
 
@@ -39,7 +117,18 @@ module Enc = struct
 
   let float t v = i64 t (Int64.bits_of_float v)
 
-  let raw t s = Buffer.add_string t s
+  let raw t s =
+    let n = String.length s in
+    ensure t n;
+    Bytes.blit_string s 0 t.buf t.len n;
+    t.len <- t.len + n
+
+  let raw_sub t s pos len =
+    if pos < 0 || len < 0 || pos + len > String.length s then
+      invalid_arg "Codec.Enc.raw_sub: range out of bounds";
+    ensure t len;
+    Bytes.blit_string s pos t.buf t.len len;
+    t.len <- t.len + len
 
   let bytes t s =
     varint t (String.length s);
@@ -58,6 +147,31 @@ module Enc = struct
     | Some v ->
         bool t true;
         write v
+
+  let patch_u16 t ~pos v =
+    if v < 0 || v > 0xffff then invalid_arg "Codec.Enc.patch_u16: out of range";
+    if pos < 0 || pos + 2 > t.len then invalid_arg "Codec.Enc.patch_u16: position out of bounds";
+    Bytes.set_uint16_le t.buf pos v
+
+  let patch_i64 t ~pos v =
+    if pos < 0 || pos + 8 > t.len then invalid_arg "Codec.Enc.patch_i64: position out of bounds";
+    Bytes.set_int64_le t.buf pos v
+
+  let fnv1a64_from t ~pos =
+    if pos < 0 || pos > t.len then invalid_arg "Codec.Enc.fnv1a64_from: position out of bounds";
+    fnv1a64_fold fnv_offset_basis (fun i -> Char.code (Bytes.unsafe_get t.buf i)) pos (t.len - pos)
+
+  let to_string_with_checksum t =
+    (* One allocation for payload + trailer; the old idiom
+       [with_checksum (to_string e)] copied the payload twice. *)
+    let n = t.len in
+    let out = Bytes.create (n + 4) in
+    Bytes.blit t.buf 0 out 0 n;
+    let crc =
+      0xFFFFFFFF land lnot (crc32_fold 0xFFFFFFFF (fun i -> Char.code (Bytes.unsafe_get t.buf i)) 0 n)
+    in
+    Bytes.set_int32_le out n (Int32.of_int crc);
+    Bytes.unsafe_to_string out
 end
 
 module Dec = struct
@@ -125,9 +239,20 @@ module Dec = struct
     t.pos <- t.pos + n;
     s
 
+  let raw_view t n =
+    if n < 0 then decode_error "Codec.Dec.raw_view: negative length";
+    need t n;
+    let span = (t.pos, n) in
+    t.pos <- t.pos + n;
+    span
+
   let bytes t =
     let n = varint t in
     raw t n
+
+  let bytes_view t =
+    let n = varint t in
+    raw_view t n
 
   let list t read =
     let n = varint t in
@@ -140,33 +265,10 @@ module Dec = struct
   let option t read = if bool t then Some (read t) else None
 end
 
-(* CRC-32, IEEE 802.3 reflected polynomial 0xEDB88320. *)
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
-         for _ = 0 to 7 do
-           if Int32.logand !c 1l <> 0l then
-             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-           else c := Int32.shift_right_logical !c 1
-         done;
-         !c))
-
-let crc32 s =
-  let table = Lazy.force crc_table in
-  let crc = ref 0xFFFFFFFFl in
-  String.iter
-    (fun ch ->
-      let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xffl) in
-      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
-    s;
-  Int32.logxor !crc 0xFFFFFFFFl
-
 let with_checksum payload =
   let e = Enc.create ~initial_size:(String.length payload + 8) () in
   Enc.raw e payload;
-  Enc.u32 e (Int32.to_int (crc32 payload) land 0xffff_ffff);
-  Enc.to_string e
+  Enc.to_string_with_checksum e
 
 let check_checksum framed =
   let n = String.length framed in
@@ -174,7 +276,17 @@ let check_checksum framed =
   let payload = String.sub framed 0 (n - 4) in
   let d = Dec.of_string ~pos:(n - 4) framed in
   let stored = Dec.u32 d in
-  let computed = Int32.to_int (crc32 payload) land 0xffff_ffff in
+  let computed = crc32_sub framed 0 (n - 4) in
   if stored <> computed then
     decode_error "Codec.check_checksum: mismatch (stored %#x, computed %#x)" stored computed;
   payload
+
+let verify_checksum_in_place s pos len =
+  if len < 4 || pos < 0 || pos + len > String.length s then
+    decode_error "Codec.verify_checksum_in_place: bad frame bounds";
+  let d = Dec.of_string ~pos:(pos + len - 4) s in
+  let stored = Dec.u32 d in
+  let computed = crc32_sub s pos (len - 4) in
+  if stored <> computed then
+    decode_error "Codec.verify_checksum_in_place: mismatch (stored %#x, computed %#x)" stored
+      computed

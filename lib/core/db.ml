@@ -40,8 +40,13 @@ let start ?(config = Config.default) () =
   let shared_alloc = Node_alloc.Shared.create ~n_memnodes:config.Config.hosts in
   (* Admin handles used for initialization and the SCS. *)
   let admin_cache =
+    (* [same_content]: a crashed epoch's entry whose payload carries the
+       same node stamp as the fresh bytes survives revalidation without
+       a decode (see Btree.Bview). *)
     Dyntxn.Objcache.create ~capacity:config.Config.cache_capacity
-      ~stats:(Obs.cache (Cluster.obs cluster)) ()
+      ~stats:(Obs.cache (Cluster.obs cluster))
+      ~node_stats:(Obs.node (Cluster.obs cluster))
+      ~same_content:Btree.Bview.same_stamp ()
   in
   let gc_trees =
     Array.init config.Config.n_trees (fun tree_id ->

@@ -305,7 +305,9 @@ let attach ?(home = 0) ?client ?tracer db =
   if home < 0 || home >= config.Config.hosts then invalid_arg "Session.attach: home out of range";
   let cache =
     Dyntxn.Objcache.create ~capacity:config.Config.cache_capacity
-      ~stats:(Obs.cache (Db.obs db)) ()
+      ~stats:(Obs.cache (Db.obs db))
+      ~node_stats:(Obs.node (Db.obs db))
+      ~same_content:Btree.Bview.same_stamp ()
   in
   let trees =
     Array.init config.Config.n_trees (fun tree_id ->

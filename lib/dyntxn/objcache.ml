@@ -19,6 +19,11 @@ type t = {
   table : (Objref.t, lru_node) Hashtbl.t;
   capacity : int;
   stats : Obs.cache_stats option; (* typed Obs mirror, when attached *)
+  node_stats : Obs.node_stats option;
+  same_content : (string -> string -> bool) option;
+      (* Payload-level content equality (in practice the B-tree's
+         version-stamp compare, {!Btree.Bview.same_stamp}), injected by
+         the layer above so this cache stays node-format agnostic. *)
   space_epochs : (int, int) Hashtbl.t; (* current crash epoch per space *)
   mutable head : lru_node option; (* most recently used *)
   mutable tail : lru_node option; (* least recently used *)
@@ -29,14 +34,17 @@ type t = {
   mutable stale_hits : int;
   mutable epoch_revalidations : int;
   mutable epoch_survived : int;
+  mutable stamp_revalidations : int;
 }
 
-let create ?(capacity = 65536) ?stats () =
+let create ?(capacity = 65536) ?stats ?node_stats ?same_content () =
   if capacity <= 0 then invalid_arg "Objcache.create: capacity must be positive";
   {
     table = Hashtbl.create 1024;
     capacity;
     stats;
+    node_stats;
+    same_content;
     space_epochs = Hashtbl.create 8;
     head = None;
     tail = None;
@@ -47,6 +55,7 @@ let create ?(capacity = 65536) ?stats () =
     stale_hits = 0;
     epoch_revalidations = 0;
     epoch_survived = 0;
+    stamp_revalidations = 0;
   }
 
 let mirror t f = match t.stats with None -> () | Some s -> Obs.Counter.incr (f s)
@@ -98,10 +107,28 @@ let find_status t key =
 let find t key =
   match find_status t key with Fresh e -> Some e | Stale _ | Miss -> None
 
-let note_revalidation t ~survived =
+(* An epoch-stale entry was re-fetched. It "survived" (the flush would
+   have been wasted) when the sequence number is unchanged, or — after a
+   recovery that replayed the slot under a fresh sequence number — when
+   the payload content stamp still matches, compared without decoding
+   either copy. A stamp collision merely over-counts survival: the
+   caller stores the fresh payload regardless, and this cache is
+   deliberately incoherent, so no correctness rests on the compare. *)
+let note_revalidation t ~old ~seq ~payload =
   t.epoch_revalidations <- t.epoch_revalidations + 1;
   mirror t (fun s -> s.Obs.cache_epoch_revalidations);
-  if survived then begin
+  let survived_seq = Int64.equal old.seq seq in
+  let survived_stamp =
+    (not survived_seq)
+    && match t.same_content with Some same -> same old.payload payload | None -> false
+  in
+  if survived_stamp then begin
+    t.stamp_revalidations <- t.stamp_revalidations + 1;
+    match t.node_stats with
+    | Some s -> Obs.Counter.incr s.Obs.stamp_revalidations
+    | None -> ()
+  end;
+  if survived_seq || survived_stamp then begin
     t.epoch_survived <- t.epoch_survived + 1;
     mirror t (fun s -> s.Obs.cache_epoch_survived)
   end
@@ -160,3 +187,5 @@ let stale_hits t = t.stale_hits
 let epoch_revalidations t = t.epoch_revalidations
 
 let epoch_survived t = t.epoch_survived
+
+let stamp_revalidations t = t.stamp_revalidations

@@ -24,10 +24,23 @@ type entry = { seq : int64; payload : string }
     before use (their [seq] is the comparison point). *)
 type status = Fresh of entry | Stale of entry | Miss
 
-val create : ?capacity:int -> ?stats:Obs.cache_stats -> unit -> t
+val create :
+  ?capacity:int ->
+  ?stats:Obs.cache_stats ->
+  ?node_stats:Obs.node_stats ->
+  ?same_content:(string -> string -> bool) ->
+  unit ->
+  t
 (** [capacity] is the maximum number of cached objects (default 65536).
     [stats] mirrors every counter below into typed {!Obs} metrics (and
-    therefore into [Obs.Report.to_json]). *)
+    therefore into [Obs.Report.to_json]).
+
+    [same_content] is an optional payload-level equality used by
+    {!note_revalidation} to recognise entries that survived a crash
+    under a new sequence number — in practice the B-tree's per-node
+    version-stamp compare ({!Btree.Bview.same_stamp}), injected from
+    above so the cache stays node-format agnostic. Stamp survivals are
+    mirrored into [node_stats]. *)
 
 val find : t -> Objref.t -> entry option
 (** Refreshes LRU position on hit. Stale-epoch entries count as misses
@@ -47,10 +60,14 @@ val observe_epoch : t -> space:int -> epoch:int -> unit
 (** Record that address space [space] is at crash epoch [epoch] (from a
     minitransaction reply). Monotonic: older observations are ignored. *)
 
-val note_revalidation : t -> survived:bool -> unit
-(** Account one lazy revalidation of a stale-epoch entry; [survived]
-    when the re-fetch returned the same sequence number (the cached
-    payload was still good). *)
+val note_revalidation : t -> old:entry -> seq:int64 -> payload:string -> unit
+(** Account one lazy revalidation of a stale-epoch entry [old] against
+    the re-fetched [seq]/[payload]. The entry survived when the
+    sequence number is unchanged, or when [same_content] says the
+    payload is the same node version (a recovery replay under a fresh
+    sequence number) — the latter is counted separately as a stamp
+    revalidation. Purely accounting: the caller stores the fresh
+    payload either way. *)
 
 val clear : t -> unit
 (** Drop everything (a bulk eviction — production code paths avoid
@@ -74,3 +91,7 @@ val stale_hits : t -> int
 val epoch_revalidations : t -> int
 
 val epoch_survived : t -> int
+
+val stamp_revalidations : t -> int
+(** Survivals established by content stamp rather than sequence
+    number. *)

@@ -160,7 +160,12 @@ let fetch_refs t ~validate (refs : Objref.t list) =
   let compares, covered, all_covered =
     if validate then piggyback_compares t ~nodes else ([], [], false)
   in
-  let reads = List.map (fun (r : Objref.t) -> Mtx.read_at r.Objref.addr r.Objref.len) refs in
+  (* Replies are trimmed to the slot's used prefix (header + payload):
+     response transfer cost is charged on actual bytes, not the fixed
+     slot size — the bulk of a batched scan's byte budget. *)
+  let reads =
+    List.map (fun (r : Objref.t) -> Mtx.read_at ~trim:true r.Objref.addr r.Objref.len) refs
+  in
   let mtx = Mtx.make ~compares ~reads () in
   t.fetches <- t.fetches + 1;
   match Coordinator.exec t.cluster ?client:t.client mtx with
@@ -229,7 +234,7 @@ let cache_lookup t ref_ =
   | Some cache -> (
       match Objcache.find_status cache ref_ with
       | Objcache.Fresh { seq; payload } -> `Fresh (seq, payload)
-      | Objcache.Stale { seq; _ } -> `Stale seq
+      | Objcache.Stale entry -> `Stale entry
       | Objcache.Miss -> `Absent)
 
 (* Store a freshly fetched copy back into the cache, closing out a
@@ -242,8 +247,7 @@ let cache_store t ref_ ~seq ~payload st =
   | None -> ()
   | Some cache ->
       (match st with
-      | `Stale stale_seq ->
-          Objcache.note_revalidation cache ~survived:(Int64.equal stale_seq seq)
+      | `Stale old -> Objcache.note_revalidation cache ~old ~seq ~payload
       | `Absent -> ());
       if String.length payload > 0 then Objcache.insert cache ref_ { Objcache.seq; payload }
       else Objcache.invalidate cache ref_
@@ -340,8 +344,8 @@ let dirty_read_many_with_seq ?(use_cache = true) t refs =
             | `Fresh (seq, payload) ->
                 Hashtbl.replace t.dirty_seen r (seq, payload);
                 Hashtbl.add resolved r (`Done (seq, payload))
-            | `Stale stale_seq ->
-                Hashtbl.add resolved r (`Fetch (`Stale stale_seq));
+            | `Stale entry ->
+                Hashtbl.add resolved r (`Fetch (`Stale entry));
                 missing := r :: !missing
             | `Absent ->
                 Hashtbl.add resolved r (`Fetch `Absent);

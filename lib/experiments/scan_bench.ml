@@ -22,6 +22,10 @@ type side = {
   s_epoch_revalidations : int;
   s_epoch_survived : int;
   s_bulk_evictions : int;
+  s_view_hits : int;
+  s_materialisations : int;
+  s_stamp_revalidations : int;
+  s_node_bytes_copied : int;
 }
 
 let key_of i = Printf.sprintf "k%05d" i
@@ -119,6 +123,7 @@ let run_side ~seed ~scan_batch ~storm ~duration ~keys ~scan_count =
   let v = Obs.Counter.value in
   let cs = Obs.cache obs in
   let ss = Obs.scan obs in
+  let ns = Obs.node obs in
   {
     s_scan_batch = scan_batch;
     s_scans = measured;
@@ -134,6 +139,10 @@ let run_side ~seed ~scan_batch ~storm ~duration ~keys ~scan_count =
     s_epoch_revalidations = v cs.Obs.cache_epoch_revalidations;
     s_epoch_survived = v cs.Obs.cache_epoch_survived;
     s_bulk_evictions = v cs.Obs.cache_bulk_evictions;
+    s_view_hits = v ns.Obs.view_hits;
+    s_materialisations = v ns.Obs.materialisations;
+    s_stamp_revalidations = v ns.Obs.stamp_revalidations;
+    s_node_bytes_copied = v ns.Obs.node_bytes_copied;
   }
 
 let ops_per_s side = float_of_int side.s_scans /. side.s_elapsed
@@ -156,14 +165,22 @@ let side_json side =
       ("cache_epoch_revalidations", Obs.Json.Int side.s_epoch_revalidations);
       ("cache_epoch_survived", Obs.Json.Int side.s_epoch_survived);
       ("cache_bulk_evictions", Obs.Json.Int side.s_bulk_evictions);
+      ("node_view_hits", Obs.Json.Int side.s_view_hits);
+      ("node_materialisations", Obs.Json.Int side.s_materialisations);
+      ("node_stamp_revalidations", Obs.Json.Int side.s_stamp_revalidations);
+      ("node_bytes_copied", Obs.Json.Int side.s_node_bytes_copied);
     ]
 
 (* Run both sides, write [dir]/BENCH_scan.json, and return whether the
    acceptance gates hold: batched throughput at least [min_speedup] over
    per-leaf, post-crash epoch revalidation actually exercised, and no
-   bulk eviction anywhere. *)
+   bulk eviction anywhere. [min_batched_ops] and [min_leaves_per_rt] are
+   absolute regression floors (scans/s and leaves per round trip on the
+   batched side) pinned in CI to the previous release's numbers, so a
+   change that slows scans down outright fails even if the
+   batched-vs-per-leaf ratio survives. *)
 let run ?(seed = 0x5ca9) ?(duration = 0.5) ?(keys = 600) ?(scan_count = 400) ?(dir = ".")
-    ?(min_speedup = 2.0) () =
+    ?(min_speedup = 2.0) ?(min_batched_ops = 0.0) ?(min_leaves_per_rt = 0.0) () =
   (* 100-leaf ranges at 4 keys per leaf. *)
   let batched = run_side ~seed ~scan_batch:16 ~storm:true ~duration ~keys ~scan_count in
   let per_leaf = run_side ~seed ~scan_batch:1 ~storm:false ~duration ~keys ~scan_count in
@@ -181,6 +198,8 @@ let run ?(seed = 0x5ca9) ?(duration = 0.5) ?(keys = 600) ?(scan_count = 400) ?(d
   let ok_speedup = speedup >= min_speedup in
   let ok_epochs = batched.s_epoch_revalidations > 0 in
   let ok_no_flush = batched.s_bulk_evictions = 0 && per_leaf.s_bulk_evictions = 0 in
+  let ok_abs_ops = ops_per_s batched >= min_batched_ops in
+  let ok_leaves = leaves_per_roundtrip >= min_leaves_per_rt in
   let json =
     Obs.Json.Obj
       [
@@ -193,6 +212,8 @@ let run ?(seed = 0x5ca9) ?(duration = 0.5) ?(keys = 600) ?(scan_count = 400) ?(d
         ("per_leaf", side_json per_leaf);
         ("speedup", Obs.Json.Float speedup);
         ("min_speedup", Obs.Json.Float min_speedup);
+        ("min_batched_ops", Obs.Json.Float min_batched_ops);
+        ("min_leaves_per_roundtrip", Obs.Json.Float min_leaves_per_rt);
         ("leaves_per_roundtrip", Obs.Json.Float leaves_per_roundtrip);
         ("cache_hit_rate", Obs.Json.Float hit_rate);
         ("epoch_revalidations", Obs.Json.Int batched.s_epoch_revalidations);
@@ -203,7 +224,8 @@ let run ?(seed = 0x5ca9) ?(duration = 0.5) ?(keys = 600) ?(scan_count = 400) ?(d
               float_of_int batched.s_epoch_survived
               /. float_of_int batched.s_epoch_revalidations));
         ("bulk_evictions", Obs.Json.Int (batched.s_bulk_evictions + per_leaf.s_bulk_evictions));
-        ("pass", Obs.Json.Bool (ok_speedup && ok_epochs && ok_no_flush));
+        ("pass",
+         Obs.Json.Bool (ok_speedup && ok_epochs && ok_no_flush && ok_abs_ops && ok_leaves));
       ]
   in
   let path = Filename.concat dir "BENCH_scan.json" in
@@ -219,9 +241,16 @@ let run ?(seed = 0x5ca9) ?(duration = 0.5) ?(keys = 600) ?(scan_count = 400) ?(d
   Printf.printf "  crash storm: %d epoch revalidations (%d survived), %d bulk evictions\n"
     batched.s_epoch_revalidations batched.s_epoch_survived
     (batched.s_bulk_evictions + per_leaf.s_bulk_evictions);
+  Printf.printf "  node path: %d view hits, %d materialisations, %d stamp revalidations\n"
+    batched.s_view_hits batched.s_materialisations batched.s_stamp_revalidations;
   if not ok_speedup then Printf.printf "  FAIL: speedup below %.2fx\n" min_speedup;
   if not ok_epochs then
     Printf.printf "  FAIL: crash storm exercised no epoch revalidation\n";
   if not ok_no_flush then Printf.printf "  FAIL: bulk cache eviction occurred\n";
+  if not ok_abs_ops then
+    Printf.printf "  FAIL: batched throughput below the %.0f scans/s regression floor\n"
+      min_batched_ops;
+  if not ok_leaves then
+    Printf.printf "  FAIL: leaves/roundtrip below the %.1f regression floor\n" min_leaves_per_rt;
   Printf.printf "  report written to %s\n%!" path;
-  ok_speedup && ok_epochs && ok_no_flush
+  ok_speedup && ok_epochs && ok_no_flush && ok_abs_ops && ok_leaves

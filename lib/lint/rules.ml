@@ -33,11 +33,13 @@ let in_scope rule rel =
 let protocol_paths = [ "lib/sinfonia/"; "lib/dyntxn/"; "lib/btree/"; "lib/mvcc/" ]
 
 (* Paths where iteration order reaches seeded-replay output: the
-   simulator, the nemesis, the history checker, recovery sweeps, and
-   the open-loop traffic engine (arrival schedules and SLO verdicts
-   must replay byte-identically per seed). *)
+   simulator, the nemesis, the history checker, recovery sweeps, the
+   open-loop traffic engine (arrival schedules and SLO verdicts must
+   replay byte-identically per seed), and the B-tree hot path (the
+   node-view memo and write-path encoders must not leak hash order
+   into traversal behaviour). *)
 let determinism_paths =
-  [ "lib/sim/"; "lib/chaos/"; "lib/check/"; "lib/sinfonia/"; "lib/traffic/" ]
+  [ "lib/sim/"; "lib/chaos/"; "lib/check/"; "lib/sinfonia/"; "lib/traffic/"; "lib/btree/" ]
 
 (* ------------------------------------------------------------------ *)
 (* Longident / pattern helpers                                          *)

@@ -148,6 +148,13 @@ type scan_stats = {
   scan_batch_aborts : Counter.t;
 }
 
+type node_stats = {
+  view_hits : Counter.t;
+  materialisations : Counter.t;
+  stamp_revalidations : Counter.t;
+  node_bytes_copied : Counter.t;
+}
+
 type gc_stats = { slots_reclaimed : Counter.t; branch_slots_reclaimed : Counter.t }
 
 type scs_stats = {
@@ -229,6 +236,7 @@ type t = {
   btree_stats : btree_stats;
   cache_stats : cache_stats;
   scan_stats : scan_stats;
+  node_stats : node_stats;
   gc_stats : gc_stats;
   scs_stats : scs_stats;
   chaos_stats : chaos_stats;
@@ -313,6 +321,14 @@ let create ?(span_capacity = 65536) () =
       scan_batch_aborts = c "scan.batch_aborts";
     }
   in
+  let node_stats =
+    {
+      view_hits = c "node.view_hits";
+      materialisations = c "node.materialisations";
+      stamp_revalidations = c "node.stamp_revalidations";
+      node_bytes_copied = c "node.bytes_copied";
+    }
+  in
   let gc_stats =
     {
       slots_reclaimed = c "gc.slots_reclaimed";
@@ -375,6 +391,7 @@ let create ?(span_capacity = 65536) () =
     btree_stats;
     cache_stats;
     scan_stats;
+    node_stats;
     gc_stats;
     scs_stats;
     chaos_stats;
@@ -397,6 +414,8 @@ let btree t = t.btree_stats
 let cache t = t.cache_stats
 
 let scan t = t.scan_stats
+
+let node t = t.node_stats
 
 let gc t = t.gc_stats
 

@@ -139,6 +139,21 @@ type scan_stats = {
           version) failed, aborting the scan attempt. *)
 }
 
+(** Zero-copy node-view accounting (the slotted wire format,
+    {!Btree.Bview}). [view_hits] counts traversal/scan hops answered in
+    place from raw payload bytes; [materialisations] counts the
+    write/split-path decodes into a full {!Btree.Bnode.t};
+    [stamp_revalidations] counts epoch-stale cache entries revalidated
+    by content stamp without re-decoding; [node_bytes_copied] counts
+    bytes actually materialised into strings (scan results, write-path
+    decodes) — the copy budget the bench gates on. *)
+type node_stats = {
+  view_hits : Counter.t;
+  materialisations : Counter.t;
+  stamp_revalidations : Counter.t;
+  node_bytes_copied : Counter.t;
+}
+
 type gc_stats = { slots_reclaimed : Counter.t; branch_slots_reclaimed : Counter.t }
 
 type scs_stats = {
@@ -184,6 +199,8 @@ val btree : t -> btree_stats
 val cache : t -> cache_stats
 
 val scan : t -> scan_stats
+
+val node : t -> node_stats
 
 val gc : t -> gc_stats
 

@@ -1,6 +1,6 @@
 type compare_item = { c_addr : Address.t; c_expected : string }
 
-type read_item = { r_addr : Address.t; r_len : int }
+type read_item = { r_addr : Address.t; r_len : int; r_trim : bool }
 
 type write_item = { w_addr : Address.t; w_data : string }
 
@@ -16,9 +16,22 @@ let make ?(compares = []) ?(reads = []) ?(writes = []) () = { compares; reads; w
 
 let compare_at addr expected = { c_addr = addr; c_expected = expected }
 
-let read_at addr len =
+let read_at ?(trim = false) addr len =
   if len <= 0 then invalid_arg "Mtx.read_at: length must be positive";
-  { r_addr = addr; r_len = len }
+  { r_addr = addr; r_len = len; r_trim = trim }
+
+(* Used prefix of an object slot: the 12-byte header (i64 sequence
+   number, i32 payload length) plus the payload, without the zero
+   padding out to the slot size. An insane length field (corruption, or
+   bytes that are not an object slot) falls back to the full range. *)
+let slot_header_size = 12
+
+let trim_slot slot =
+  if String.length slot <= slot_header_size then slot
+  else
+    let plen = Int32.to_int (String.get_int32_le slot 8) in
+    if plen < 0 || plen > String.length slot - slot_header_size then slot
+    else String.sub slot 0 (slot_header_size + plen)
 
 let write_at addr data =
   if String.length data = 0 then invalid_arg "Mtx.write_at: empty write";

@@ -7,7 +7,11 @@
 
 type compare_item = { c_addr : Address.t; c_expected : string }
 
-type read_item = { r_addr : Address.t; r_len : int }
+type read_item = { r_addr : Address.t; r_len : int; r_trim : bool }
+(** [r_trim] asks the serving memnode to reply with only the used
+    prefix of an object slot (header + stored payload length) instead
+    of the full [r_len] range — the request still locks and costs the
+    full range, but the response transfers only live bytes. *)
 
 type write_item = { w_addr : Address.t; w_data : string }
 
@@ -28,7 +32,14 @@ val make :
 
 val compare_at : Address.t -> string -> compare_item
 
-val read_at : Address.t -> int -> read_item
+val read_at : ?trim:bool -> Address.t -> int -> read_item
+(** [trim] (default false) requests a reply trimmed to the slot's used
+    prefix; see {!read_item}. *)
+
+val trim_slot : string -> string
+(** The used prefix of raw object-slot bytes (12-byte header + stored
+    payload length); returns the input unchanged when the length field
+    is out of range. *)
 
 val write_at : Address.t -> string -> write_item
 

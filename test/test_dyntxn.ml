@@ -124,16 +124,37 @@ let test_cache_epoch_staleness () =
   | Objcache.Stale _ -> ()
   | _ -> Alcotest.fail "stale regression: old epoch observation un-staled the entry");
   (* Revalidation accounting, then a re-insert is fresh at the new
-     epoch. *)
-  Objcache.note_revalidation c ~survived:true;
-  Objcache.note_revalidation c ~survived:false;
+     epoch. A same-seq re-fetch survives; a changed seq does not. *)
+  let stale_entry = entry 1L "space0" in
+  Objcache.note_revalidation c ~old:stale_entry ~seq:1L ~payload:"space0";
+  Objcache.note_revalidation c ~old:stale_entry ~seq:9L ~payload:"different";
   check Alcotest.int "revalidations" 2 (Objcache.epoch_revalidations c);
   check Alcotest.int "survived" 1 (Objcache.epoch_survived c);
+  check Alcotest.int "no stamp matches without a comparator" 0 (Objcache.stamp_revalidations c);
   Objcache.insert c r0 (entry 1L "space0");
   (match Objcache.find_status c r0 with
   | Objcache.Fresh _ -> ()
   | _ -> Alcotest.fail "re-inserted entry must carry the current epoch");
   check Alcotest.int "no bulk eviction anywhere" 0 (Objcache.bulk_evictions c)
+
+let test_cache_stamp_revalidation () =
+  (* With a content comparator installed, a stale entry whose payload
+     matches the fresh bytes survives revalidation even though its
+     sequence number changed (a promoted backup renumbers slots without
+     changing node content). *)
+  let c = Objcache.create ~same_content:String.equal () in
+  let old = entry 1L "node-bytes" in
+  Objcache.note_revalidation c ~old ~seq:7L ~payload:"node-bytes";
+  check Alcotest.int "stamp match counted" 1 (Objcache.stamp_revalidations c);
+  check Alcotest.int "stamp match survives" 1 (Objcache.epoch_survived c);
+  Objcache.note_revalidation c ~old ~seq:8L ~payload:"other-bytes";
+  check Alcotest.int "content mismatch not counted" 1 (Objcache.stamp_revalidations c);
+  check Alcotest.int "content mismatch does not survive" 1 (Objcache.epoch_survived c);
+  (* Same seq short-circuits: no stamp comparison is recorded. *)
+  Objcache.note_revalidation c ~old ~seq:1L ~payload:"node-bytes";
+  check Alcotest.int "same seq needs no stamp" 1 (Objcache.stamp_revalidations c);
+  check Alcotest.int "same seq survives" 2 (Objcache.epoch_survived c);
+  check Alcotest.int "all three counted" 3 (Objcache.epoch_revalidations c)
 
 (* ------------------------------------------------------------------ *)
 (* Transactions                                                         *)
@@ -718,6 +739,7 @@ let () =
           Alcotest.test_case "stats" `Quick test_cache_stats;
           Alcotest.test_case "clear" `Quick test_cache_clear;
           Alcotest.test_case "epoch staleness" `Quick test_cache_epoch_staleness;
+          Alcotest.test_case "stamp revalidation" `Quick test_cache_stamp_revalidation;
         ] );
       ( "txn",
         [
