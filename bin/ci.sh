@@ -24,21 +24,41 @@ else
 fi
 
 echo "== static analysis (minuet_lint) =="
-# AST-level invariant linter (DESIGN.md Sec. 13): crash propagation,
-# determinism per seed, typed observability, protocol discipline.
-# Fails on any unsuppressed finding; emits BENCH_lint.json and runs
-# the fixture self-test.
+# Two-phase invariant linter (DESIGN.md Secs. 13 and 17): per-file
+# expression rules plus the interprocedural pass (transitive nondet
+# reach, crash-swallow through call chains, 2PC op ordering, blocking
+# under held locks). Fails on any unsuppressed finding; emits
+# BENCH_lint.json and runs the fixture self-test, which includes the
+# cross-module xmod/xswallow trees.
 dune build @lint
 lint="_build/default/bin/minuet_lint.exe"
 "$lint" --json "$smoke_dir/BENCH_lint.json" lib bin test bench examples
 "$lint" --quiet --fixtures test/lint_fixtures
 
+echo "== lint wall-time budget =="
+# The whole-repo pass above self-reports its wall time; a fixpoint or
+# splice pass gone quadratic shows up here long before it hurts CI.
+wall_ms=$(tr ',' '\n' < "$smoke_dir/BENCH_lint.json" \
+  | sed -n 's/.*"wall_ms": *\([0-9][0-9]*\).*/\1/p' | head -n 1)
+if [ -z "$wall_ms" ]; then
+  echo "ERROR: BENCH_lint.json has no wall_ms field" >&2
+  exit 1
+fi
+if [ "$wall_ms" -gt 10000 ]; then
+  echo "ERROR: whole-repo lint took ${wall_ms}ms (budget 10000ms)" >&2
+  exit 1
+fi
+echo "lint wall time: ${wall_ms}ms (budget 10000ms)"
+
 echo "== lint falsifiability (each rule can fail the build) =="
 # Seed each rule's bad fixture as a protocol source: the linter must
 # reject it, and must go quiet when exactly that rule is disabled — a
-# rule that can never fire protects nothing.
+# rule that can never fire protects nothing. protocol-order and
+# blocking-under-lock are interprocedural but single-file-triggerable,
+# so they ride the same loop.
 for rule in crashed-swallow nondet-iteration wallclock-rng \
-            stringly-metrics partial-stdlib poly-compare; do
+            stringly-metrics partial-stdlib poly-compare \
+            protocol-order blocking-under-lock; do
   seeded="$smoke_dir/seeded.ml"
   cp "test/lint_fixtures/bad_$(echo "$rule" | tr - _).ml" "$seeded"
   if "$lint" --quiet --as lib/sinfonia/seeded.ml "$seeded" >/dev/null 2>&1; then
@@ -51,6 +71,35 @@ for rule in crashed-swallow nondet-iteration wallclock-rng \
     exit 1
   fi
 done
+
+# crash-swallow-transitive excludes protocol paths (the syntactic rule
+# owns those), so its seed lands on a non-protocol path instead.
+rule=crash-swallow-transitive
+seeded="$smoke_dir/seeded.ml"
+cp test/lint_fixtures/bad_crash_swallow_transitive.ml "$seeded"
+if "$lint" --quiet --as lib/traffic/seeded.ml "$seeded" >/dev/null 2>&1; then
+  echo "ERROR: rule $rule did not flag its seeded violation" >&2
+  exit 1
+fi
+if ! "$lint" --quiet --as lib/traffic/seeded.ml --disable "$rule" "$seeded" \
+    >/dev/null 2>&1; then
+  echo "ERROR: disabling $rule did not silence its seeded violation" >&2
+  exit 1
+fi
+
+# transitive-nondet only fires when the source lives outside the
+# determinism scope of its caller, which no single file can express:
+# seed the cross-module xmod tree as lib/ via the --as directory form.
+rule=transitive-nondet
+if "$lint" --quiet --as lib test/lint_fixtures/xmod/lib >/dev/null 2>&1; then
+  echo "ERROR: rule $rule did not flag its seeded violation" >&2
+  exit 1
+fi
+if ! "$lint" --quiet --as lib --disable "$rule" test/lint_fixtures/xmod/lib \
+    >/dev/null 2>&1; then
+  echo "ERROR: disabling $rule did not silence its seeded violation" >&2
+  exit 1
+fi
 
 echo "== observability smoke =="
 dune exec bin/minuet_bench.exe -- smoke --dir "$smoke_dir"

@@ -28,7 +28,7 @@ let () =
         "RULE disable a rule (repeatable; the CI falsifiability check uses this)" );
       ( "--as",
         Arg.Set_string rel_as,
-        "PATH treat a single file target as repo-relative PATH for rule scoping" );
+        "PATH treat a single file (or directory) target as repo-relative PATH for rule scoping" );
       ("--quiet", Arg.Set quiet, " print only the summary line");
       ("--list-rules", Arg.Set list_rules, " list rule ids and the invariant each protects");
     ]
@@ -64,7 +64,15 @@ let () =
     if !rel_as <> "" then begin
       match targets with
       | [ file ] when Sys.file_exists file && not (Sys.is_directory file) -> [ (file, !rel_as) ]
-      | _ -> fail "--as requires exactly one file target"
+      | [ dir ] when Sys.file_exists dir && Sys.is_directory dir ->
+          (* A whole tree mapped under PATH: the CI falsifiability gate
+             uses this to plant a multi-file seeded program at a scoped
+             location (e.g. --as lib <tree> so <tree>/sinfonia/x.ml
+             lints as lib/sinfonia/x.ml). *)
+          List.map
+            (fun (path, rel) -> (path, !rel_as ^ "/" ^ rel))
+            (Lint.Engine.files_under dir "")
+      | _ -> fail "--as requires exactly one file or directory target"
     end
     else Lint.Engine.expand_targets ~root:"." targets
   in

@@ -128,23 +128,20 @@ let piggyback_compares t ~nodes =
   let all_covered = ref true in
   (* Invariant: callers pass the txn's participant set, never empty. *)
   let repl_node = List.hd nodes in
-  Hashtbl.iter
-    (fun _ entry ->
+  (* Sorted iteration: compare order shapes the minitransaction item
+     layout (and which stale entry aborts first), which must replay
+     identically per seed. *)
+  Sim.Det.iter_sorted t.reads ~cmp:Objref.compare (fun _ entry ->
       if List.mem (Objref.node entry.ref_) nodes then begin
         compares := seq_compare_at entry.ref_.Objref.addr entry.seq :: !compares;
         covered := `Read entry :: !covered
       end
-      else all_covered := false)
-    t.reads;
-  Hashtbl.iter
-    (fun off rr ->
-      compares := seq_compare_at (Address.make ~node:repl_node ~off) rr.rr_seq :: !compares)
-    t.repl_reads;
-  Hashtbl.iter
-    (fun off seq ->
+      else all_covered := false);
+  Sim.Det.iter_sorted t.repl_reads ~cmp:Int.compare (fun off rr ->
+      compares := seq_compare_at (Address.make ~node:repl_node ~off) rr.rr_seq :: !compares);
+  Sim.Det.iter_sorted t.repl_validates ~cmp:Int.compare (fun off seq ->
       if not (Hashtbl.mem t.repl_reads off) then
-        compares := seq_compare_at (Address.make ~node:repl_node ~off) seq :: !compares)
-    t.repl_validates;
+        compares := seq_compare_at (Address.make ~node:repl_node ~off) seq :: !compares);
   (!compares, !covered, !all_covered)
 
 (* Multi-object fetch minitransaction, optionally piggy-backing read-set
@@ -186,7 +183,11 @@ let fetch_refs t ~validate (refs : Objref.t list) =
          the cache and abort. *)
       (match t.cache with
       | None -> ()
-      | Some cache -> Hashtbl.iter (fun ref_ _ -> Objcache.invalidate cache ref_) t.reads);
+      | Some cache ->
+          (* Invalidation is idempotent per key; iteration order cannot
+             reach the resulting cache state. *)
+          (* lint: allow transitive-nondet *)
+          Hashtbl.iter (fun ref_ _ -> Objcache.invalidate cache ref_) t.reads);
       Obs.abort t.obs ~layer:Obs.Abort.Txn Obs.Abort.Validation_failed;
       fail t "piggy-backed validation failed"
   | Mtx.Busy ->
@@ -448,22 +449,28 @@ let write_replicated t ~off ~len payload =
     invalid_arg "Txn.write_replicated: payload exceeds slot capacity";
   Hashtbl.replace t.repl_writes off (len, payload)
 
+(* Each iter below only invalidates cache entries — idempotent per key,
+   so iteration order cannot reach the resulting cache state. *)
 let evict_dirty t =
   match t.cache with
   | None -> ()
   | Some cache ->
+      (* lint: allow transitive-nondet *)
       Hashtbl.iter (fun ref_ _ -> Objcache.invalidate cache ref_) t.dirty_seen;
       (* Negative entries: a read-set entry observed with an empty
          payload names a deleted or unallocated slot. Drop any cached
          copy so a post-abort retry cannot dirty-read the dead node out
          of the cache and traverse into freed space. *)
+      (* lint: allow transitive-nondet *)
       Hashtbl.iter
         (fun ref_ e -> if String.length e.payload = 0 then Objcache.invalidate cache ref_)
         t.reads;
       (* Replicated reads may also have come from the cache. *)
+      (* lint: allow transitive-nondet *)
       Hashtbl.iter
         (fun off rr -> Objcache.invalidate cache (cache_key_of_repl t off rr.rr_len))
         t.repl_reads;
+      (* lint: allow transitive-nondet *)
       Hashtbl.iter
         (fun off len -> Objcache.invalidate cache (cache_key_of_repl t off len))
         t.dirty_repl_seen
@@ -515,10 +522,13 @@ let commit ?(blocking = false) t =
     (* Fresh sequence numbers for every written object. Uniqueness (not
        contiguity) is what validation relies on; the cluster-wide counter
        also keeps them monotonically increasing over time. *)
+    (* Sorted folds below: these shape the minitransaction item layout
+       and the order sequence numbers are drawn from the cluster-wide
+       counter — both must replay identically per seed. *)
     let written =
-      Hashtbl.fold
+      Sim.Det.fold_sorted t.writes ~cmp:Objref.compare
         (fun ref_ (payload, echo) acc -> (ref_, Cluster.fresh_owner t.cluster, payload, echo) :: acc)
-        t.writes []
+        []
     in
     let write_items =
       List.concat_map
@@ -534,9 +544,9 @@ let commit ?(blocking = false) t =
         written
     in
     let repl_written =
-      Hashtbl.fold
+      Sim.Det.fold_sorted t.repl_writes ~cmp:Int.compare
         (fun off (len, payload) acc -> (off, len, Cluster.fresh_owner t.cluster, payload) :: acc)
-        t.repl_writes []
+        []
     in
     let repl_write_items =
       List.concat_map
@@ -547,7 +557,7 @@ let commit ?(blocking = false) t =
     in
     (* Regular read-set validation: compare each object's sequence
        number where it lives. *)
-    let read_entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.reads [] in
+    let read_entries = Sim.Det.fold_sorted t.reads ~cmp:Objref.compare (fun _ e acc -> e :: acc) [] in
     let read_compares =
       List.map (fun e -> (seq_compare_at e.ref_.Objref.addr e.seq, `Obj e.ref_)) read_entries
     in
@@ -560,20 +570,20 @@ let commit ?(blocking = false) t =
           match read_entries with e :: _ -> Objref.node e.ref_ | [] -> t.home)
     in
     let repl_compares =
-      Hashtbl.fold
+      Sim.Det.fold_sorted t.repl_reads ~cmp:Int.compare
         (fun off rr acc ->
           ( seq_compare_at (Address.make ~node:preferred_node ~off) rr.rr_seq,
             `Repl (off, rr.rr_len) )
           :: acc)
-        t.repl_reads []
+        []
     in
     let repl_validate_compares =
-      Hashtbl.fold
+      Sim.Det.fold_sorted t.repl_validates ~cmp:Int.compare
         (fun off seq acc ->
           if Hashtbl.mem t.repl_reads off then acc
           else
             (seq_compare_at (Address.make ~node:preferred_node ~off) seq, `Repl_seq off) :: acc)
-        t.repl_validates []
+        []
     in
     let compares = read_compares @ repl_compares @ repl_validate_compares in
     let mtx =

@@ -1,12 +1,17 @@
-(* Walks source trees, runs every in-scope rule over each file in one
-   Ast_iterator pass, applies suppression directives, and renders the
-   result as human diagnostics or an Obs.Json report. *)
+(* Walks source trees and runs the two-phase analysis over the loaded
+   program: per-expression rules in one [Ast_iterator] pass per file,
+   then the whole-program rules over the interprocedural context
+   (Summary facts propagated to fixpoint by Interproc). Suppression
+   directives apply to both kinds; the result renders as human
+   diagnostics or an Obs.Json report. *)
 
 type result = {
   files_scanned : int;
   parse_errors : (string * string) list;  (* rel path, message *)
   findings : Diag.t list;  (* sorted; includes suppressed ones *)
   rules_run : Rules.t list;
+  interproc : Interproc.stats option;  (* None when nothing parsed *)
+  wall_ms : float;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -51,7 +56,7 @@ let expand_targets ~root targets =
     targets
 
 (* ------------------------------------------------------------------ *)
-(* Linting one file                                                     *)
+(* Linting a program                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let directive_rule = "lint-directive"
@@ -88,14 +93,23 @@ let directive_findings (src : Src_file.t) =
       | Src_file.Allow_file ids -> unknown ~line:1 ids)
     (Src_file.directives src)
 
-let lint_source ?(ignore_scope = false) ~rules (src : Src_file.t) =
-  let rel = src.Src_file.rel in
-  let active = List.filter (fun r -> ignore_scope || Rules.in_scope r rel) rules in
-  let ctx = { Rules.rel; src } in
+(* Lint a set of already-parsed files as one program: the per-file
+   expression pass for [Expr] rules, then the interprocedural pass for
+   [Global] rules. With [ignore_scope] (fixture self-tests) path
+   scoping is bypassed for both kinds and the Global rules drop their
+   internal scope filters too. *)
+let lint_program ?(ignore_scope = false) ~rules (srcs : Src_file.t list) =
+  let summaries = List.map Summary.of_src srcs in
+  let ip = Interproc.build ~honor_scope:(not ignore_scope) summaries in
+  let srcs_by_rel = Hashtbl.create 16 in
+  List.iter (fun (s : Src_file.t) -> Hashtbl.replace srcs_by_rel s.Src_file.rel s) srcs;
   let findings = ref [] in
-  let emit (r : Rules.t) ~loc msg =
-    let line = loc.Location.loc_start.Lexing.pos_lnum in
-    let col = loc.Location.loc_start.Lexing.pos_cnum - loc.Location.loc_start.Lexing.pos_bol in
+  let add (r : Rules.t) ~rel ~line ~col msg =
+    let suppressed =
+      match Hashtbl.find_opt srcs_by_rel rel with
+      | Some src -> Src_file.allowed src ~rule:r.Rules.id ~line
+      | None -> false
+    in
     findings :=
       {
         Diag.rule = r.Rules.id;
@@ -104,37 +118,82 @@ let lint_source ?(ignore_scope = false) ~rules (src : Src_file.t) =
         line;
         col;
         message = msg;
-        suppressed = Src_file.allowed src ~rule:r.Rules.id ~line;
+        suppressed;
       }
       :: !findings
   in
-  let iterator =
-    {
-      Ast_iterator.default_iterator with
-      expr =
-        (fun it e ->
-          List.iter (fun r -> r.Rules.check ctx ~emit:(emit r) e) active;
-          Ast_iterator.default_iterator.expr it e);
-    }
-  in
-  iterator.structure iterator src.Src_file.ast;
-  List.sort Diag.order (directive_findings src @ !findings)
+  List.iter
+    (fun (src : Src_file.t) ->
+      let rel = src.Src_file.rel in
+      let active =
+        List.filter
+          (fun (r : Rules.t) ->
+            match r.Rules.kind with
+            | Rules.Expr _ -> ignore_scope || Rules.in_scope r rel
+            | Rules.Global _ -> false)
+          rules
+      in
+      let ctx = { Rules.rel; src } in
+      let emit (r : Rules.t) ~loc msg =
+        let line = loc.Location.loc_start.Lexing.pos_lnum in
+        let col = loc.Location.loc_start.Lexing.pos_cnum - loc.Location.loc_start.Lexing.pos_bol in
+        add r ~rel ~line ~col msg
+      in
+      let iterator =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun it e ->
+              List.iter
+                (fun (r : Rules.t) ->
+                  match r.Rules.kind with
+                  | Rules.Expr check -> check ctx ~emit:(emit r) e
+                  | Rules.Global _ -> ())
+                active;
+              Ast_iterator.default_iterator.expr it e);
+        }
+      in
+      iterator.structure iterator src.Src_file.ast;
+      findings := directive_findings src @ !findings)
+    srcs;
+  List.iter
+    (fun (r : Rules.t) ->
+      match r.Rules.kind with
+      | Rules.Global check ->
+          check ip ~emit:(fun ~rel ~line ~col msg ->
+              if ignore_scope || Rules.in_scope r rel then add r ~rel ~line ~col msg)
+      | Rules.Expr _ -> ())
+    rules;
+  (List.sort Diag.order !findings, Interproc.stats ip)
+
+let lint_source ?(ignore_scope = false) ~rules (src : Src_file.t) =
+  fst (lint_program ~ignore_scope ~rules [ src ])
 
 let lint_files ?(rules = Rules.all) ?(ignore_scope = false) targets =
+  (* Wall-clock here is observability about the linter itself (the CI
+     budget gate and BENCH_lint.json), not simulated behaviour — the
+     report would be meaningless on Sim time. *)
+  (* lint: allow wallclock-rng *)
+  let t0 = Unix.gettimeofday () in
   let parse_errors = ref [] in
-  let findings = ref [] in
+  let srcs = ref [] in
   List.iter
     (fun (path, rel) ->
       match Src_file.load ~rel path with
-      | src -> findings := lint_source ~ignore_scope ~rules src @ !findings
+      | src -> srcs := src :: !srcs
       | exception Src_file.Parse_failure { rel; message } ->
           parse_errors := (rel, message) :: !parse_errors)
     targets;
+  let findings, stats = lint_program ~ignore_scope ~rules (List.rev !srcs) in
+  (* lint: allow wallclock-rng *)
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
   {
     files_scanned = List.length targets;
     parse_errors = List.rev !parse_errors;
-    findings = List.sort Diag.order !findings;
+    findings;
     rules_run = rules;
+    interproc = Some stats;
+    wall_ms;
   }
 
 let unsuppressed t = List.filter (fun (d : Diag.t) -> not d.Diag.suppressed) t.findings
@@ -147,8 +206,9 @@ let suppressed_count t =
 (* ------------------------------------------------------------------ *)
 
 (* BENCH_lint.json-shaped report through the repo's own JSON codec so
-   the suppression count is trackable across PRs like any other
-   observability artifact. *)
+   the suppression count, the call-graph shape, and the fixpoint cost
+   are trackable across PRs like any other observability artifact.
+   Schema 2 adds the interprocedural block and wall time. *)
 let to_json t =
   let per_rule (r : Rules.t) =
     let mine = List.filter (fun (d : Diag.t) -> d.Diag.rule = r.Rules.id) t.findings in
@@ -162,15 +222,34 @@ let to_json t =
         ("suppressed", Obs.Json.Int (List.length mine - List.length live));
       ]
   in
+  let interproc =
+    match t.interproc with
+    | None -> Obs.Json.Null
+    | Some (s : Interproc.stats) ->
+        Obs.Json.Obj
+          [
+            ("functions", Obs.Json.Int s.Interproc.st_functions);
+            ("calls", Obs.Json.Int s.Interproc.st_calls);
+            ("resolved_calls", Obs.Json.Int s.Interproc.st_resolved);
+            ("unresolved_calls", Obs.Json.Int s.Interproc.st_unresolved);
+            ("handlers", Obs.Json.Int s.Interproc.st_handlers);
+            ("reach_passes", Obs.Json.Int s.Interproc.st_reach_passes);
+            ("raise_passes", Obs.Json.Int s.Interproc.st_raise_passes);
+            ("seq_passes", Obs.Json.Int s.Interproc.st_seq_passes);
+            ("seq_truncated", Obs.Json.Int s.Interproc.st_seq_truncated);
+          ]
+  in
   Obs.Json.Obj
     [
       ("name", Obs.Json.String "lint");
-      ("schema_version", Obs.Json.Int 1);
+      ("schema_version", Obs.Json.Int 2);
       ("rules_run", Obs.Json.Int (List.length t.rules_run));
       ("files_scanned", Obs.Json.Int t.files_scanned);
       ("findings", Obs.Json.Int (List.length (unsuppressed t)));
       ("suppressions", Obs.Json.Int (suppressed_count t));
       ("parse_errors", Obs.Json.Int (List.length t.parse_errors));
+      ("interproc", interproc);
+      ("wall_ms", Obs.Json.Float t.wall_ms);
       ("rules", Obs.Json.List (List.map per_rule t.rules_run));
       ("diagnostics", Obs.Json.List (List.map Diag.to_json (unsuppressed t)));
     ]
@@ -183,8 +262,14 @@ let to_json t =
    the line a finding must anchor to, [(* expect-suppressed: rule *)]
    where an allow directive must have downgraded one. Every fixture is
    checked for exact (rule, line) set equality, so a rule that drifts
-   (fires elsewhere, or goes quiet) fails the self-test. Scoping is
-   ignored: fixtures exercise matchers, not path prefixes. *)
+   (fires elsewhere, or goes quiet) fails the self-test.
+
+   Layout: [.ml] files directly under the fixture dir are linted one
+   at a time with scoping ignored (they exercise matchers, not path
+   prefixes). Each sub-directory is linted as one whole program with
+   real scoping, the file's path inside the tree standing in for its
+   repo-relative path — so a multi-file tree can exercise cross-module
+   resolution and the scope behaviour of the Global rules. *)
 let fixture_expectations (src : Src_file.t) =
   let parse prefix (c : Src_file.comment) =
     let t = String.trim c.Src_file.c_text in
@@ -208,28 +293,58 @@ let check_fixtures ?(rules = Rules.all) dir =
     String.concat ", "
       (List.map (fun (rule, line) -> Printf.sprintf "%s@%d" rule line) set)
   in
-  let files = files_under dir (Filename.basename dir) in
-  if files = [] then failures := [ "no fixture files found under " ^ dir ];
+  let check_against ~label (src : Src_file.t) (findings : Diag.t list) =
+    let mine = List.filter (fun (d : Diag.t) -> d.Diag.path = src.Src_file.rel) findings in
+    let observed select =
+      List.filter select mine
+      |> List.map (fun (d : Diag.t) -> (d.Diag.rule, d.Diag.line))
+      |> List.sort compare
+    in
+    let expected, expected_suppressed = fixture_expectations src in
+    let check kind expected actual =
+      if List.sort compare expected <> actual then
+        fail label "%s findings mismatch: expected {%s} but the linter reported {%s}" kind
+          (pp_set (List.sort compare expected))
+          (pp_set actual)
+    in
+    check "unsuppressed" expected (observed (fun d -> not d.Diag.suppressed));
+    check "suppressed" expected_suppressed (observed (fun d -> d.Diag.suppressed))
+  in
+  let entries = Sys.readdir dir |> Array.to_list |> List.sort String.compare in
+  let base = Filename.basename dir in
+  let top_files = List.filter (fun n -> is_ml n) entries in
+  let subdirs =
+    List.filter
+      (fun n -> Sys.is_directory (Filename.concat dir n) && not (skip_dir n))
+      entries
+  in
+  if top_files = [] && subdirs = [] then
+    failures := [ "no fixture files found under " ^ dir ];
   List.iter
-    (fun (path, rel) ->
-      match Src_file.load ~rel path with
+    (fun name ->
+      let rel = base ^ "/" ^ name in
+      match Src_file.load ~rel (Filename.concat dir name) with
       | exception Src_file.Parse_failure { message; _ } ->
           fail rel "fixture does not parse: %s" message
-      | src ->
-          let findings = lint_source ~ignore_scope:true ~rules src in
-          let observed select =
-            List.filter select findings
-            |> List.map (fun (d : Diag.t) -> (d.Diag.rule, d.Diag.line))
-            |> List.sort compare
-          in
-          let expected, expected_suppressed = fixture_expectations src in
-          let check kind expected actual =
-            if List.sort compare expected <> actual then
-              fail rel "%s findings mismatch: expected {%s} but the linter reported {%s}" kind
-                (pp_set (List.sort compare expected))
-                (pp_set actual)
-          in
-          check "unsuppressed" expected (observed (fun d -> not d.Diag.suppressed));
-          check "suppressed" expected_suppressed (observed (fun d -> d.Diag.suppressed)))
-    files;
+      | src -> check_against ~label:rel src (lint_source ~ignore_scope:true ~rules src))
+    top_files;
+  List.iter
+    (fun sub ->
+      let tree = Filename.concat dir sub in
+      let files = files_under tree "" in
+      let srcs = ref [] in
+      List.iter
+        (fun (path, rel) ->
+          match Src_file.load ~rel path with
+          | src -> srcs := src :: !srcs
+          | exception Src_file.Parse_failure { message; _ } ->
+              fail (sub ^ "/" ^ rel) "fixture does not parse: %s" message)
+        files;
+      let srcs = List.rev !srcs in
+      let findings, _ = lint_program ~ignore_scope:false ~rules srcs in
+      List.iter
+        (fun (src : Src_file.t) ->
+          check_against ~label:(sub ^ "/" ^ src.Src_file.rel) src findings)
+        srcs)
+    subdirs;
   List.rev !failures

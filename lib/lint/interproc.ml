@@ -1,0 +1,300 @@
+(* Phase 2: propagate the per-function facts from Summary to a
+   fixpoint over the Callgraph, producing the interprocedural context
+   the Global rules in Rules consume:
+
+   - [reach]: which nondet / wall-clock / scheduler-blocking sources a
+     function can hit through any call chain, with a next-hop witness
+     per source so diagnostics can print the chain;
+   - [raises]: which crash exceptions a function may let escape —
+     propagation stops at a call site whose enclosing handlers would
+     swallow that exception;
+   - [seq]: the function's protocol-op sequence with callee sequences
+     spliced in at call sites (a bounded number of passes, so splices
+     see chains [seq_passes] calls deep), each splice tagged with an
+     instance id so the state-machine rules can tell an emergent
+     cross-call violation from one that is internal to a single callee
+     (the callee's own scan already reports those).
+
+   Facts only ever grow (set union with monotone additions), functions
+   are visited in sorted order, and per-function fact counts are
+   capped, so the fixpoint terminates deterministically even on
+   recursive cycles. *)
+
+type via = Direct | Via of string  (* fn_id of the next hop *)
+
+type reach = {
+  r_kind : Summary.source_kind;
+  r_what : string;
+  r_rel : string;  (* file the source lives in *)
+  r_line : int;
+  r_via : via;
+}
+
+type raise_fact = { x_exn : string; x_rel : string; x_line : int; x_via : via }
+
+(* One element of a spliced protocol-op sequence. *)
+type sop = {
+  so_kind : skind;
+  so_what : string;
+  so_line : int;  (* in this function's file; call-site line if spliced *)
+  so_inst : int;  (* 0 = direct; spliced ops share their splice's id *)
+  so_via : string option;  (* immediate callee fn_id if spliced *)
+}
+
+and skind = Proto of Summary.op | Block
+
+type stats = {
+  st_files : int;
+  st_functions : int;
+  st_calls : int;
+  st_resolved : int;
+  st_unresolved : int;
+  st_handlers : int;
+  st_reach_passes : int;
+  st_raise_passes : int;
+  st_seq_passes : int;
+  st_seq_truncated : int;
+}
+
+type t = {
+  graph : Callgraph.t;
+  files_by_rel : (string, Summary.file) Hashtbl.t;
+  fns : Summary.fn list;  (* sorted by fn_id *)
+  edges : (string, (Summary.call * string) list) Hashtbl.t;
+  reach_tbl : (string, reach list) Hashtbl.t;
+  raise_tbl : (string, raise_fact list) Hashtbl.t;
+  seq_tbl : (string, sop list) Hashtbl.t;
+  honor_scope : bool;  (* false under --fixtures / single-file self-tests *)
+  stats : stats;
+}
+
+let reach_cap = 32
+let seq_cap = 200
+let seq_passes = 4
+let fix_cap = 64
+
+let direct_reach (fn : Summary.fn) =
+  List.filter_map
+    (function
+      | Summary.Src s ->
+          Some
+            {
+              r_kind = s.Summary.s_kind;
+              r_what = s.Summary.s_what;
+              r_rel = fn.Summary.fn_rel;
+              r_line = s.Summary.s_line;
+              r_via = Direct;
+            }
+      | _ -> None)
+    fn.Summary.fn_events
+
+let direct_raises (fn : Summary.fn) =
+  List.filter_map
+    (function
+      | Summary.Raise (exn, line) ->
+          Some { x_exn = exn; x_rel = fn.Summary.fn_rel; x_line = line; x_via = Direct }
+      | _ -> None)
+    fn.Summary.fn_events
+
+(* "Memnode.Crashed" -> "Crashed", the constructor name handlers match. *)
+let exn_last exn =
+  match String.rindex_opt exn '.' with
+  | Some i -> String.sub exn (i + 1) (String.length exn - i - 1)
+  | None -> exn
+
+let call_swallows (c : Summary.call) exn =
+  List.mem "*" c.Summary.c_swallows || List.mem (exn_last exn) c.Summary.c_swallows
+
+(* Generic monotone fixpoint: [step] adds callee facts to a caller's
+   set; iterate until nothing changes (or the pass cap, which only a
+   pathological graph would hit — the cap is reported in stats). *)
+let fixpoint ~fns ~edges ~tbl ~key ~lift =
+  let passes = ref 0 and changed = ref true in
+  while !changed && !passes < fix_cap do
+    changed := false;
+    incr passes;
+    List.iter
+      (fun (fn : Summary.fn) ->
+        let mine = ref (Hashtbl.find tbl fn.Summary.fn_id) in
+        let keys = ref (List.map key !mine) in
+        List.iter
+          (fun (call, callee) ->
+            List.iter
+              (fun fact ->
+                match lift call callee fact with
+                | Some fact' ->
+                    let k = key fact' in
+                    if (not (List.mem k !keys)) && List.length !mine < reach_cap then begin
+                      mine := !mine @ [ fact' ];
+                      keys := k :: !keys;
+                      changed := true
+                    end
+                | None -> ())
+              (Hashtbl.find tbl callee))
+          (Option.value (Hashtbl.find_opt edges fn.Summary.fn_id) ~default:[]);
+        Hashtbl.replace tbl fn.Summary.fn_id !mine)
+      fns
+  done;
+  !passes
+
+let build ?(honor_scope = true) (files : Summary.file list) =
+  let graph = Callgraph.build files in
+  let files = graph.Callgraph.files in
+  let files_by_rel = Hashtbl.create 64 in
+  List.iter (fun (f : Summary.file) -> Hashtbl.replace files_by_rel f.f_rel f) files;
+  let fns =
+    List.concat_map (fun (f : Summary.file) -> f.Summary.f_fns) files
+    |> List.sort (fun a b -> compare a.Summary.fn_id b.Summary.fn_id)
+  in
+  let edges = Hashtbl.create 256 in
+  let calls = ref 0 and resolved = ref 0 in
+  List.iter
+    (fun (f : Summary.file) ->
+      List.iter
+        (fun (fn : Summary.fn) ->
+          let es = Callgraph.edges graph f fn in
+          calls := !calls + List.length (Summary.calls_of fn);
+          resolved := !resolved + List.length es;
+          Hashtbl.replace edges fn.Summary.fn_id es)
+        f.f_fns)
+    files;
+  (* --- reach --- *)
+  let reach_tbl = Hashtbl.create 256 in
+  List.iter (fun fn -> Hashtbl.replace reach_tbl fn.Summary.fn_id (direct_reach fn)) fns;
+  let reach_passes =
+    fixpoint ~fns ~edges ~tbl:reach_tbl
+      ~key:(fun r -> (r.r_what, r.r_rel, r.r_line))
+      ~lift:(fun _call callee r -> Some { r with r_via = Via callee })
+  in
+  (* --- raises --- *)
+  let raise_tbl = Hashtbl.create 256 in
+  List.iter (fun fn -> Hashtbl.replace raise_tbl fn.Summary.fn_id (direct_raises fn)) fns;
+  let raise_passes =
+    fixpoint ~fns ~edges ~tbl:raise_tbl
+      ~key:(fun x -> (x.x_exn, x.x_rel, x.x_line))
+      ~lift:(fun call callee x ->
+        if call_swallows call x.x_exn then None else Some { x with x_via = Via callee })
+  in
+  (* --- spliced op sequences --- *)
+  let seq_tbl = Hashtbl.create 256 in
+  let truncated = ref 0 in
+  let inst = ref 0 in
+  let build_seq prev (fn : Summary.fn) =
+    let out = ref [] and n = ref 0 in
+    let push op = if !n < seq_cap then begin out := op :: !out; incr n end else incr truncated in
+    List.iter
+      (function
+        | Summary.Op (op, line) ->
+            push
+              { so_kind = Proto op; so_what = Summary.op_to_string op; so_line = line;
+                so_inst = 0; so_via = None }
+        | Summary.Src s when s.Summary.s_kind = Summary.Blocking ->
+            push
+              { so_kind = Block; so_what = s.Summary.s_what; so_line = s.Summary.s_line;
+                so_inst = 0; so_via = None }
+        | Summary.Call c -> (
+            match
+              List.assq_opt c
+                (Option.value (Hashtbl.find_opt edges fn.Summary.fn_id) ~default:[])
+            with
+            | Some callee ->
+                let spliced = Option.value (Hashtbl.find_opt prev callee) ~default:[] in
+                if spliced <> [] then begin
+                  incr inst;
+                  let id = !inst in
+                  List.iter
+                    (fun op ->
+                      push { op with so_line = c.Summary.c_line; so_inst = id; so_via = Some callee })
+                    spliced
+                end
+            | None -> ())
+        | _ -> ())
+      fn.Summary.fn_events;
+    List.rev !out
+  in
+  for _pass = 1 to seq_passes do
+    let prev = Hashtbl.copy seq_tbl in
+    List.iter (fun fn -> Hashtbl.replace seq_tbl fn.Summary.fn_id (build_seq prev fn)) fns
+  done;
+  let handlers =
+    List.fold_left (fun acc fn -> acc + List.length fn.Summary.fn_handlers) 0 fns
+  in
+  {
+    graph;
+    files_by_rel;
+    fns;
+    edges;
+    reach_tbl;
+    raise_tbl;
+    seq_tbl;
+    honor_scope;
+    stats =
+      {
+        st_files = List.length files;
+        st_functions = List.length fns;
+        st_calls = !calls;
+        st_resolved = !resolved;
+        st_unresolved = !calls - !resolved;
+        st_handlers = handlers;
+        st_reach_passes = reach_passes;
+        st_raise_passes = raise_passes;
+        st_seq_passes = seq_passes;
+        st_seq_truncated = !truncated;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Accessors for the rules                                              *)
+(* ------------------------------------------------------------------ *)
+
+let functions t = t.fns
+
+let honors_scope t = t.honor_scope
+
+let stats t = t.stats
+
+let file_of t rel = Hashtbl.find_opt t.files_by_rel rel
+
+let fn t id = Callgraph.fn t.graph id
+
+let edges_of t id = Option.value (Hashtbl.find_opt t.edges id) ~default:[]
+
+let reach_of t id = Option.value (Hashtbl.find_opt t.reach_tbl id) ~default:[]
+
+let raises_of t id = Option.value (Hashtbl.find_opt t.raise_tbl id) ~default:[]
+
+let seq_of t id = Option.value (Hashtbl.find_opt t.seq_tbl id) ~default:[]
+
+let resolve_from t ~rel call =
+  match file_of t rel with
+  | Some file -> Callgraph.resolve t.graph file call
+  | None -> None
+
+let display t id =
+  match fn t id with Some f -> Summary.fn_display f | None -> id
+
+(* The call chain from [id] to the given reach fact, as display names
+   ending at the function holding the source. *)
+let reach_chain t id (target : reach) =
+  let key r = (r.r_what, r.r_rel, r.r_line) in
+  let rec go id seen acc =
+    if List.length acc > 8 || List.mem id seen then List.rev acc
+    else
+      match List.find_opt (fun r -> key r = key target) (reach_of t id) with
+      | None -> List.rev acc
+      | Some { r_via = Direct; _ } -> List.rev (display t id :: acc)
+      | Some { r_via = Via next; _ } -> go next (id :: seen) (display t id :: acc)
+  in
+  go id [] []
+
+let raise_chain t id (target : raise_fact) =
+  let key x = (x.x_exn, x.x_rel, x.x_line) in
+  let rec go id seen acc =
+    if List.length acc > 8 || List.mem id seen then List.rev acc
+    else
+      match List.find_opt (fun x -> key x = key target) (raises_of t id) with
+      | None -> List.rev acc
+      | Some { x_via = Direct; _ } -> List.rev (display t id :: acc)
+      | Some { x_via = Via next; _ } -> go next (id :: seen) (display t id :: acc)
+  in
+  go id [] []

@@ -5,9 +5,20 @@
     ([Lint.Rules.all]) protecting determinism, crash-safety and
     protocol discipline, honours [(* lint: allow <rule> *)]
     suppression comments, and renders findings as diagnostics or an
-    Obs.Json report. See DESIGN.md §13. *)
+    Obs.Json report.
+
+    Since ISSUE 10 the linter is a two-phase, whole-program analysis:
+    [Summary] builds per-function effect summaries in one walk per
+    file, [Callgraph] resolves module-qualified calls syntactically,
+    [Interproc] propagates facts to a fixpoint, and the [Global] rules
+    in [Rules] check invariants across call chains. See DESIGN.md §13
+    and §17. *)
 
 module Diag = Diag
 module Src_file = Src_file
+module Paths = Paths
+module Summary = Summary
+module Callgraph = Callgraph
+module Interproc = Interproc
 module Rules = Rules
 module Engine = Engine

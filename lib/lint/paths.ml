@@ -1,0 +1,41 @@
+(* Path scoping shared by the syntactic rules (Rules) and the
+   interprocedural analyses (Summary/Interproc): which repo trees carry
+   which invariants. Kept in one place so "determinism-scoped" means the
+   same thing to the per-expression matchers and to the whole-repo
+   fixpoint. *)
+
+(* Paths implementing the paper's protocols: minitransactions, dirty
+   traversals, version catalog. A swallowed exception or partial
+   function here corrupts the retry/recovery story. *)
+let protocol = [ "lib/sinfonia/"; "lib/dyntxn/"; "lib/btree/"; "lib/mvcc/" ]
+
+(* Paths where iteration order reaches seeded-replay output: the
+   simulator, the nemesis, the history checker (both the list and the
+   streaming sink), recovery sweeps, the open-loop traffic engine
+   (arrival schedules and SLO verdicts must replay byte-identically per
+   seed), the B-tree hot path, and — since the interprocedural pass —
+   the version catalog/branching layer, whose version-tree walks and
+   GC sweeps feed checker realms and BENCH reports. *)
+let determinism =
+  [
+    "lib/sim/";
+    "lib/chaos/";
+    "lib/check/";
+    "lib/sinfonia/";
+    "lib/traffic/";
+    "lib/btree/";
+    "lib/mvcc/";
+  ]
+
+(* The 2PC coordinator / participant / recovery sources whose call
+   sequences the protocol-order state machine checks. *)
+let coordination = [ "lib/sinfonia/" ]
+
+let has_prefix rel p =
+  String.length rel >= String.length p && String.sub rel 0 (String.length p) = p
+
+let in_any paths rel = List.exists (has_prefix rel) paths
+
+let in_protocol rel = in_any protocol rel
+
+let in_determinism rel = in_any determinism rel

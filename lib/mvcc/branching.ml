@@ -105,11 +105,14 @@ let rec collapse t txn anchor (s : int64 list) : int64 list * Ops.disc list =
         let members = Option.value (Hashtbl.find_opt groups c) ~default:[] in
         Hashtbl.replace groups c (d :: members))
       s;
+    (* Sorted fold: ties between equal-sized groups must break by key,
+       not hash order — the chosen anchor child shapes the emitted
+       discretionary-copy directives, which are replay-checked. *)
     let c, g =
-      Hashtbl.fold
+      Sim.Det.fold_sorted groups ~cmp:Int64.compare
         (fun c members ((_, best) as acc) ->
           if List.length members > List.length best then (c, members) else acc)
-        groups (0L, [])
+        (0L, [])
     in
     if List.length g < 2 then
       (* Cannot collapse further (should not happen while the version

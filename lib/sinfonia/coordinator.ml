@@ -232,6 +232,13 @@ let exec_multi cluster ~client ~mode (mtx : Mtx.t) nodes =
               match mode with
               | Normal -> Memnode.prepare_timed mn store ~owner ~participants:nodes part ~cost
               | Blocking ->
+                  (* Normal/Blocking are alternative arms of this match;
+                     the linter's linearization sees the Normal arm's
+                     append before this arm's compare-fail lock release,
+                     but only one arm runs — and that release is the
+                     refusing memnode dropping its own not-yet-voted
+                     ranges, which presumed-abort permits. *)
+                  (* lint: allow protocol-order *)
                   Memnode.prepare_blocking_timed mn store ~owner ~participants:nodes part ~cost
                     ~timeout:cfg.Config.blocking_timeout
             with

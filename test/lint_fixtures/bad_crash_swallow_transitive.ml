@@ -1,0 +1,16 @@
+(* Deliberately-bad fixture for crash-swallow-transitive: the handlers
+   look innocent; the crash raise lives one (and two) calls down. *)
+
+exception Crashed
+
+let poke_store () = raise Crashed
+
+let wrapper () = poke_store ()
+
+let read_with_default () =
+  try poke_store () with _ -> 0 (* expect: crashed-swallow *) (* expect: crash-swallow-transitive *)
+
+let swallow_deep () =
+  match wrapper () with
+  | v -> v
+  | exception _ -> 0 (* expect: crashed-swallow *) (* expect: crash-swallow-transitive *)

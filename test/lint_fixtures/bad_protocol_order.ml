@@ -1,0 +1,12 @@
+(* Deliberately-bad fixture for protocol-order: a yes-vote's locks
+   released before any decision record, and a vote logged only after
+   the reply already went out. *)
+
+let release_before_decision log locks owner ranges =
+  Redo_log.append log owner ranges;
+  Lock_table.release locks owner (* expect: protocol-order *)
+
+let vote_after_reply log net owner ranges bytes =
+  Net.transfer net ~bytes;
+  Net.transfer net ~bytes;
+  Redo_log.append log owner ranges (* expect: protocol-order *)

@@ -1,0 +1,12 @@
+(* Deliberately-bad fixture for transitive-nondet: the hash-order
+   traversal hides one (and two) calls away, where the per-expression
+   rule cannot see it from the caller. *)
+
+let dump_order tbl =
+  Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl (* expect: nondet-iteration *)
+
+let report tbl =
+  dump_order tbl (* expect: transitive-nondet *)
+
+let deeper tbl =
+  report tbl (* expect: transitive-nondet *)

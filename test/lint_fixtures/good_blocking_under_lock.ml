@@ -1,0 +1,12 @@
+(* Clean counterpart: waits happen before the ranges are acquired or
+   after they are released. *)
+
+let wait_then_hold locks owner ranges iv =
+  let v = Sim.Ivar.read iv in
+  if Lock_table.try_acquire locks ~owner ranges then Lock_table.release locks owner;
+  v
+
+let hold_then_wait locks owner ranges iv =
+  let held = Lock_table.try_acquire locks ~owner ranges in
+  if held then Lock_table.release locks owner;
+  Sim.Ivar.read iv

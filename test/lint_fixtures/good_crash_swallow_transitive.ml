@@ -1,0 +1,16 @@
+(* Clean counterpart: naming the crash exception is deliberate
+   handling, and cleanup-and-reraise keeps propagation intact — the
+   may-raise fact stops at the named handler. *)
+
+exception Crashed
+
+let poke_store () = raise Crashed
+
+let read_with_default () =
+  try poke_store () with Crashed -> 0
+
+let with_cleanup () =
+  try poke_store ()
+  with e ->
+    print_string "cleanup";
+    raise e

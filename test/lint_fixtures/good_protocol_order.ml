@@ -1,0 +1,12 @@
+(* Clean counterpart: the decision record lands before the release,
+   and the vote is durable before the reply transfer. *)
+
+let decided_release log locks owner ranges =
+  Redo_log.append log owner ranges;
+  Redo_log.decide_commit log owner;
+  Lock_table.release locks owner
+
+let vote_then_reply log net owner ranges bytes =
+  Net.transfer net ~bytes;
+  Redo_log.append log owner ranges;
+  Net.transfer net ~bytes

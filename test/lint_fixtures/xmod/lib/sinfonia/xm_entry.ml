@@ -1,0 +1,13 @@
+(* Cross-module fixture, determinism-scoped caller. The nondet source
+   lives in lib/util/ where no per-file rule applies; only the
+   interprocedural rule can see it from here — once through an open,
+   once through a module alias. *)
+
+open Xm_leak
+module L = Xm_leak
+
+let report tbl =
+  dump tbl (* expect: transitive-nondet *)
+
+let audit tbl =
+  L.dump tbl (* expect: transitive-nondet *)

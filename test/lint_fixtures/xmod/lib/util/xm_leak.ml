@@ -1,0 +1,6 @@
+(* Cross-module fixture, leaf module. This file sits outside the
+   determinism scope, so the base nondet-iteration rule stays quiet
+   here — but the hash-order fact still enters dump's summary. *)
+
+let dump tbl =
+  Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl

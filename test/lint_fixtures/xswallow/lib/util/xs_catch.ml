@@ -1,0 +1,6 @@
+(* Cross-module fixture, swallowing caller. lib/util/ is outside the
+   protocol scope, so the per-expression crashed-swallow rule stays
+   quiet — only the interprocedural rule knows Xs_raise.poke crashes. *)
+
+let safe () =
+  try Xs_raise.poke () with _ -> 0 (* expect: crash-swallow-transitive *)

@@ -1,0 +1,6 @@
+(* Cross-module fixture, leaf module: raises a crash-class exception
+   that a sibling module swallows behind a wildcard. *)
+
+exception Crashed
+
+let poke () = raise Crashed

@@ -93,6 +93,112 @@ let test_disable_silences_rule () =
   check Alcotest.int "disabled rule is silent" 0
     (List.length (Lint.Engine.unsuppressed off))
 
+(* ------------------------------------------------------------------ *)
+(* Interprocedural phase                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The xmod fixture pair, loaded at their in-tree rels so scoping and
+   cross-file resolution behave exactly as in a whole-repo run. *)
+let xmod_srcs () =
+  List.map
+    (fun rel ->
+      Lint.Src_file.load ~rel (Filename.concat (Filename.concat fixtures_dir "xmod") rel))
+    [ "lib/sinfonia/xm_entry.ml"; "lib/util/xm_leak.ml" ]
+
+(* Both the [open Xm_leak] unqualified call and the [module L =
+   Xm_leak] aliased call must resolve to the same cross-file target. *)
+let test_xmod_resolution () =
+  let ip = Lint.Interproc.build ~honor_scope:true (List.map Lint.Summary.of_src (xmod_srcs ())) in
+  let entry_rel = "lib/sinfonia/xm_entry.ml" in
+  let target = Lint.Summary.fn_id ~rel:"lib/util/xm_leak.ml" "dump" in
+  List.iter
+    (fun local ->
+      match Lint.Interproc.fn ip (Lint.Summary.fn_id ~rel:entry_rel local) with
+      | None -> Alcotest.fail ("missing summary for " ^ local)
+      | Some fn -> (
+          match Lint.Summary.calls_of fn with
+          | [ call ] ->
+              check (Alcotest.option Alcotest.string)
+                (local ^ " resolves cross-file")
+                (Some target)
+                (Lint.Interproc.resolve_from ip ~rel:entry_rel call)
+          | calls ->
+              Alcotest.fail
+                (Printf.sprintf "%s: expected one call, summarized %d" local
+                   (List.length calls))))
+    [ "report"; "audit" ]
+
+(* Feeding the files in either order must produce byte-identical
+   diagnostics and a sorted function list — the summary and fixpoint
+   stages are order-independent by construction. *)
+let test_deterministic_order () =
+  let diags srcs =
+    fst (Lint.Engine.lint_program ~rules:Lint.Rules.all srcs)
+    |> List.map (fun (d : Lint.Diag.t) -> (d.Lint.Diag.rule, d.Lint.Diag.path, d.Lint.Diag.line))
+  in
+  let fwd = xmod_srcs () in
+  check
+    (Alcotest.list (Alcotest.triple Alcotest.string Alcotest.string Alcotest.int))
+    "file order does not leak into diagnostics" (diags fwd)
+    (diags (List.rev fwd));
+  let ip = Lint.Interproc.build (List.map Lint.Summary.of_src fwd) in
+  let ids =
+    List.map (fun (f : Lint.Summary.fn) -> f.Lint.Summary.fn_id) (Lint.Interproc.functions ip)
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "functions visited in sorted order"
+    (List.sort compare ids) ids
+
+(* A mutually-recursive cycle must still reach a fixpoint (well under
+   the pass cap) and propagate the source to every cycle member. *)
+let test_fixpoint_recursion () =
+  let path = Filename.temp_file "lint_rec_probe" ".ml" in
+  let oc = open_out path in
+  output_string oc
+    "let rec ping tbl n =\n\
+    \  if n = 0 then Hashtbl.iter (fun _ _ -> ()) tbl else pong tbl (n - 1)\n\
+     and pong tbl n = ping tbl (n - 1)\n";
+  close_out oc;
+  let rel = "lib/sim/rec_probe.ml" in
+  let src = Lint.Src_file.load ~rel path in
+  Sys.remove path;
+  let ip = Lint.Interproc.build ~honor_scope:false [ Lint.Summary.of_src src ] in
+  let stats = Lint.Interproc.stats ip in
+  check Alcotest.bool "fixpoint converged below the cap" true
+    (stats.Lint.Interproc.st_reach_passes < 64);
+  List.iter
+    (fun local ->
+      let reach = Lint.Interproc.reach_of ip (Lint.Summary.fn_id ~rel local) in
+      check Alcotest.bool (local ^ " reaches the cycle's nondet source") true
+        (List.exists
+           (fun (r : Lint.Interproc.reach) -> r.Lint.Interproc.r_what = "Hashtbl.iter")
+           reach))
+    [ "ping"; "pong" ]
+
+(* Falsifiability for a Global rule: same shape as the Expr-rule test,
+   seeded at a protocol path so real scoping applies. *)
+let test_disable_silences_global_rule () =
+  let targets =
+    [
+      ( Filename.concat fixtures_dir "bad_blocking_under_lock.ml",
+        "lib/sinfonia/seeded.ml" );
+    ]
+  in
+  let on = Lint.Engine.lint_files targets in
+  check Alcotest.bool "blocking-under-lock fires on seeded violation" true
+    (List.exists
+       (fun (d : Lint.Diag.t) -> d.Lint.Diag.rule = "blocking-under-lock")
+       (Lint.Engine.unsuppressed on));
+  let rules =
+    List.filter
+      (fun (r : Lint.Rules.t) -> r.Lint.Rules.id <> "blocking-under-lock")
+      Lint.Rules.all
+  in
+  let off = Lint.Engine.lint_files ~rules targets in
+  check Alcotest.int "disabled global rule is silent" 0
+    (List.length (Lint.Engine.unsuppressed off))
+
 let test_suppression_window () =
   let src =
     Lint.Src_file.load ~rel:"good_suppressed.ml"
@@ -121,10 +227,20 @@ let test_json_report () =
   check Alcotest.int "findings" 0 (int_member "findings");
   check Alcotest.int "suppressions" (Lint.Engine.suppressed_count result)
     (int_member "suppressions");
-  match Obs.Json.member "rules" parsed with
+  (match Obs.Json.member "rules" parsed with
   | Some (Obs.Json.List rules) ->
       check Alcotest.int "per-rule entries" (List.length Lint.Rules.all) (List.length rules)
-  | _ -> Alcotest.fail "missing rules list"
+  | _ -> Alcotest.fail "missing rules list");
+  (match Obs.Json.member "interproc" parsed with
+  | Some ip_json -> (
+      match Obs.Json.member "functions" ip_json with
+      | Some (Obs.Json.Int n) ->
+          check Alcotest.bool "interproc saw the repo's functions" true (n > 100)
+      | _ -> Alcotest.fail "missing interproc.functions")
+  | None -> Alcotest.fail "missing interproc block");
+  match Obs.Json.member "wall_ms" parsed with
+  | Some (Obs.Json.Float _) -> ()
+  | _ -> Alcotest.fail "missing wall_ms"
 
 let () =
   Alcotest.run "lint"
@@ -136,6 +252,11 @@ let () =
           Alcotest.test_case "repo lints clean" `Quick test_repo_clean;
           Alcotest.test_case "disable silences rule" `Quick test_disable_silences_rule;
           Alcotest.test_case "suppression window" `Quick test_suppression_window;
+          Alcotest.test_case "cross-module resolution" `Quick test_xmod_resolution;
+          Alcotest.test_case "deterministic order" `Quick test_deterministic_order;
+          Alcotest.test_case "fixpoint on recursion" `Quick test_fixpoint_recursion;
+          Alcotest.test_case "disable silences global rule" `Quick
+            test_disable_silences_global_rule;
           Alcotest.test_case "json report" `Quick test_json_report;
         ] );
     ]
